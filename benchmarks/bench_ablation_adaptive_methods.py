@@ -1,0 +1,42 @@
+"""Ablation: Ad-KMN vs the other adaptive candidates (DESIGN.md §5.3).
+
+The paper says Ad-KMN "gave us the best results among many candidates we
+designed".  This benchmark pits it against the two reconstructed
+candidates (Ad-GRID quadtree, Ad-SPLIT greedy bisection) on the same
+window: fit time is benchmarked; cover size and NRMSE are recorded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import window_and_queries
+from repro.core.adkmn import AdKMNConfig, fit_adkmn
+from repro.core.variants import fit_adgrid, fit_adsplit
+from repro.eval.metrics import evaluate_accuracy
+from repro.query.modelcover import ModelCoverProcessor
+
+H = 240
+N_QUERIES = 500
+
+FITTERS = {
+    "ad-kmn": fit_adkmn,
+    "ad-grid": fit_adgrid,
+    "ad-split": fit_adsplit,
+}
+
+
+@pytest.mark.parametrize("name", sorted(FITTERS))
+def bench_adaptive_method(benchmark, dataset, tau_n, name):
+    w, queries = window_and_queries(dataset, H, N_QUERIES)
+    fit = FITTERS[name]
+    cfg = AdKMNConfig(tau_n_pct=tau_n)
+
+    result = benchmark(lambda: fit(w, cfg))
+    cover = result.cover
+    nrmse, _ = evaluate_accuracy(ModelCoverProcessor(cover), queries, dataset.field)
+    benchmark.group = "ablation: adaptive method"
+    benchmark.extra_info["method"] = name
+    benchmark.extra_info["n_models"] = cover.size
+    benchmark.extra_info["converged"] = result.converged
+    benchmark.extra_info["nrmse_pct"] = round(nrmse, 2)

@@ -1,0 +1,35 @@
+"""Ablation: index choice beyond the paper's R-tree/VP-tree (DESIGN.md §5.5).
+
+Adds the uniform grid and the k-d tree to the Figure 6(a) comparison at a
+fixed H.  Build time is recorded as extra info; query time is the
+benchmarked quantity, as in Figure 6(a).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import window_and_queries
+from repro.query.indexed import IndexedProcessor, available_index_kinds
+
+H = 240
+N_QUERIES = 500
+
+
+@pytest.mark.parametrize("kind", available_index_kinds())
+def bench_index_kind(benchmark, dataset, radius_m, kind):
+    w, queries = window_and_queries(dataset, H, N_QUERIES)
+    t0 = time.perf_counter()
+    proc = IndexedProcessor(w, kind=kind, radius_m=radius_m)
+    build_s = time.perf_counter() - t0
+
+    def run():
+        for q in queries:
+            proc.process(q)
+
+    benchmark(run)
+    benchmark.group = "ablation: index kind"
+    benchmark.extra_info["kind"] = kind
+    benchmark.extra_info["build_ms"] = round(build_s * 1000, 2)

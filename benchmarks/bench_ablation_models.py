@@ -1,0 +1,36 @@
+"""Ablation: model family inside the cover (DESIGN.md §5.1).
+
+The paper fixes linear regression; here Ad-KMN runs with each registered
+family on the same window and workload.  For every family we record the
+cover size (how hard the adaptivity loop had to work to hit τn), the wire
+size (what a model-cache client downloads), and the NRMSE against ground
+truth.  The timed quantity is the cover fit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import window_and_queries
+from repro.core.adkmn import AdKMNConfig, fit_adkmn
+from repro.eval.metrics import evaluate_accuracy
+from repro.query.modelcover import ModelCoverProcessor
+
+H = 240
+N_QUERIES = 500
+FAMILIES = ("linear", "mean", "poly2", "kernel")
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def bench_model_family(benchmark, dataset, tau_n, family):
+    w, queries = window_and_queries(dataset, H, N_QUERIES)
+    cfg = AdKMNConfig(tau_n_pct=tau_n, family=family)
+
+    result = benchmark(lambda: fit_adkmn(w, cfg))
+    cover = result.cover
+    nrmse, _ = evaluate_accuracy(ModelCoverProcessor(cover), queries, dataset.field)
+    benchmark.group = "ablation: model family"
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["n_models"] = cover.size
+    benchmark.extra_info["wire_bytes"] = cover.wire_size_bytes()
+    benchmark.extra_info["nrmse_pct"] = round(nrmse, 2)

@@ -1,0 +1,36 @@
+"""Ablation: the error threshold τn (DESIGN.md §5.2).
+
+τn is the single knob steering Ad-KMN's adaptivity: tighter thresholds
+mean more splits, more models, bigger covers, better fidelity.  The sweep
+records cover size / wire size / NRMSE per τn; the timed quantity is the
+fit, which grows with the number of split rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import window_and_queries
+from repro.core.adkmn import AdKMNConfig, fit_adkmn
+from repro.eval.metrics import evaluate_accuracy
+from repro.query.modelcover import ModelCoverProcessor
+
+H = 240
+N_QUERIES = 500
+TAU_VALUES = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+@pytest.mark.parametrize("tau", TAU_VALUES)
+def bench_tau_sweep(benchmark, dataset, tau):
+    w, queries = window_and_queries(dataset, H, N_QUERIES)
+    cfg = AdKMNConfig(tau_n_pct=tau)
+
+    result = benchmark(lambda: fit_adkmn(w, cfg))
+    cover = result.cover
+    nrmse, _ = evaluate_accuracy(ModelCoverProcessor(cover), queries, dataset.field)
+    benchmark.group = "ablation: tau_n"
+    benchmark.extra_info["tau_pct"] = tau
+    benchmark.extra_info["n_models"] = cover.size
+    benchmark.extra_info["rounds"] = result.rounds
+    benchmark.extra_info["wire_bytes"] = cover.wire_size_bytes()
+    benchmark.extra_info["nrmse_pct"] = round(nrmse, 2)

@@ -1,0 +1,52 @@
+"""Figure 6(a): query-processing efficiency.
+
+Elapsed time for a batch of point queries against one window, per method
+(Ad-KMN model cover / VP-tree / R-tree / naive) and per window size
+H ∈ {40, 80, 120, 160, 200, 240}.  The pytest-benchmark table *is* the
+figure: compare the per-round times across the method/H grid.
+
+The paper reports the model cover 7.1x faster than the VP-tree at H = 40
+and 39.4x faster than the R-tree at H = 240; EXPERIMENTS.md records the
+ratios measured here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import window_and_queries
+from repro.core.adkmn import AdKMNConfig, fit_adkmn
+from repro.query.indexed import IndexedProcessor
+from repro.query.modelcover import ModelCoverProcessor
+from repro.query.naive import NaiveProcessor
+
+H_VALUES = (40, 80, 120, 160, 200, 240)
+N_QUERIES = 500  # per benchmark round; the paper uses 5000 for the figure
+
+METHODS = ("adkmn", "vptree", "rtree", "naive")
+
+
+def _build(method, w, radius_m, tau_n):
+    if method == "naive":
+        return NaiveProcessor(w, radius_m)
+    if method == "adkmn":
+        return ModelCoverProcessor(fit_adkmn(w, AdKMNConfig(tau_n_pct=tau_n)).cover)
+    return IndexedProcessor(w, kind=method, radius_m=radius_m)
+
+
+@pytest.mark.parametrize("h", H_VALUES)
+@pytest.mark.parametrize("method", METHODS)
+def bench_point_queries(benchmark, dataset, radius_m, tau_n, method, h):
+    """One (method, H) cell of Figure 6(a)."""
+    w, queries = window_and_queries(dataset, h, N_QUERIES)
+    proc = _build(method, w, radius_m, tau_n)
+    benchmark.group = f"fig6a H={h}"
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["h"] = h
+    benchmark.extra_info["n_queries"] = N_QUERIES
+
+    def run():
+        for q in queries:
+            proc.process(q)
+
+    benchmark(run)

@@ -1,0 +1,40 @@
+"""Figure 6(b): accuracy (NRMSE vs ground truth).
+
+The paper compares Ad-KMN against the naive method (R-/VP-tree produce
+identical answers to naive by construction).  NRMSE per method/H is
+attached as ``extra_info`` on each benchmark entry and asserted on: the
+model cover must beat radius-averaging at every H, which is the figure's
+claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import window_and_queries
+from repro.eval.experiments import _processor
+from repro.eval.metrics import evaluate_accuracy
+
+H_VALUES = (40, 80, 120, 160, 200, 240)
+N_QUERIES = 1000
+
+
+@pytest.mark.parametrize("h", H_VALUES)
+def bench_nrmse(benchmark, dataset, radius_m, tau_n, h):
+    """One H column of Figure 6(b): evaluate both methods, record NRMSE."""
+    w, queries = window_and_queries(dataset, h, N_QUERIES)
+    adkmn = _processor("adkmn", w, radius_m, tau_n)
+    naive = _processor("naive", w, radius_m, tau_n)
+
+    def run():
+        nrmse_model, _ = evaluate_accuracy(adkmn, queries, dataset.field)
+        nrmse_naive, _ = evaluate_accuracy(naive, queries, dataset.field)
+        return nrmse_model, nrmse_naive
+
+    nrmse_model, nrmse_naive = benchmark(run)
+    benchmark.group = "fig6b NRMSE"
+    benchmark.extra_info["h"] = h
+    benchmark.extra_info["nrmse_adkmn_pct"] = round(nrmse_model, 2)
+    benchmark.extra_info["nrmse_naive_pct"] = round(nrmse_naive, 2)
+    # The figure's claim: Ad-KMN consistently below naive.
+    assert nrmse_model < nrmse_naive

@@ -1,0 +1,96 @@
+"""Figure 7(a): memory consumption at H = 5000.
+
+Deep-measures (our Pympler substitute) the structure each method must
+hold to answer queries: the stored points (naive), the index (R-tree /
+VP-tree), the fitted models (Ad-KMN).  Memory in KB is attached as
+``extra_info``; the timed quantity is the structure construction, which
+is the companion cost the paper discusses qualitatively.
+
+Paper headline: the model cover needs ~7x / 70x / 407x less memory than
+naive / R-tree / VP-tree.  EXPERIMENTS.md records the measured ratios.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adkmn import AdKMNConfig, fit_adkmn
+from repro.data.windows import window
+from repro.eval.memory import deep_sizeof_kb
+from repro.index.rtree import RTree
+from repro.index.vptree import VPTree
+
+H_MEMORY = 5000
+
+
+def _window(dataset):
+    from repro.eval.experiments import _mid_window
+
+    _, w = _mid_window(dataset, H_MEMORY)
+    return w
+
+
+def bench_memory_naive_points(benchmark, dataset):
+    w = _window(dataset)
+
+    def build():
+        return [
+            (float(w.t[i]), float(w.x[i]), float(w.y[i]), float(w.s[i]))
+            for i in range(len(w))
+        ]
+
+    points = benchmark(build)
+    benchmark.group = "fig7a memory"
+    benchmark.extra_info["kilobytes"] = round(deep_sizeof_kb(points), 1)
+
+
+def bench_memory_rtree(benchmark, dataset):
+    w = _window(dataset)
+    tree = benchmark(lambda: RTree(w.x, w.y))
+    benchmark.group = "fig7a memory"
+    benchmark.extra_info["kilobytes"] = round(deep_sizeof_kb(tree), 1)
+
+
+def bench_memory_vptree(benchmark, dataset):
+    w = _window(dataset)
+    tree = benchmark(lambda: VPTree(w.x, w.y))
+    benchmark.group = "fig7a memory"
+    benchmark.extra_info["kilobytes"] = round(deep_sizeof_kb(tree), 1)
+
+
+def bench_memory_adkmn_models(benchmark, dataset, tau_n):
+    w = _window(dataset)
+    cover = benchmark(lambda: fit_adkmn(w, AdKMNConfig(tau_n_pct=tau_n)).cover)
+    benchmark.group = "fig7a memory"
+    benchmark.extra_info["kilobytes"] = round(deep_sizeof_kb(cover), 1)
+    benchmark.extra_info["n_models"] = cover.size
+
+
+def bench_memory_ratios(benchmark, dataset, tau_n):
+    """The full Figure 7(a) in one entry: all four methods, ratio check."""
+    w = _window(dataset)
+
+    def measure():
+        points = [
+            (float(w.t[i]), float(w.x[i]), float(w.y[i]), float(w.s[i]))
+            for i in range(len(w))
+        ]
+        cover = fit_adkmn(w, AdKMNConfig(tau_n_pct=tau_n)).cover
+        return {
+            "naive": deep_sizeof_kb(points),
+            "rtree": deep_sizeof_kb(RTree(w.x, w.y)),
+            "vptree": deep_sizeof_kb(VPTree(w.x, w.y)),
+            "adkmn": deep_sizeof_kb(cover),
+        }
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.group = "fig7a memory"
+    base = sizes["adkmn"]
+    for method, kb in sizes.items():
+        benchmark.extra_info[f"{method}_kb"] = round(kb, 1)
+        benchmark.extra_info[f"{method}_x"] = round(kb / base, 1)
+    # The figure's claim: the model cover is dramatically smaller, and the
+    # VP-tree is the most expensive structure.
+    assert base * 5 < sizes["naive"]
+    assert base * 5 < sizes["rtree"]
+    assert sizes["vptree"] > sizes["rtree"]

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+The full-scale 176 K-tuple *lausanne-data* is generated once per session;
+every figure benchmark evaluates against it, exactly as the paper's
+evaluation uses one dataset for all experiments.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.lausanne import LausanneDataset
+from repro.eval.experiments import (
+    PAPER_RADIUS_M,
+    PAPER_TAU_N,
+    _mid_window,
+    _query_workload,
+    experiment_dataset,
+)
+
+
+@pytest.fixture(scope="session")
+def dataset() -> LausanneDataset:
+    """The full 176 K-tuple synthetic lausanne-data (seeded)."""
+    return experiment_dataset()
+
+
+@pytest.fixture(scope="session")
+def radius_m() -> float:
+    return PAPER_RADIUS_M
+
+
+@pytest.fixture(scope="session")
+def tau_n() -> float:
+    return PAPER_TAU_N
+
+
+def window_and_queries(dataset, h, n_queries, seed=11):
+    """A mid-deployment window of size ``h`` plus its query workload."""
+    _, w = _mid_window(dataset, h)
+    return w, _query_workload(dataset, w, n_queries, seed=seed)

@@ -1,0 +1,25 @@
+"""Demo application layer (Section 3).
+
+Simulated equivalents of the two demo artefacts:
+
+* :mod:`repro.app.android` — the Android app session: current-position
+  CO2 readout, route recording with OSHA verdicts, user settings;
+* :mod:`repro.app.webapp`  — the web interface's three modes: point
+  query, continuous query over a clicked route, heatmap visualisation;
+* :mod:`repro.app.heatmap` — heatmap rendering (value grid → colour
+  matrix / ASCII / PPM image).
+"""
+
+from repro.app.android import AndroidSession
+from repro.app.heatmap import Heatmap, render_ascii, render_ppm
+from repro.app.settings import AppSettings
+from repro.app.webapp import WebInterface
+
+__all__ = [
+    "AndroidSession",
+    "Heatmap",
+    "render_ascii",
+    "render_ppm",
+    "AppSettings",
+    "WebInterface",
+]

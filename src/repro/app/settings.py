@@ -1,0 +1,38 @@
+"""User-configurable settings (Section 3, Figure 4(b)).
+
+"Users can set up configuration parameters, like the server address and
+the interval for the position updates using the settings menu."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class AppSettings:
+    """The EnviroMeter app's settings menu."""
+
+    server_address: str = "enviro.example.org:8080"
+    position_update_interval_s: float = 60.0
+    pollutant: str = "co2"
+    use_model_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.server_address:
+            raise ValueError("server address cannot be empty")
+        if self.position_update_interval_s <= 0:
+            raise ValueError("position update interval must be positive")
+        if self.pollutant not in ("co2", "co", "pm"):
+            raise ValueError(f"unsupported pollutant {self.pollutant!r}")
+
+    def with_interval(self, interval_s: float) -> "AppSettings":
+        """Settings with a changed update interval (settings are immutable
+        snapshots, as on the phone where changes re-create the session)."""
+        return replace(self, position_update_interval_s=interval_s)
+
+    def with_server(self, address: str) -> "AppSettings":
+        return replace(self, server_address=address)
+
+    def with_model_cache(self, enabled: bool) -> "AppSettings":
+        return replace(self, use_model_cache=enabled)

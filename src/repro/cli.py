@@ -1,0 +1,165 @@
+"""Command-line interface for the EnviroMeter reproduction.
+
+Subcommands:
+
+* ``figures``  — regenerate the paper's evaluation tables (E1–E4);
+* ``dataset``  — generate the synthetic lausanne-data and write it to CSV;
+* ``heatmap``  — render the web UI's heatmap for a given hour to a PPM file;
+* ``serve``    — replay a stream into a server and report cover builds.
+
+Examples::
+
+    python -m repro.cli figures --quick
+    python -m repro.cli dataset --days 2 --out lausanne.csv
+    python -m repro.cli heatmap --hour 8.5 --out city.ppm
+    python -m repro.cli serve --days 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import (
+        experiment_dataset,
+        run_fig6a,
+        run_fig6b,
+        run_fig7a,
+        run_fig7b,
+    )
+    from repro.eval.report import (
+        format_fig6a,
+        format_fig6b,
+        format_fig7a,
+        format_fig7b,
+    )
+
+    if args.quick:
+        from repro.data.lausanne import LausanneConfig, generate_lausanne_dataset
+
+        ds = generate_lausanne_dataset(LausanneConfig(days=2))
+        n_queries, mem_h, mem_runs = 500, 2000, 3
+    else:
+        ds = experiment_dataset()
+        n_queries, mem_h, mem_runs = 5000, 5000, 10
+
+    rows6a = run_fig6a(ds, n_queries=n_queries)
+    print(format_fig6a(rows6a), end="\n\n")
+    print(format_fig6b(run_fig6b(ds, n_queries=n_queries)), end="\n\n")
+    print(format_fig7a(run_fig7a(ds, h=mem_h, runs=mem_runs)), end="\n\n")
+    rows7b = run_fig7b(ds)
+    print(format_fig7b(rows7b))
+    if args.charts:
+        from repro.eval.plots import fig6a_chart, fig7b_chart
+
+        print("\nFigure 6(a) as a chart:\n" + fig6a_chart(rows6a))
+        print("\nFigure 7(b) as charts:\n" + fig7b_chart(rows7b))
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.data.io import write_tuples_csv
+    from repro.data.lausanne import LausanneConfig, generate_lausanne_dataset
+
+    cfg = LausanneConfig(days=args.days, seed=args.seed, target_tuples=args.target)
+    ds = generate_lausanne_dataset(cfg)
+    write_tuples_csv(ds.tuples, args.out)
+    print(f"wrote {len(ds)} tuples to {args.out}")
+    return 0
+
+
+def _cmd_heatmap(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.app.heatmap import render_ascii, render_ppm
+    from repro.app.webapp import WebInterface
+    from repro.data.lausanne import LausanneConfig, generate_lausanne_dataset
+    from repro.geo.coords import BoundingBox
+    from repro.query.engine import QueryEngine
+
+    ds = generate_lausanne_dataset(
+        LausanneConfig(days=args.days, seed=args.seed, target_tuples=0)
+    )
+    web = WebInterface(QueryEngine(ds.tuples, h=500))
+    anchor = args.hour * 3600.0
+    pos = min(int(np.searchsorted(ds.tuples.t, anchor)), len(ds.tuples) - 1)
+    t = float(ds.tuples.t[pos])
+    bounds = BoundingBox(0.0, 0.0, 6000.0, 4000.0)
+    heatmap = web.heatmap(t, bounds, nx=args.width, ny=args.height)
+    if args.out:
+        render_ppm(heatmap, args.out)
+        print(f"wrote {args.out}")
+    else:
+        print(render_ascii(heatmap))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.data.lausanne import LausanneConfig, generate_lausanne_dataset
+    from repro.server.server import EnviroMeterServer
+    from repro.server.stream import StreamReplayer
+
+    ds = generate_lausanne_dataset(
+        LausanneConfig(days=args.days, seed=args.seed, target_tuples=0)
+    )
+    server = EnviroMeterServer(h=args.h)
+    replayer = StreamReplayer(server, batch_interval_s=args.batch_interval)
+    stats = replayer.run(ds.tuples, query_every_s=args.query_every)
+    print(
+        f"replayed {stats.tuples} tuples in {stats.batches} batches; "
+        f"server built {stats.covers_built} cover(s), "
+        f"served {server.served_values} value(s)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="EnviroMeter reproduction tooling"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="regenerate the evaluation tables")
+    p.add_argument("--quick", action="store_true", help="scaled-down run (~30 s)")
+    p.add_argument(
+        "--charts", action="store_true", help="also render ASCII charts (paper style)"
+    )
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("dataset", help="generate lausanne-data as CSV")
+    p.add_argument("--days", type=int, default=30)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--target", type=int, default=176_000, help="0 = no subsampling")
+    p.add_argument("--out", default="lausanne.csv")
+    p.set_defaults(func=_cmd_dataset)
+
+    p = sub.add_parser("heatmap", help="render the web UI heatmap")
+    p.add_argument("--hour", type=float, default=8.5, help="hour of day 0-24")
+    p.add_argument("--days", type=int, default=1)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--width", type=int, default=72)
+    p.add_argument("--height", type=int, default=24)
+    p.add_argument("--out", default=None, help="PPM output path (default: ASCII to stdout)")
+    p.set_defaults(func=_cmd_heatmap)
+
+    p = sub.add_parser("serve", help="replay a stream into a server")
+    p.add_argument("--days", type=int, default=1)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--h", type=int, default=240, help="window size in tuples")
+    p.add_argument("--batch-interval", type=float, default=600.0)
+    p.add_argument("--query-every", type=float, default=3600.0)
+    p.set_defaults(func=_cmd_serve)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Client side: the smartphone app's query strategies and app features.
+
+* :class:`BaselineClient` — one request/response round trip per query
+  tuple (Section 2.3's baseline);
+* :class:`ModelCacheClient` — caches ``(t_n, µ, M)`` and answers locally
+  while the cover is valid (the paper's model-cache technique);
+* :mod:`repro.client.routes` — route recording with per-route pollution
+  summary (the Android app feature of Section 3);
+* :mod:`repro.client.osha` — OSHA-based health classification and the
+  green→red colour scale.
+"""
+
+from repro.client.baseline import BaselineClient
+from repro.client.modelcache import ModelCacheClient
+from repro.client.osha import HealthLevel, classify_co2, color_for_level
+from repro.client.routes import RecordedRoute, RouteRecorder
+
+__all__ = [
+    "BaselineClient",
+    "ModelCacheClient",
+    "HealthLevel",
+    "classify_co2",
+    "color_for_level",
+    "RecordedRoute",
+    "RouteRecorder",
+]

@@ -1,0 +1,90 @@
+"""OSHA-based CO2 health classification (Section 3).
+
+The Android app displays "an informative text indicating whether this
+value is acceptable according to the OSHA guidelines" and colours route
+markers "from green (safe) to red (hazardous CO2 levels)".  The OSHA
+chemical-sampling datasheet for carbon dioxide [1] gives:
+
+* PEL / 8-hour TWA: 5 000 ppm
+* ACGIH STEL (15 min): 30 000 ppm
+
+Outdoor community sensing operates far below these workplace limits, so
+the scale below adds the conventional ambient bands used by indoor/urban
+air-quality guidance between "fresh air" and the OSHA limits.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+OSHA_TWA_PPM = 5_000.0
+"""OSHA permissible exposure limit, 8-hour time-weighted average."""
+
+OSHA_STEL_PPM = 30_000.0
+"""Short-term (15-minute) exposure limit."""
+
+
+class HealthLevel(enum.IntEnum):
+    """Ordered severity bands for CO2 concentration."""
+
+    FRESH = 0          # ambient outdoor air
+    ACCEPTABLE = 1     # typical urban levels
+    ELEVATED = 2       # busy traffic, poorly ventilated
+    POOR = 3           # drowsiness threshold guidance
+    UNSAFE = 4         # above the OSHA 8-hour TWA
+    HAZARDOUS = 5      # approaching/above the short-term limit
+
+
+_BANDS: Tuple[Tuple[float, HealthLevel], ...] = (
+    (450.0, HealthLevel.FRESH),
+    (800.0, HealthLevel.ACCEPTABLE),
+    (1_500.0, HealthLevel.ELEVATED),
+    (OSHA_TWA_PPM, HealthLevel.POOR),
+    (OSHA_STEL_PPM, HealthLevel.UNSAFE),
+)
+
+_DESCRIPTIONS = {
+    HealthLevel.FRESH: "Fresh air — typical outdoor background.",
+    HealthLevel.ACCEPTABLE: "Acceptable — normal urban levels.",
+    HealthLevel.ELEVATED: "Elevated — heavy traffic or poor ventilation nearby.",
+    HealthLevel.POOR: "Poor — prolonged exposure may cause drowsiness.",
+    HealthLevel.UNSAFE: "Unsafe — exceeds the OSHA 8-hour workplace limit.",
+    HealthLevel.HAZARDOUS: "Hazardous — exceeds short-term exposure limits.",
+}
+
+# Green -> red scale, as on the app's route markers.
+_COLORS = {
+    HealthLevel.FRESH: "#2ecc40",
+    HealthLevel.ACCEPTABLE: "#a3d977",
+    HealthLevel.ELEVATED: "#ffdc00",
+    HealthLevel.POOR: "#ff851b",
+    HealthLevel.UNSAFE: "#ff4136",
+    HealthLevel.HAZARDOUS: "#85144b",
+}
+
+
+def classify_co2(ppm: float) -> HealthLevel:
+    """Severity band for a CO2 concentration in ppm."""
+    if ppm < 0:
+        raise ValueError("concentration cannot be negative")
+    for threshold, level in _BANDS:
+        if ppm < threshold:
+            return level
+    return HealthLevel.HAZARDOUS
+
+
+def describe_co2(ppm: float) -> str:
+    """The app's informative text for a concentration."""
+    level = classify_co2(ppm)
+    return f"{ppm:.0f} ppm CO2 — {_DESCRIPTIONS[level]}"
+
+
+def color_for_level(level: HealthLevel) -> str:
+    """Marker colour (hex) for a severity band."""
+    return _COLORS[level]
+
+
+def is_acceptable(ppm: float) -> bool:
+    """The app's headline yes/no: acceptable according to OSHA."""
+    return classify_co2(ppm) < HealthLevel.UNSAFE

@@ -1,0 +1,195 @@
+"""Ad-KMN: adaptive k-means with model-error-driven splits (Section 2.1).
+
+The algorithm, following the paper's description and Figure 2:
+
+1. Compute two centroids ``µ1, µ2`` by standard k-means on the positions
+   in the window ``W_c``.
+2. Partition the window's tuples by nearest centroid into regions
+   ``R_1 .. R_k``; fit one model per region; compute each region's
+   *approximation error* (average percentage error relative to the
+   pollutant's normal range — footnote 1).
+3. For every region whose error exceeds the user threshold ``τn``, add a
+   new centroid **at the position with the worst error** in that region
+   (Figure 2 marks these as "positions with worst error"), then
+   *re-estimate all centroids* with Lloyd iterations.
+4. Repeat until every region meets ``τn`` or a safety bound is reached.
+
+The result carries the fitted :class:`~repro.core.cover.ModelCover` plus
+diagnostics (per-region errors, iteration count) used by tests and the
+τn ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cover import ModelCover
+from repro.core.kmeans import kmeans, lloyd
+from repro.data.tuples import TupleBatch
+from repro.models.base import Model, model_factory
+from repro.models.errors import CO2_NORMAL_RANGE_PPM, approximation_error_pct
+
+
+@dataclass(frozen=True)
+class AdKMNConfig:
+    """Tuning knobs of the adaptive loop.
+
+    Defaults mirror the paper's evaluation: τn = 2 %, linear models,
+    starting from k = 2 centroids.
+    """
+
+    tau_n_pct: float = 2.0
+    family: str = "linear"
+    initial_k: int = 2
+    max_models: int = 64
+    max_rounds: int = 32
+    min_split_size: int = 16
+    seed: int = 0
+    normal_range: Tuple[float, float] = CO2_NORMAL_RANGE_PPM
+
+    def __post_init__(self) -> None:
+        if self.tau_n_pct <= 0:
+            raise ValueError("tau_n must be positive")
+        if self.initial_k < 1:
+            raise ValueError("initial_k must be at least 1")
+        if self.max_models < self.initial_k:
+            raise ValueError("max_models must be >= initial_k")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+        if self.min_split_size < 2:
+            raise ValueError("min_split_size must be at least 2")
+
+
+@dataclass
+class AdKMNResult:
+    """A fitted cover plus adaptivity diagnostics."""
+
+    cover: ModelCover
+    region_errors_pct: List[float]
+    labels: np.ndarray
+    rounds: int
+    converged: bool
+
+    @property
+    def worst_error_pct(self) -> float:
+        return max(self.region_errors_pct)
+
+
+def _fit_regions(
+    batch: TupleBatch,
+    centroids: np.ndarray,
+    labels: np.ndarray,
+    config: AdKMNConfig,
+) -> Tuple[List[Model], List[float], List[int]]:
+    """Fit one model per region and compute its approximation error.
+
+    Returns (models, errors, worst_tuple_index_per_region); regions are
+    ordered by centroid index.  Empty regions get the globally fitted
+    model and zero error (they have no tuples to approximate).
+    """
+    fit = model_factory(config.family)
+    models: List[Model] = []
+    errors: List[float] = []
+    worst_idx: List[int] = []
+    global_model: Optional[Model] = None
+    for k in range(len(centroids)):
+        member_idx = np.flatnonzero(labels == k)
+        if not len(member_idx):
+            if global_model is None:
+                global_model = fit(batch)
+            models.append(global_model)
+            errors.append(0.0)
+            worst_idx.append(-1)
+            continue
+        members = batch.take(member_idx)
+        model = fit(members)
+        predicted = model.predict_batch(members.t, members.x, members.y)
+        err = approximation_error_pct(
+            predicted, members.s, normal_range=config.normal_range
+        )
+        abs_err = np.abs(predicted - members.s)
+        models.append(model)
+        errors.append(err)
+        worst_idx.append(int(member_idx[int(np.argmax(abs_err))]))
+    return models, errors, worst_idx
+
+
+def fit_adkmn(
+    batch: TupleBatch,
+    config: Optional[AdKMNConfig] = None,
+    valid_until: Optional[float] = None,
+    window_c: int = 0,
+) -> AdKMNResult:
+    """Run Ad-KMN on one window of raw tuples and return the model cover.
+
+    ``valid_until`` defaults to the window's last timestamp — the cover is
+    valid for the window it models; the server overrides this with the
+    window deadline ``(c+1)H`` when building covers on a live stream.
+    """
+    cfg = config or AdKMNConfig()
+    if not len(batch):
+        raise ValueError("cannot fit Ad-KMN on an empty window")
+    points = batch.positions()
+    n = len(batch)
+    k0 = min(cfg.initial_k, n)
+    km = kmeans(points, k0, seed=cfg.seed)
+    centroids = km.centroids
+    labels = km.labels
+
+    rounds = 0
+    converged = False
+    models, errors, worst_idx = _fit_regions(batch, centroids, labels, cfg)
+    max_models = min(cfg.max_models, n)
+    for rounds in range(1, cfg.max_rounds + 1):
+        sizes = np.bincount(labels, minlength=len(centroids))
+        # A region too small to yield two trainable children is final even
+        # if over threshold: splitting it would produce regions whose
+        # models are pinned down by sensor noise alone.
+        over = [
+            k
+            for k, e in enumerate(errors)
+            if e > cfg.tau_n_pct and sizes[k] >= cfg.min_split_size
+        ]
+        if not over:
+            converged = all(e <= cfg.tau_n_pct for e in errors)
+            break
+        if len(centroids) >= max_models:
+            break
+        # Introduce one new centroid per over-threshold region, at that
+        # region's worst-error position (Figure 2), respecting the cap.
+        new_seeds = []
+        for k in over:
+            if len(centroids) + len(new_seeds) >= max_models:
+                break
+            idx = worst_idx[k]
+            if idx < 0:
+                continue
+            new_seeds.append(points[idx])
+        if not new_seeds:
+            break
+        centroids = np.vstack([centroids, np.asarray(new_seeds)])
+        # Re-estimate all centroids (the paper: "re-estimate all the
+        # centroids"), then refit the per-region models.
+        km = lloyd(points, centroids)
+        centroids = km.centroids
+        labels = km.labels
+        models, errors, worst_idx = _fit_regions(batch, centroids, labels, cfg)
+
+    t_n = valid_until if valid_until is not None else float(np.max(batch.t))
+    cover = ModelCover(
+        centroids=centroids,
+        models=models,
+        valid_until=t_n,
+        family=cfg.family,
+        window_c=window_c,
+    )
+    return AdKMNResult(
+        cover=cover,
+        region_errors_pct=errors,
+        labels=labels,
+        rounds=rounds,
+        converged=converged,
+    )

@@ -1,0 +1,103 @@
+"""Window-by-window cover construction over a tuple stream.
+
+The server maintains one cover per window ``W_c`` (Figure 1: the
+``model_cover`` table).  :class:`CoverBuilder` wraps the adaptive fitting
+method, stamps each cover with its window's validity deadline ``t_n``,
+and (optionally) persists the serialized blob into a database.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.core.adkmn import AdKMNConfig, AdKMNResult, fit_adkmn
+from repro.core.cover import ModelCover
+from repro.data.tuples import TupleBatch
+from repro.data.windows import WindowSpec, iter_windows, window
+from repro.storage.engine import Database
+
+FitFunction = Callable[..., AdKMNResult]
+
+
+class CoverBuilder:
+    """Builds and caches model covers for windows of a tuple stream.
+
+    ``mode`` selects the windowing convention:
+
+    * ``"count"`` — H counted in raw tuples, as in the paper's evaluation
+      ("window size H from 40 to 240 raw tuples");
+    * ``"time"``  — H in seconds, as in the formal definition of W_c.
+
+    ``validity_margin_s`` extends each cover's deadline ``t_n`` past the
+    window's data: the server declares a cover valid until it expects the
+    next one to be ready, which is what lets model-cache clients answer
+    future queries locally (Section 2.3).  With the default margin of 0 a
+    count-mode cover is valid exactly through its own window.
+    """
+
+    def __init__(
+        self,
+        h: float,
+        config: Optional[AdKMNConfig] = None,
+        mode: str = "count",
+        fit: FitFunction = fit_adkmn,
+        validity_margin_s: float = 0.0,
+    ) -> None:
+        if mode not in ("count", "time"):
+            raise ValueError(f"mode must be 'count' or 'time', got {mode!r}")
+        if h <= 0:
+            raise ValueError("window length H must be positive")
+        if validity_margin_s < 0:
+            raise ValueError("validity margin must be non-negative")
+        self.h = h
+        self.mode = mode
+        self.config = config or AdKMNConfig()
+        self._fit = fit
+        self.validity_margin_s = validity_margin_s
+        self._cache: Dict[int, AdKMNResult] = {}
+
+    def _window(self, batch: TupleBatch, c: int) -> Tuple[TupleBatch, float]:
+        """The window's tuples and its validity deadline t_n."""
+        if self.mode == "count":
+            w = window(batch, c, int(self.h))
+            # For count windows the natural deadline is the last timestamp
+            # in the window, pushed out by the validity margin.
+            t_n = (float(w.t[-1]) if len(w) else 0.0) + self.validity_margin_s
+            return w, t_n
+        spec = WindowSpec(self.h)
+        return spec.select(batch, c), spec.valid_until(c) + self.validity_margin_s
+
+    def build(self, batch: TupleBatch, c: int) -> AdKMNResult:
+        """Fit (or return the cached) cover for window ``c``."""
+        if c in self._cache:
+            return self._cache[c]
+        w, t_n = self._window(batch, c)
+        if not len(w):
+            raise ValueError(f"window {c} is empty")
+        result = self._fit(w, config=self.config, valid_until=t_n, window_c=c)
+        self._cache[c] = result
+        return result
+
+    def cover(self, batch: TupleBatch, c: int) -> ModelCover:
+        return self.build(batch, c).cover
+
+    def build_all(self, batch: TupleBatch) -> Iterator[AdKMNResult]:
+        """Fit covers for every (count-mode) window of the batch."""
+        if self.mode != "count":
+            raise ValueError("build_all is defined for count-mode windows")
+        for c, _ in iter_windows(batch, int(self.h)):
+            yield self.build(batch, c)
+
+    def persist(self, db: Database, batch: TupleBatch, c: int) -> int:
+        """Build window ``c``'s cover and store its blob in ``db``."""
+        result = self.build(batch, c)
+        return db.store_cover_blob(
+            c, result.cover.valid_until, result.cover.to_blob()
+        )
+
+    def invalidate(self, c: Optional[int] = None) -> None:
+        """Drop cached covers (all of them, or one window's)."""
+        if c is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(c, None)

@@ -1,0 +1,67 @@
+"""CSV import/export of raw tuple batches.
+
+The OpenSense pipeline dumped raw tuples into a database; this module is
+the file-level equivalent so that generated datasets can be persisted and
+re-loaded without re-running the simulator (the benchmark harness caches
+the 176 K-tuple dataset this way).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.data.tuples import TupleBatch
+
+_HEADER = ("t", "x", "y", "s")
+
+
+def write_tuples_csv(batch: TupleBatch, path: Union[str, Path]) -> None:
+    """Write a tuple batch as CSV with a ``t,x,y,s`` header."""
+    path = Path(path)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(_HEADER)
+        for i in range(len(batch)):
+            writer.writerow(
+                (
+                    repr(float(batch.t[i])),
+                    repr(float(batch.x[i])),
+                    repr(float(batch.y[i])),
+                    repr(float(batch.s[i])),
+                )
+            )
+
+
+def read_tuples_csv(path: Union[str, Path]) -> TupleBatch:
+    """Read a tuple batch written by :func:`write_tuples_csv`.
+
+    Raises ``ValueError`` on a malformed header or row, rather than
+    silently mis-parsing sensor data.
+    """
+    path = Path(path)
+    ts, xs, ys, ss = [], [], [], []
+    with path.open(newline="") as f:
+        reader = csv.reader(f)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV file") from None
+        if tuple(header) != _HEADER:
+            raise ValueError(f"{path}: expected header {_HEADER}, got {tuple(header)}")
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != 4:
+                raise ValueError(f"{path}:{lineno}: expected 4 columns, got {len(row)}")
+            try:
+                ts.append(float(row[0]))
+                xs.append(float(row[1]))
+                ys.append(float(row[2]))
+                ss.append(float(row[3]))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: non-numeric value: {exc}") from None
+    return TupleBatch(
+        np.asarray(ts), np.asarray(xs), np.asarray(ys), np.asarray(ss)
+    )

@@ -1,0 +1,201 @@
+"""The synthetic *lausanne-data* generator.
+
+Substitutes the proprietary OpenSense trace used in Section 4 of the
+paper: two public-transport buses carrying CO2 sensors around Lausanne for
+one month at a 60-second sampling interval, yielding ~176 K raw tuples.
+
+The generator is fully deterministic given the seed.  It reproduces the
+properties the paper's techniques are designed around:
+
+* **geographic skew** — tuples exist only along the two bus routes;
+* **temporal skew** — no tuples while buses are out of service (nights);
+* **sensor noise & dropout** — Gaussian noise plus occasional dropped
+  samples, modelling the error-prone autonomous sensors of [7, 8];
+* **ground truth** — every tuple also records the true field value, and
+  the returned dataset keeps a handle to the :class:`PollutionField` so
+  accuracy experiments can evaluate NRMSE at arbitrary points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.field import SECONDS_PER_DAY, PollutionField, default_lausanne_field
+from repro.data.routes import BusRoute, lausanne_routes
+from repro.data.tuples import TupleBatch
+from repro.geo.coords import BoundingBox
+from repro.geo.region import Region
+
+
+@dataclass(frozen=True)
+class LausanneConfig:
+    """Parameters of the synthetic deployment.
+
+    Defaults reproduce the paper's dataset scale of 176 K raw tuples over
+    30 days from two buses.  Note: 176 K tuples / 30 days / 2 buses exceeds
+    what a single 60 s-interval stream can produce in a ~17 h service day,
+    so the real OpenSense boxes must have reported more than one sample per
+    minute per bus; we model that with a 20 s on-board sampling interval
+    and then deterministically subsample down to ``target_tuples``, which
+    plays the role of the paper's "sampling interval of 60 seconds" at the
+    aggregate rate.
+    """
+
+    days: int = 30
+    sampling_interval_s: float = 20.0
+    seed: int = 7
+    noise_ppm: float = 12.0
+    dropout_rate: float = 0.015
+    gps_jitter_m: float = 8.0
+    target_tuples: int = 176_000
+
+    def __post_init__(self) -> None:
+        if self.days <= 0:
+            raise ValueError("days must be positive")
+        if self.sampling_interval_s <= 0:
+            raise ValueError("sampling interval must be positive")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        if self.noise_ppm < 0 or self.gps_jitter_m < 0:
+            raise ValueError("noise parameters must be non-negative")
+
+
+@dataclass
+class LausanneDataset:
+    """The generated dataset plus everything experiments need around it."""
+
+    tuples: TupleBatch
+    truth: np.ndarray                 # noise-free field value per tuple
+    field: PollutionField
+    routes: Tuple[BusRoute, ...]
+    region: Region
+    config: LausanneConfig
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def covered_bbox(self) -> BoundingBox:
+        """Bounding box of the positions that actually carry data.
+
+        Queries in the experiments are drawn from this box (the paper's
+        queries come from the app's map of Lausanne, i.e. the sensed area).
+        """
+        return BoundingBox.from_points(zip(self.tuples.x, self.tuples.y))
+
+
+def _bus_samples(
+    route: BusRoute,
+    days: int,
+    interval_s: float,
+    rng: np.random.Generator,
+    dropout_rate: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample times/positions for one bus over the deployment.
+
+    Returns time-sorted arrays ``(t, x, y)``; samples outside the service
+    window and dropped samples are omitted.
+    """
+    total_s = days * SECONDS_PER_DAY
+    times = np.arange(0.0, total_s, interval_s)
+    # Per-day phase offset so the two buses don't stay phase-locked.
+    keep: List[int] = []
+    xs: List[float] = []
+    ys: List[float] = []
+    service_start_s = route.service_start_h * 3600.0
+    for i, t in enumerate(times):
+        t_of_day = t % SECONDS_PER_DAY
+        if not route.in_service(t_of_day):
+            continue
+        if rng.random() < dropout_rate:
+            continue
+        elapsed = t_of_day - service_start_s
+        x, y = route.position_at_service_time(elapsed)
+        keep.append(i)
+        xs.append(x)
+        ys.append(y)
+    t_arr = times[np.asarray(keep, dtype=np.intp)] if keep else np.empty(0)
+    return t_arr, np.asarray(xs), np.asarray(ys)
+
+
+def generate_lausanne_dataset(
+    config: Optional[LausanneConfig] = None,
+    pollution_field: Optional[PollutionField] = None,
+    routes: Optional[Sequence[BusRoute]] = None,
+) -> LausanneDataset:
+    """Generate the synthetic *lausanne-data*.
+
+    Deterministic for a given :class:`LausanneConfig`.  The returned
+    dataset's tuples are globally time-sorted (the two bus streams are
+    merged), matching an append-only ingest at the server.
+    """
+    cfg = config or LausanneConfig()
+    fld = pollution_field or default_lausanne_field(seed=cfg.seed)
+    route_list: Tuple[BusRoute, ...] = tuple(routes) if routes else lausanne_routes()
+    rng = np.random.default_rng(cfg.seed)
+
+    parts_t: List[np.ndarray] = []
+    parts_x: List[np.ndarray] = []
+    parts_y: List[np.ndarray] = []
+    for k, route in enumerate(route_list):
+        # Independent child generator per bus keeps the trace of one bus
+        # stable when the other bus's parameters change.
+        bus_rng = np.random.default_rng(cfg.seed * 1_000_003 + k)
+        t, x, y = _bus_samples(route, cfg.days, cfg.sampling_interval_s, bus_rng, cfg.dropout_rate)
+        if len(t):
+            jitter = bus_rng.normal(0.0, cfg.gps_jitter_m, size=(len(t), 2))
+            x = x + jitter[:, 0]
+            y = y + jitter[:, 1]
+        parts_t.append(t)
+        parts_x.append(x)
+        parts_y.append(y)
+
+    t_all = np.concatenate(parts_t) if parts_t else np.empty(0)
+    x_all = np.concatenate(parts_x) if parts_x else np.empty(0)
+    y_all = np.concatenate(parts_y) if parts_y else np.empty(0)
+    order = np.argsort(t_all, kind="stable")
+    t_all, x_all, y_all = t_all[order], x_all[order], y_all[order]
+
+    if cfg.target_tuples and len(t_all) > cfg.target_tuples:
+        # Deterministic uniform subsample down to the paper's tuple count;
+        # equivalent to a higher sensor dropout rate.
+        pick = np.sort(
+            rng.choice(len(t_all), size=cfg.target_tuples, replace=False)
+        )
+        t_all, x_all, y_all = t_all[pick], x_all[pick], y_all[pick]
+
+    truth = fld.values(t_all, x_all, y_all)
+    noise = rng.normal(0.0, cfg.noise_ppm, size=len(t_all))
+    s_all = np.maximum(truth + noise, 0.0)
+
+    batch = TupleBatch(t_all, x_all, y_all, s_all)
+    region = Region(
+        name="lausanne",
+        bounds=BoundingBox(0.0, 0.0, 6000.0, 4000.0),
+    )
+    return LausanneDataset(
+        tuples=batch,
+        truth=truth,
+        field=fld,
+        routes=route_list,
+        region=region,
+        config=cfg,
+    )
+
+
+def generate_small_dataset(n_hours: int = 12, seed: int = 7) -> LausanneDataset:
+    """A small (< 2 K tuples) dataset for unit tests and examples."""
+    cfg = LausanneConfig(days=1, sampling_interval_s=60.0, seed=seed)
+    ds = generate_lausanne_dataset(cfg)
+    cutoff = n_hours * 3600.0
+    n = int(np.searchsorted(ds.tuples.t, cutoff))
+    return LausanneDataset(
+        tuples=ds.tuples.slice(0, n),
+        truth=ds.truth[:n],
+        field=ds.field,
+        routes=ds.routes,
+        region=ds.region,
+        config=cfg,
+    )

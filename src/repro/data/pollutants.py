@@ -1,0 +1,124 @@
+"""Pollutant registry.
+
+Section 2.2: "the sensor value could be any of the pollutants that are
+typically monitored: carbon dioxide (CO2), carbon monoxide (CO),
+suspended particulate matter, etc."  The evaluation focuses on CO2, but
+the platform itself is pollutant-generic: the approximation-error metric
+(footnote 1) is explicitly "pollutant specific" via the normal range.
+
+Each :class:`Pollutant` carries the environmental normal range used by
+Ad-KMN's τn criterion and the health bands used by the app's colour
+scale, so the whole pipeline can run on another pollutant by passing a
+different registry entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Pollutant:
+    """One monitored pollutant.
+
+    ``normal_range`` is the span the pollutant takes *in the environment*
+    (the denominator of the footnote-1 approximation error);
+    ``health_bands`` are ascending ``(threshold, label)`` pairs for the
+    app's green→red scale, with concentrations below the first threshold
+    in the first band.
+    """
+
+    key: str
+    name: str
+    unit: str
+    normal_range: Tuple[float, float]
+    health_bands: Tuple[Tuple[float, str], ...]
+    ambient: float
+
+    def __post_init__(self) -> None:
+        lo, hi = self.normal_range
+        if hi <= lo:
+            raise ValueError(f"{self.key}: invalid normal range {self.normal_range}")
+        thresholds = [t for t, _ in self.health_bands]
+        if thresholds != sorted(thresholds):
+            raise ValueError(f"{self.key}: health bands must be ascending")
+        if not self.health_bands:
+            raise ValueError(f"{self.key}: needs at least one health band")
+
+    @property
+    def range_width(self) -> float:
+        lo, hi = self.normal_range
+        return hi - lo
+
+    def band(self, value: float) -> str:
+        """Label of the health band containing ``value``."""
+        if value < 0:
+            raise ValueError("concentration cannot be negative")
+        label = self.health_bands[-1][1]
+        for threshold, band_label in self.health_bands:
+            if value < threshold:
+                return band_label
+        return label
+
+
+CO2 = Pollutant(
+    key="co2",
+    name="carbon dioxide",
+    unit="ppm",
+    normal_range=(350.0, 1000.0),
+    health_bands=(
+        (450.0, "fresh"),
+        (800.0, "acceptable"),
+        (1500.0, "elevated"),
+        (5000.0, "poor"),        # OSHA 8 h TWA
+        (30000.0, "unsafe"),     # short-term limit
+    ),
+    ambient=400.0,
+)
+
+CO = Pollutant(
+    key="co",
+    name="carbon monoxide",
+    unit="ppm",
+    normal_range=(0.0, 30.0),
+    health_bands=(
+        (4.5, "fresh"),
+        (9.0, "acceptable"),     # EPA 8 h standard
+        (25.0, "elevated"),
+        (50.0, "poor"),          # OSHA PEL
+        (200.0, "unsafe"),
+    ),
+    ambient=0.4,
+)
+
+PM10 = Pollutant(
+    key="pm",
+    name="suspended particulate matter (PM10)",
+    unit="ug/m3",
+    normal_range=(0.0, 150.0),
+    health_bands=(
+        (20.0, "fresh"),
+        (50.0, "acceptable"),    # EU daily limit
+        (100.0, "elevated"),
+        (150.0, "poor"),         # US daily standard
+        (400.0, "unsafe"),
+    ),
+    ambient=12.0,
+)
+
+_REGISTRY: Dict[str, Pollutant] = {p.key: p for p in (CO2, CO, PM10)}
+
+
+def get_pollutant(key: str) -> Pollutant:
+    """Look up a registered pollutant by key ('co2', 'co', 'pm')."""
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown pollutant {key!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_pollutants() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

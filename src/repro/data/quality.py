@@ -1,0 +1,163 @@
+"""Sensor data quality screening.
+
+The paper's related work motivates this directly: community sensors
+"become error-prone or run out of battery" ([7, 8], Section 1), yet the
+modeling pipeline assumes tuples are roughly trustworthy.  This module
+is the screen between ingestion and modeling:
+
+* **range check** — values outside the pollutant's physical range
+  (stuck-at-zero sensors, saturated ADCs);
+* **region check** — positions outside the monitored region R
+  (GPS glitches);
+* **spike check** — robust outlier detection per window via the median
+  absolute deviation (MAD), which tolerates the heavy tails a plume
+  passage produces better than a mean/std screen;
+* **duplicate check** — repeated (t, x, y) tuples from uplink retries.
+
+``screen_window`` composes them and returns both the clean batch and a
+per-check rejection tally, so deployments can monitor sensor health.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.data.tuples import TupleBatch
+from repro.geo.region import Region
+
+_MAD_TO_STD = 1.4826
+"""MAD of a normal distribution is sigma / 1.4826."""
+
+
+@dataclass(frozen=True)
+class QualityConfig:
+    """Screening thresholds.
+
+    ``physical_range`` is the sensor's representable range (wider than
+    the environmental normal range: a 2000 ppm street-canyon reading is
+    rare but real; a negative one is not).  ``mad_threshold`` is the
+    robust z-score beyond which a value is a spike.
+    """
+
+    physical_range: Tuple[float, float] = (0.0, 10_000.0)
+    mad_threshold: float = 6.0
+    drop_duplicates: bool = True
+
+    def __post_init__(self) -> None:
+        lo, hi = self.physical_range
+        if hi <= lo:
+            raise ValueError(f"invalid physical range: {self.physical_range}")
+        if self.mad_threshold <= 0:
+            raise ValueError("MAD threshold must be positive")
+
+
+@dataclass
+class QualityReport:
+    """Per-check rejection counts for one screened window."""
+
+    total: int = 0
+    kept: int = 0
+    out_of_range: int = 0
+    out_of_region: int = 0
+    spikes: int = 0
+    duplicates: int = 0
+
+    @property
+    def rejected(self) -> int:
+        return self.total - self.kept
+
+    @property
+    def rejection_rate(self) -> float:
+        return 0.0 if not self.total else self.rejected / self.total
+
+
+def range_mask(batch: TupleBatch, physical_range: Tuple[float, float]) -> np.ndarray:
+    """True for tuples inside the sensor's physical range."""
+    lo, hi = physical_range
+    return (batch.s >= lo) & (batch.s <= hi)
+
+
+def region_mask(batch: TupleBatch, region: Region) -> np.ndarray:
+    """True for tuples positioned inside the monitored region."""
+    b = region.bounds
+    return (
+        (batch.x >= b.min_x)
+        & (batch.x <= b.max_x)
+        & (batch.y >= b.min_y)
+        & (batch.y <= b.max_y)
+    )
+
+
+def spike_mask(batch: TupleBatch, mad_threshold: float) -> np.ndarray:
+    """True for tuples whose robust z-score is within the threshold.
+
+    With fewer than 5 tuples, or a zero MAD (constant window), everything
+    passes — there is no distribution to screen against.
+    """
+    if len(batch) < 5:
+        return np.ones(len(batch), dtype=bool)
+    median = float(np.median(batch.s))
+    mad = float(np.median(np.abs(batch.s - median)))
+    if mad <= 0.0:
+        return np.ones(len(batch), dtype=bool)
+    robust_z = np.abs(batch.s - median) / (mad * _MAD_TO_STD)
+    return robust_z <= mad_threshold
+
+
+def duplicate_mask(batch: TupleBatch) -> np.ndarray:
+    """True for the first occurrence of each (t, x, y); retransmitted
+    tuples (identical key, any value) are dropped."""
+    seen: Dict[Tuple[float, float, float], bool] = {}
+    keep = np.ones(len(batch), dtype=bool)
+    for i in range(len(batch)):
+        key = (float(batch.t[i]), float(batch.x[i]), float(batch.y[i]))
+        if key in seen:
+            keep[i] = False
+        else:
+            seen[key] = True
+    return keep
+
+
+def screen_window(
+    batch: TupleBatch,
+    config: Optional[QualityConfig] = None,
+    region: Optional[Region] = None,
+) -> Tuple[TupleBatch, QualityReport]:
+    """Apply all checks; returns (clean batch, rejection report).
+
+    Checks are applied in order (range, region, duplicates, spikes) and a
+    tuple is charged to the *first* check it fails, so the tally sums to
+    the rejected count.  The spike screen runs on the survivors of the
+    earlier checks — a stuck-at-9999 sensor should not inflate the MAD.
+    """
+    cfg = config or QualityConfig()
+    report = QualityReport(total=len(batch))
+    if not len(batch):
+        return batch, report
+
+    keep = np.ones(len(batch), dtype=bool)
+
+    bad_range = ~range_mask(batch, cfg.physical_range)
+    report.out_of_range = int(np.sum(bad_range & keep))
+    keep &= ~bad_range
+
+    if region is not None:
+        bad_region = ~region_mask(batch, region)
+        report.out_of_region = int(np.sum(bad_region & keep))
+        keep &= ~bad_region
+
+    if cfg.drop_duplicates:
+        dup = ~duplicate_mask(batch)
+        report.duplicates = int(np.sum(dup & keep))
+        keep &= ~dup
+
+    survivors = batch.select_mask(keep)
+    spike_ok = spike_mask(survivors, cfg.mad_threshold)
+    report.spikes = int(np.sum(~spike_ok))
+    clean = survivors.select_mask(spike_ok)
+
+    report.kept = len(clean)
+    return clean, report

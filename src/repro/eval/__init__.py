@@ -1,0 +1,29 @@
+"""Evaluation harness: the code behind every figure in Section 4."""
+
+from repro.eval.experiments import (
+    Fig6aRow,
+    Fig6bRow,
+    Fig7aRow,
+    Fig7bRow,
+    run_fig6a,
+    run_fig6b,
+    run_fig7a,
+    run_fig7b,
+)
+from repro.eval.memory import deep_sizeof
+from repro.eval.metrics import evaluate_accuracy
+from repro.eval.timing import Timer
+
+__all__ = [
+    "Fig6aRow",
+    "Fig6bRow",
+    "Fig7aRow",
+    "Fig7bRow",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig7a",
+    "run_fig7b",
+    "deep_sizeof",
+    "evaluate_accuracy",
+    "Timer",
+]

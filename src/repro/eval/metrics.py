@@ -1,0 +1,40 @@
+"""Accuracy evaluation against the synthetic ground truth."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.field import PollutionField
+from repro.data.tuples import QueryTuple
+from repro.models.errors import nrmse_pct
+from repro.query.base import PointQueryProcessor
+
+
+def evaluate_accuracy(
+    processor: PointQueryProcessor,
+    queries: Sequence[QueryTuple],
+    field: PollutionField,
+) -> Tuple[float, int]:
+    """NRMSE (%) of a processor against the true field.
+
+    Only queries the processor can answer contribute (the naive method
+    returns nothing where no tuples fall within radius r); the answered
+    count is returned alongside so experiments can report coverage.
+    Raises if the processor answers nothing at all.
+    """
+    predicted: List[float] = []
+    actual: List[float] = []
+    for q in queries:
+        res = processor.process(q)
+        if res.value is None:
+            continue
+        predicted.append(res.value)
+        actual.append(field.value(q.t, q.x, q.y))
+    if not predicted:
+        raise ValueError(f"processor {processor.name!r} answered no queries")
+    return (
+        nrmse_pct(np.asarray(predicted), np.asarray(actual)),
+        len(predicted),
+    )

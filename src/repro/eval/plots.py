@@ -1,0 +1,134 @@
+"""ASCII chart rendering for the paper's figures.
+
+The paper presents its evaluation as log-scale line/bar charts; the
+report module renders the numbers as tables, and this module renders
+them as terminal charts so `repro.cli figures` output can be eyeballed
+against Figures 6 and 7 directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+
+def _log_position(value: float, lo: float, hi: float, width: int) -> int:
+    """Column of ``value`` on a log axis spanning [lo, hi]."""
+    if value <= 0 or lo <= 0:
+        raise ValueError("log axis requires positive values")
+    if hi <= lo:
+        return 0
+    f = (math.log10(value) - math.log10(lo)) / (math.log10(hi) - math.log10(lo))
+    return max(0, min(width - 1, int(round(f * (width - 1)))))
+
+
+def log_bar_chart(
+    values: Dict[str, float],
+    unit: str,
+    width: int = 48,
+) -> str:
+    """Horizontal log-scale bar chart, one bar per labelled value.
+
+    Mirrors the paper's Figure 7 style (log-y bars per method).
+    """
+    if not values:
+        raise ValueError("nothing to plot")
+    positives = [v for v in values.values() if v > 0]
+    if not positives:
+        raise ValueError("log chart requires positive values")
+    lo = min(positives)
+    hi = max(positives)
+    label_w = max(len(k) for k in values)
+    lines: List[str] = []
+    for label, value in values.items():
+        bar_len = _log_position(value, lo, hi, width) + 1 if value > 0 else 0
+        bar = "#" * bar_len
+        lines.append(f"{label.rjust(label_w)} |{bar.ljust(width)} {value:g} {unit}")
+    lines.append(f"{' ' * label_w} +{'-' * width} (log scale)")
+    return "\n".join(lines)
+
+
+def series_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    x_label: str,
+    y_label: str,
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = True,
+) -> str:
+    """Scatter chart of named (x, y) series, one marker per series.
+
+    Mirrors the paper's Figure 6 style (per-method series over H, log-y
+    for efficiency).  Markers are assigned in order: ``o x + * # @``.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    markers = "ox+*#@"
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("all series are empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_y and min(ys) <= 0:
+        raise ValueError("log-y chart requires positive y values")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    def col(x: float) -> int:
+        if x_hi == x_lo:
+            return 0
+        return int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def row(y: float) -> int:
+        if y_hi == y_lo:
+            return 0
+        if log_y:
+            f = (math.log10(y) - math.log10(y_lo)) / (math.log10(y_hi) - math.log10(y_lo))
+        else:
+            f = (y - y_lo) / (y_hi - y_lo)
+        return (height - 1) - int(round(f * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for (name, pts), marker in zip(series.items(), markers):
+        legend.append(f"{marker}={name}")
+        for x, y in pts:
+            grid[row(y)][col(x)] = marker
+
+    top = f"{y_hi:g}"
+    bottom = f"{y_lo:g}"
+    gutter = max(len(top), len(bottom))
+    lines = []
+    for i, cells in enumerate(grid):
+        label = top if i == 0 else (bottom if i == height - 1 else "")
+        lines.append(f"{label.rjust(gutter)} |{''.join(cells)}")
+    lines.append(f"{' ' * gutter} +{'-' * width}")
+    axis = f"{x_lo:g}".ljust(width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(f"{' ' * gutter}  {axis}")
+    lines.append(
+        f"{' ' * gutter}  {x_label} vs {y_label}"
+        f"{' (log y)' if log_y else ''}   {'  '.join(legend)}"
+    )
+    return "\n".join(lines)
+
+
+def fig6a_chart(rows) -> str:
+    """Figure 6(a) as an ASCII chart (time vs H per method, log y)."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for r in rows:
+        series.setdefault(r.method, []).append((float(r.h), r.elapsed_s))
+    return series_chart(series, "window size H", "time (s)", log_y=True)
+
+
+def fig7b_chart(rows) -> str:
+    """Figure 7(b) as log bar charts per quantity."""
+    sent = {r.technique: r.sent_kb for r in rows}
+    received = {r.technique: r.received_kb for r in rows}
+    times = {r.technique: r.total_time_s for r in rows}
+    return "\n\n".join(
+        (
+            "sent:\n" + log_bar_chart(sent, "kb"),
+            "received:\n" + log_bar_chart(received, "kb"),
+            "total time:\n" + log_bar_chart(times, "s"),
+        )
+    )

@@ -1,0 +1,82 @@
+"""Tabular formatting of experiment rows.
+
+Produces the aligned text tables recorded in EXPERIMENTS.md and printed
+by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.eval.experiments import Fig6aRow, Fig6bRow, Fig7aRow, Fig7bRow
+
+
+def _table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_fig6a(rows: List[Fig6aRow]) -> str:
+    """Time (s) per method, one column per H — the Figure 6(a) series."""
+    h_values = sorted({r.h for r in rows})
+    methods = list(dict.fromkeys(r.method for r in rows))
+    cell: Dict[tuple, float] = {(r.method, r.h): r.elapsed_s for r in rows}
+    header = ["method"] + [f"H={h}" for h in h_values]
+    body = [
+        [m] + [f"{cell[(m, h)]:.3f}" for h in h_values]
+        for m in methods
+    ]
+    n = rows[0].n_queries if rows else 0
+    return f"Figure 6(a) — elapsed seconds for {n} point queries\n" + _table(header, body)
+
+
+def format_fig6b(rows: List[Fig6bRow]) -> str:
+    """NRMSE (%) per method, one column per H — the Figure 6(b) series."""
+    h_values = sorted({r.h for r in rows})
+    methods = list(dict.fromkeys(r.method for r in rows))
+    cell: Dict[tuple, float] = {(r.method, r.h): r.nrmse_pct for r in rows}
+    header = ["method"] + [f"H={h}" for h in h_values]
+    body = [
+        [m] + [f"{cell[(m, h)]:.2f}" for h in h_values]
+        for m in methods
+    ]
+    return "Figure 6(b) — NRMSE (%) vs ground truth\n" + _table(header, body)
+
+
+def format_fig7a(rows: List[Fig7aRow]) -> str:
+    """Memory per method plus the paper's headline ratios."""
+    by = {r.method: r.kilobytes for r in rows}
+    header = ["method", "kilobytes", "x model-cover"]
+    base = by.get("adkmn")
+    body = []
+    for r in rows:
+        ratio = "" if not base else f"{r.kilobytes / base:.1f}x"
+        body.append([r.method, f"{r.kilobytes:.1f}", ratio])
+    return "Figure 7(a) — memory (KB), averaged\n" + _table(header, body)
+
+
+def format_fig7b(rows: List[Fig7bRow]) -> str:
+    """Traffic ledger per technique plus baseline/model-cache ratios."""
+    header = ["technique", "sent (kb)", "received (kb)", "total time (s)"]
+    body = [
+        [r.technique, f"{r.sent_kb:.2f}", f"{r.received_kb:.2f}", f"{r.total_time_s:.2f}"]
+        for r in rows
+    ]
+    table = _table(header, body)
+    by = {r.technique: r for r in rows}
+    if "baseline" in by and "model-cache" in by:
+        b, m = by["baseline"], by["model-cache"]
+        table += (
+            f"\nratios (baseline / model-cache): "
+            f"sent {b.sent_kb / m.sent_kb:.0f}x, "
+            f"received {b.received_kb / m.received_kb:.0f}x, "
+            f"time {b.total_time_s / m.total_time_s:.0f}x"
+        )
+    return "Figure 7(b) — bandwidth for a continuous query\n" + table

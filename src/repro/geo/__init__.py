@@ -1,0 +1,31 @@
+"""Geographic substrate: coordinates, distances, bounding boxes, regions.
+
+EnviroMeter operates over a geographical region ``R`` (central Lausanne in
+the paper).  Everything downstream — the synthetic dataset, the spatial
+indexes, the Ad-KMN clustering — works in a local metric coordinate frame,
+so this package provides the WGS84 <-> local-metre projection and the basic
+planar geometry primitives.
+"""
+
+from repro.geo.coords import (
+    EARTH_RADIUS_M,
+    BoundingBox,
+    LocalProjection,
+    euclidean,
+    haversine_m,
+)
+from repro.geo.region import Region, SubRegion
+from repro.geo.streetgraph import StreetGraph, StreetPath, lausanne_street_graph
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "BoundingBox",
+    "LocalProjection",
+    "euclidean",
+    "haversine_m",
+    "Region",
+    "SubRegion",
+    "StreetGraph",
+    "StreetPath",
+    "lausanne_street_graph",
+]

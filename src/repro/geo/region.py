@@ -1,0 +1,64 @@
+"""Regions and sub-regions.
+
+The paper assumes a geographical region ``R`` over which pollution is
+sensed, partitioned by the model cover into sub-regions ``R_1 .. R_O``
+(Figure 1).  Ad-KMN's partition is a *Voronoi* partition induced by the
+cluster centroids, so a :class:`SubRegion` is identified by its centroid
+and owns the indices of the tuples assigned to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.geo.coords import BoundingBox, euclidean
+
+
+@dataclass(frozen=True)
+class Region:
+    """The sensed region ``R``: a named bounding box in the local frame."""
+
+    name: str
+    bounds: BoundingBox
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.bounds.contains_point(x, y)
+
+
+@dataclass
+class SubRegion:
+    """One cell ``R_k`` of the Voronoi partition induced by centroid ``µ_k``.
+
+    ``member_indices`` index into the window ``W_c`` the partition was
+    computed from; they are what the per-region model is fitted on.
+    """
+
+    centroid: Tuple[float, float]
+    member_indices: List[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.member_indices)
+
+    def distance_to(self, x: float, y: float) -> float:
+        return euclidean(self.centroid[0], self.centroid[1], x, y)
+
+
+def nearest_subregion(subregions: Sequence[SubRegion], x: float, y: float) -> int:
+    """Index of the sub-region whose centroid is nearest to ``(x, y)``.
+
+    This is the O(O) scan the model-cover query processor performs for
+    every query tuple; O (the number of models) is small by construction,
+    which is why model-cover querying beats scanning/indexing raw tuples.
+    """
+    if not subregions:
+        raise ValueError("no subregions")
+    best = 0
+    best_d = subregions[0].distance_to(x, y)
+    for k in range(1, len(subregions)):
+        d = subregions[k].distance_to(x, y)
+        if d < best_d:
+            best_d = d
+            best = k
+    return best

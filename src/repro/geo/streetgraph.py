@@ -1,0 +1,180 @@
+"""Street-graph substrate.
+
+OpenSense buses follow the city's street network, and EnviroMeter users
+move along it too.  This module models central Lausanne as a weighted
+graph (networkx): nodes are junctions with local-frame coordinates,
+edges are street segments weighted by length.  It provides shortest-path
+routing, which the dataset generator and examples use to derive
+realistic trajectories instead of hand-drawn polylines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.geo.coords import euclidean
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class StreetPath:
+    """A shortest path through the street graph."""
+
+    nodes: Tuple[str, ...]
+    waypoints: Tuple[Point, ...]
+    length_m: float
+
+
+class StreetGraph:
+    """A named, weighted street network in the local frame."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+
+    # -- construction -----------------------------------------------------
+
+    def add_junction(self, name: str, x: float, y: float) -> None:
+        if name in self._graph:
+            raise ValueError(f"junction {name!r} already exists")
+        self._graph.add_node(name, x=float(x), y=float(y))
+
+    def add_street(self, a: str, b: str) -> float:
+        """Connect two junctions; the edge weight is their distance."""
+        for name in (a, b):
+            if name not in self._graph:
+                raise KeyError(f"no junction named {name!r}")
+        if a == b:
+            raise ValueError("cannot connect a junction to itself")
+        length = euclidean(*self.position(a), *self.position(b))
+        self._graph.add_edge(a, b, length=length)
+        return length
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def junction_count(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def street_count(self) -> int:
+        return self._graph.number_of_edges()
+
+    def junctions(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._graph.nodes))
+
+    def position(self, name: str) -> Point:
+        try:
+            data = self._graph.nodes[name]
+        except KeyError:
+            raise KeyError(f"no junction named {name!r}") from None
+        return data["x"], data["y"]
+
+    def nearest_junction(self, x: float, y: float) -> str:
+        """Junction closest to an arbitrary position (GPS fix snapping)."""
+        if not self._graph:
+            raise ValueError("empty street graph")
+        return min(
+            self._graph.nodes,
+            key=lambda n: euclidean(x, y, *self.position(n)),
+        )
+
+    def shortest_path(self, a: str, b: str) -> StreetPath:
+        """Dijkstra shortest path by street length."""
+        try:
+            nodes = nx.shortest_path(self._graph, a, b, weight="length")
+        except nx.NodeNotFound:
+            raise KeyError(f"unknown junction in ({a!r}, {b!r})") from None
+        except nx.NetworkXNoPath:
+            raise ValueError(f"no street route from {a!r} to {b!r}") from None
+        waypoints = tuple(self.position(n) for n in nodes)
+        length = sum(
+            self._graph.edges[u, v]["length"] for u, v in zip(nodes, nodes[1:])
+        )
+        return StreetPath(nodes=tuple(nodes), waypoints=waypoints, length_m=length)
+
+    def route_via(self, stops: Sequence[str]) -> StreetPath:
+        """Concatenated shortest paths through an ordered stop list —
+        how a bus line is laid over the street network."""
+        if len(stops) < 2:
+            raise ValueError("a route needs at least two stops")
+        all_nodes: List[str] = []
+        total = 0.0
+        for a, b in zip(stops, stops[1:]):
+            leg = self.shortest_path(a, b)
+            if all_nodes:
+                all_nodes.extend(leg.nodes[1:])
+            else:
+                all_nodes.extend(leg.nodes)
+            total += leg.length_m
+        waypoints = tuple(self.position(n) for n in all_nodes)
+        return StreetPath(nodes=tuple(all_nodes), waypoints=waypoints, length_m=total)
+
+    def is_connected(self) -> bool:
+        return bool(self._graph) and nx.is_connected(self._graph)
+
+
+def lausanne_street_graph() -> StreetGraph:
+    """A 20-junction abstraction of central Lausanne's street network.
+
+    Junction coordinates live in the same local frame as the pollution
+    field; the two bus lines of :func:`repro.data.routes.lausanne_routes`
+    correspond to `route_via` traversals of this graph.
+    """
+    g = StreetGraph()
+    junctions = {
+        "ouchy": (2600.0, 300.0),
+        "lakeside-e": (3600.0, 500.0),
+        "lakeside-w": (1500.0, 450.0),
+        "gare": (1600.0, 1300.0),
+        "gare-east": (2300.0, 1400.0),
+        "flon": (2000.0, 1900.0),
+        "st-francois": (2450.0, 1800.0),
+        "centre": (3000.0, 2200.0),
+        "bel-air": (1700.0, 2100.0),
+        "chauderon": (1300.0, 2600.0),
+        "beaulieu": (1000.0, 3000.0),
+        "nw-terminus": (700.0, 3500.0),
+        "tunnel": (2700.0, 2700.0),
+        "sallaz": (3800.0, 2500.0),
+        "bessieres": (3300.0, 2350.0),
+        "ne-mid": (4600.0, 2800.0),
+        "ne-terminus": (5300.0, 3100.0),
+        "industrial": (4600.0, 1000.0),
+        "vigie": (1000.0, 1100.0),
+        "w-terminus": (300.0, 900.0),
+    }
+    for name, (x, y) in junctions.items():
+        g.add_junction(name, x, y)
+    streets = [
+        ("w-terminus", "vigie"),
+        ("vigie", "gare"),
+        ("gare", "gare-east"),
+        ("gare-east", "st-francois"),
+        ("st-francois", "centre"),
+        ("centre", "bessieres"),
+        ("bessieres", "sallaz"),
+        ("sallaz", "ne-mid"),
+        ("ne-mid", "ne-terminus"),
+        ("ouchy", "lakeside-w"),
+        ("ouchy", "lakeside-e"),
+        ("lakeside-w", "gare"),
+        ("lakeside-e", "industrial"),
+        ("industrial", "ne-mid"),
+        ("ouchy", "gare-east"),
+        ("gare-east", "flon"),
+        ("flon", "bel-air"),
+        ("flon", "st-francois"),
+        ("bel-air", "chauderon"),
+        ("chauderon", "beaulieu"),
+        ("beaulieu", "nw-terminus"),
+        ("bel-air", "tunnel"),
+        ("tunnel", "centre"),
+        ("tunnel", "bessieres"),
+    ]
+    for a, b in streets:
+        g.add_street(a, b)
+    return g

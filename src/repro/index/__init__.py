@@ -1,0 +1,28 @@
+"""Metric-space indexes.
+
+Section 2.2's *Metric Space Indexing* method accelerates the naive radius
+search with an R-tree or a VP-tree.  The paper used third-party Python
+implementations (Pyrtree [3] and a published VP-tree [4]); this package
+provides from-scratch equivalents with the same asymptotics, plus two
+extra candidates (uniform grid and k-d tree) used by the index ablation.
+
+Every index implements the :class:`SpatialIndex` protocol: build from a
+tuple window, answer ``query_radius(x, y, r) -> indices`` into the window.
+"""
+
+from repro.index.base import SpatialIndex, brute_force_radius
+from repro.index.grid import GridIndex
+from repro.index.kdtree import KDTree
+from repro.index.rtree import RTree
+from repro.index.strtree import STRTree
+from repro.index.vptree import VPTree
+
+__all__ = [
+    "SpatialIndex",
+    "brute_force_radius",
+    "GridIndex",
+    "KDTree",
+    "RTree",
+    "STRTree",
+    "VPTree",
+]

@@ -1,0 +1,82 @@
+"""k-d tree (Bentley, 1975) over 2-D points.
+
+Not in the paper — an ablation candidate alongside the grid index.  Built
+by median splits on alternating axes, so the tree is balanced and
+construction is deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+
+class _KDNode:
+    __slots__ = ("index", "x", "y", "axis", "left", "right")
+
+    def __init__(self, index: int, x: float, y: float, axis: int) -> None:
+        self.index = index
+        self.x = x
+        self.y = y
+        self.axis = axis
+        self.left: Optional["_KDNode"] = None
+        self.right: Optional["_KDNode"] = None
+
+
+class KDTree:
+    """A balanced k-d tree supporting radius search."""
+
+    def __init__(self, xs: Sequence[float], ys: Sequence[float]) -> None:
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have the same length")
+        self._size = len(xs)
+        items = [(i, float(xs[i]), float(ys[i])) for i in range(len(xs))]
+        self._root = self._build(items, axis=0)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _build(self, items: List[tuple], axis: int) -> Optional[_KDNode]:
+        if not items:
+            return None
+        items.sort(key=lambda it: it[1 + axis])
+        mid = len(items) // 2
+        index, x, y = items[mid]
+        node = _KDNode(index, x, y, axis)
+        next_axis = 1 - axis
+        node.left = self._build(items[:mid], next_axis)
+        node.right = self._build(items[mid + 1 :], next_axis)
+        return node
+
+    @property
+    def height(self) -> int:
+        def depth(node: Optional[_KDNode]) -> int:
+            if node is None:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+
+        return depth(self._root)
+
+    def query_radius(self, x: float, y: float, radius: float) -> List[int]:
+        """Indices of all points within ``radius`` of ``(x, y)``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        out: List[int] = []
+        if self._root is None:
+            return out
+        r2 = radius * radius
+        q = (x, y)
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            dx = node.x - x
+            dy = node.y - y
+            if dx * dx + dy * dy <= r2:
+                out.append(node.index)
+            split = node.x if node.axis == 0 else node.y
+            qv = q[node.axis]
+            if node.left is not None and qv - radius <= split:
+                stack.append(node.left)
+            if node.right is not None and qv + radius >= split:
+                stack.append(node.right)
+        return out

@@ -1,0 +1,248 @@
+"""R-tree with quadratic split (Guttman, 1984).
+
+Pure-Python substitute for Pyrtree [3].  Points are inserted one at a time
+as degenerate rectangles; radius queries descend the tree pruning any node
+whose minimum bounding rectangle (MBR) lies farther than ``r`` from the
+query point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+
+class _Entry:
+    """A node entry: an MBR plus either a child node or a point index."""
+
+    __slots__ = ("min_x", "min_y", "max_x", "max_y", "child", "index")
+
+    def __init__(
+        self,
+        min_x: float,
+        min_y: float,
+        max_x: float,
+        max_y: float,
+        child: Optional["_Node"] = None,
+        index: int = -1,
+    ) -> None:
+        self.min_x = min_x
+        self.min_y = min_y
+        self.max_x = max_x
+        self.max_y = max_y
+        self.child = child
+        self.index = index
+
+    def area(self) -> float:
+        return (self.max_x - self.min_x) * (self.max_y - self.min_y)
+
+    def enlargement(self, other: "_Entry") -> float:
+        """Area increase needed to also cover ``other``."""
+        min_x = min(self.min_x, other.min_x)
+        min_y = min(self.min_y, other.min_y)
+        max_x = max(self.max_x, other.max_x)
+        max_y = max(self.max_y, other.max_y)
+        return (max_x - min_x) * (max_y - min_y) - self.area()
+
+    def extend(self, other: "_Entry") -> None:
+        self.min_x = min(self.min_x, other.min_x)
+        self.min_y = min(self.min_y, other.min_y)
+        self.max_x = max(self.max_x, other.max_x)
+        self.max_y = max(self.max_y, other.max_y)
+
+    def min_dist2(self, x: float, y: float) -> float:
+        dx = max(self.min_x - x, 0.0, x - self.max_x)
+        dy = max(self.min_y - y, 0.0, y - self.max_y)
+        return dx * dx + dy * dy
+
+
+class _Node:
+    __slots__ = ("entries", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.entries: List[_Entry] = []
+        self.is_leaf = is_leaf
+
+
+class RTree:
+    """An R-tree over 2-D points supporting radius search.
+
+    ``max_entries`` is the node fan-out M; ``min_entries`` defaults to
+    ceil(M * 0.4) as in Guttman's paper.
+    """
+
+    def __init__(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        max_entries: int = 8,
+    ) -> None:
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have the same length")
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        self._max = max_entries
+        self._min = max(2, math.ceil(max_entries * 0.4))
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+        for i in range(len(xs)):
+            self.insert(float(xs[i]), float(ys[i]), i)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Tree height (1 for a single leaf root)."""
+        h = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.entries[0].child  # type: ignore[assignment]
+            h += 1
+        return h
+
+    # -- insertion ----------------------------------------------------------
+
+    def insert(self, x: float, y: float, index: int) -> None:
+        """Insert one point (a degenerate rectangle) with payload ``index``."""
+        entry = _Entry(x, y, x, y, index=index)
+        split = self._insert(self._root, entry)
+        if split is not None:
+            # Root overflowed: grow the tree by one level.
+            old_root = self._root
+            self._root = _Node(is_leaf=False)
+            self._root.entries.append(self._cover(old_root))
+            self._root.entries.append(self._cover(split))
+        self._size += 1
+
+    def _cover(self, node: _Node) -> _Entry:
+        """Entry whose MBR covers all of ``node``'s entries."""
+        e0 = node.entries[0]
+        cover = _Entry(e0.min_x, e0.min_y, e0.max_x, e0.max_y, child=node)
+        for e in node.entries[1:]:
+            cover.extend(e)
+        return cover
+
+    def _insert(self, node: _Node, entry: _Entry) -> Optional[_Node]:
+        """Recursive insert; returns the new sibling when ``node`` split."""
+        if node.is_leaf:
+            node.entries.append(entry)
+        else:
+            best = min(
+                node.entries,
+                key=lambda e: (e.enlargement(entry), e.area()),
+            )
+            split = self._insert(best.child, entry)  # type: ignore[arg-type]
+            best.extend(entry)
+            if split is not None:
+                node.entries.append(self._cover(split))
+                # Recompute the MBR of the child that was split, since the
+                # quadratic split redistributed its entries.
+                best_child = best.child
+                refreshed = self._cover(best_child)  # type: ignore[arg-type]
+                best.min_x, best.min_y = refreshed.min_x, refreshed.min_y
+                best.max_x, best.max_y = refreshed.max_x, refreshed.max_y
+        if len(node.entries) > self._max:
+            return self._quadratic_split(node)
+        return None
+
+    def _quadratic_split(self, node: _Node) -> _Node:
+        """Guttman's quadratic split: redistribute ``node``'s entries
+        between ``node`` and a new sibling; returns the sibling."""
+        entries = node.entries
+        # Pick the pair of seeds wasting the most area if grouped together.
+        worst = -math.inf
+        seed_a = seed_b = 0
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                a, b = entries[i], entries[j]
+                whole = _Entry(
+                    min(a.min_x, b.min_x),
+                    min(a.min_y, b.min_y),
+                    max(a.max_x, b.max_x),
+                    max(a.max_y, b.max_y),
+                )
+                waste = whole.area() - a.area() - b.area()
+                if waste > worst:
+                    worst = waste
+                    seed_a, seed_b = i, j
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        cover_a = _Entry(*_mbr(group_a))
+        cover_b = _Entry(*_mbr(group_b))
+        rest = [e for k, e in enumerate(entries) if k not in (seed_a, seed_b)]
+        while rest:
+            # Honour the minimum fill requirement.
+            if len(group_a) + len(rest) == self._min:
+                group_a.extend(rest)
+                rest = []
+                break
+            if len(group_b) + len(rest) == self._min:
+                group_b.extend(rest)
+                rest = []
+                break
+            # Assign the entry with the strongest preference first.
+            best_k = 0
+            best_diff = -math.inf
+            for k, e in enumerate(rest):
+                d_a = cover_a.enlargement(e)
+                d_b = cover_b.enlargement(e)
+                if abs(d_a - d_b) > best_diff:
+                    best_diff = abs(d_a - d_b)
+                    best_k = k
+            e = rest.pop(best_k)
+            if cover_a.enlargement(e) <= cover_b.enlargement(e):
+                group_a.append(e)
+                cover_a.extend(e)
+            else:
+                group_b.append(e)
+                cover_b.extend(e)
+        node.entries = group_a
+        sibling = _Node(is_leaf=node.is_leaf)
+        sibling.entries = group_b
+        return sibling
+
+    # -- queries ------------------------------------------------------------
+
+    def query_radius(self, x: float, y: float, radius: float) -> List[int]:
+        """Indices of all points within ``radius`` of ``(x, y)``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        if not self._size:
+            return []
+        r2 = radius * radius
+        out: List[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for e in node.entries:
+                    dx = e.min_x - x
+                    dy = e.min_y - y
+                    if dx * dx + dy * dy <= r2:
+                        out.append(e.index)
+            else:
+                for e in node.entries:
+                    if e.min_dist2(x, y) <= r2:
+                        stack.append(e.child)  # type: ignore[arg-type]
+        return out
+
+    def count_nodes(self) -> int:
+        """Total node count (used by the memory experiment's sanity check)."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += 1
+            if not node.is_leaf:
+                stack.extend(e.child for e in node.entries)  # type: ignore[misc]
+        return total
+
+
+def _mbr(entries: List[_Entry]) -> Tuple[float, float, float, float]:
+    return (
+        min(e.min_x for e in entries),
+        min(e.min_y for e in entries),
+        max(e.max_x for e in entries),
+        max(e.max_y for e in entries),
+    )

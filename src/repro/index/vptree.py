@@ -1,0 +1,144 @@
+"""Vantage-point tree (Yianilos, 1993).
+
+Pure-Python substitute for the VP-tree implementation of [4].  Each node
+stores a vantage point and the median distance ``mu`` of the remaining
+points to it; the inside subtree holds points closer than ``mu``, the
+outside subtree the rest.  Radius search prunes a side whenever the
+triangle inequality guarantees it cannot contain matches.
+
+Like the implementation the paper used, nodes are individual Python
+objects holding boxed floats — which is exactly why the VP-tree is the
+most memory-hungry method in Figure 7(a).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+
+def _dist(x1: float, x2: float, y1: float, y2: float) -> float:
+    """sqrt(dx^2 + dy^2) — deliberately *not* math.hypot: every other
+    method in the reproduction (naive scan, R-tree, k-d tree, grid)
+    compares squared distances, and hypot's protection against subnormal
+    underflow would make the VP-tree disagree with them on points a few
+    1e-170 apart."""
+    dx = x1 - x2
+    dy = y1 - y2
+    return math.sqrt(dx * dx + dy * dy)
+
+
+class _VPNode:
+    # Deliberately NOT __slots__: the VP-tree library the paper used [4]
+    # builds plain recursive class instances with per-node __dict__s, and
+    # Figure 7(a)'s memory ranking (VP-tree as the most expensive method)
+    # reflects that representation.  See DESIGN.md §2.
+    def __init__(self, index: int, x: float, y: float) -> None:
+        self.index = index
+        self.x = x
+        self.y = y
+        self.mu = 0.0
+        self.inside: Optional["_VPNode"] = None
+        self.outside: Optional["_VPNode"] = None
+
+
+class VPTree:
+    """A VP-tree over 2-D points supporting radius search.
+
+    Construction selects vantage points with a seeded RNG (the classical
+    heuristic of sampling a random vantage point), so trees are
+    deterministic for a given seed.
+    """
+
+    def __init__(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        seed: int = 0,
+    ) -> None:
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have the same length")
+        self._size = len(xs)
+        rng = random.Random(seed)
+        items = [(i, float(xs[i]), float(ys[i])) for i in range(len(xs))]
+        self._root = self._build(items, rng)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _build(self, items: List[tuple], rng: random.Random) -> Optional[_VPNode]:
+        if not items:
+            return None
+        vp_pos = rng.randrange(len(items))
+        items[vp_pos], items[-1] = items[-1], items[vp_pos]
+        index, vx, vy = items.pop()
+        node = _VPNode(index, vx, vy)
+        if not items:
+            return node
+        dists = [_dist(x, vx, y, vy) for _, x, y in items]
+        mu = _median(dists)
+        node.mu = mu
+        inside = [it for it, d in zip(items, dists) if d < mu]
+        outside = [it for it, d in zip(items, dists) if d >= mu]
+        # Degenerate case: all points at the same distance -> keep progress
+        # by forcing a split.
+        if not inside and len(outside) == len(items):
+            inside, outside = outside[: len(outside) // 2], outside[len(outside) // 2:]
+        node.inside = self._build(inside, rng)
+        node.outside = self._build(outside, rng)
+        return node
+
+    @property
+    def height(self) -> int:
+        def depth(node: Optional[_VPNode]) -> int:
+            if node is None:
+                return 0
+            return 1 + max(depth(node.inside), depth(node.outside))
+
+        return depth(self._root)
+
+    def query_radius(self, x: float, y: float, radius: float) -> List[int]:
+        """Indices of all points within ``radius`` of ``(x, y)``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        out: List[int] = []
+        if self._root is None:
+            return out
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            d = _dist(node.x, x, node.y, y)
+            if d <= radius:
+                out.append(node.index)
+            # Triangle-inequality pruning:
+            #   the inside ball holds points with dist(vp, p) < mu, so it can
+            #   contain a match only if d - radius < mu;
+            #   the outside shell holds dist(vp, p) >= mu, so only if
+            #   d + radius >= mu.
+            if node.inside is not None and d - radius < node.mu:
+                stack.append(node.inside)
+            if node.outside is not None and d + radius >= node.mu:
+                stack.append(node.outside)
+        return out
+
+    def count_nodes(self) -> int:
+        total = 0
+        stack = [self._root] if self._root else []
+        while stack:
+            node = stack.pop()
+            total += 1
+            if node.inside is not None:
+                stack.append(node.inside)
+            if node.outside is not None:
+                stack.append(node.outside)
+        return total
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])

@@ -1,0 +1,34 @@
+"""Per-subregion regression models.
+
+The model cover assigns one model ``M_k`` to each sub-region ``R_k``
+(Section 2.1).  The paper fits linear regression; it also motivates the
+framework with "models (e.g., statistical, non-parametric, etc.)", so the
+family is pluggable here: mean, linear, quadratic polynomial, and a
+Nadaraya-Watson kernel model all implement the same protocol and can be
+ablated inside Ad-KMN.
+"""
+
+from repro.models.base import Model, ModelFactory, model_factory, registered_families
+from repro.models.errors import (
+    CO2_NORMAL_RANGE_PPM,
+    approximation_error_pct,
+    nrmse_pct,
+)
+from repro.models.kernel import KernelModel
+from repro.models.linear import LinearModel
+from repro.models.mean import MeanModel
+from repro.models.polynomial import PolynomialModel
+
+__all__ = [
+    "Model",
+    "ModelFactory",
+    "model_factory",
+    "registered_families",
+    "CO2_NORMAL_RANGE_PPM",
+    "approximation_error_pct",
+    "nrmse_pct",
+    "KernelModel",
+    "LinearModel",
+    "MeanModel",
+    "PolynomialModel",
+]

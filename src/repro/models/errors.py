@@ -1,0 +1,81 @@
+"""Error metrics.
+
+Two metrics appear in the paper:
+
+* **approximation error** (footnote 1, Section 2.1): "the average
+  percentage error compared to the normal range of s_i in the environment
+  (pollutant specific)" — the Ad-KMN split criterion against τn;
+* **NRMSE** (Section 4.1): normalized root-mean-square error, the accuracy
+  metric of Figure 6(b).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+CO2_NORMAL_RANGE_PPM: Tuple[float, float] = (350.0, 1000.0)
+"""Pollutant-specific normal range for CO2 *in the environment* (footnote
+1 of the paper): urban outdoor CO2 spans roughly clean-air background
+(~350 ppm) to heavily trafficked street canyons (~1000 ppm).  Note this is
+the range the pollutant takes outdoors, not the OSHA occupational limits
+(5000 ppm TWA) used by the app's health classification."""
+
+
+def normal_range_width(normal_range: Tuple[float, float]) -> float:
+    lo, hi = normal_range
+    if hi <= lo:
+        raise ValueError(f"invalid normal range: {normal_range}")
+    return hi - lo
+
+
+def approximation_error_pct(
+    predicted: np.ndarray,
+    actual: np.ndarray,
+    normal_range: Tuple[float, float] = CO2_NORMAL_RANGE_PPM,
+) -> float:
+    """Average percentage error relative to the pollutant's normal range.
+
+    ``mean(|prediction - actual|) / (range width) * 100`` — exactly the
+    footnote-1 definition.  This is what Ad-KMN compares against τn.
+    """
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape:
+        raise ValueError("predicted and actual must have the same shape")
+    if not predicted.size:
+        raise ValueError("cannot compute error of zero predictions")
+    width = normal_range_width(normal_range)
+    return float(np.mean(np.abs(predicted - actual)) / width * 100.0)
+
+
+def nrmse_pct(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Normalized RMSE in percent: RMSE / (max(actual) - min(actual)) * 100.
+
+    Range-normalisation is the standard NRMSE convention and matches the
+    0-21 % scale of Figure 6(b).  Raises when the actual values are all
+    identical (normalisation undefined).
+    """
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape:
+        raise ValueError("predicted and actual must have the same shape")
+    if not predicted.size:
+        raise ValueError("cannot compute NRMSE of zero predictions")
+    spread = float(np.max(actual) - np.min(actual))
+    if spread <= 0.0:
+        raise ValueError("NRMSE undefined: actual values have zero spread")
+    rmse = float(np.sqrt(np.mean((predicted - actual) ** 2)))
+    return rmse / spread * 100.0
+
+
+def rmse(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Plain RMSE (ppm), used by ablations that compare absolute error."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape:
+        raise ValueError("predicted and actual must have the same shape")
+    if not predicted.size:
+        raise ValueError("cannot compute RMSE of zero predictions")
+    return float(np.sqrt(np.mean((predicted - actual) ** 2)))

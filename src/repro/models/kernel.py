@@ -1,0 +1,110 @@
+"""Nadaraya-Watson kernel model — the non-parametric ablation family.
+
+The paper's framework explicitly allows non-parametric models.  This one
+keeps a *subsample* of the sub-region's tuples as its "coefficients" and
+predicts with a Gaussian-kernel weighted average over them.  Its wire size
+grows with the kept sample (3 floats per kept point + bandwidth), so it
+sits between the raw data and the parametric models on the memory axis —
+the model-family ablation quantifies that trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.data.tuples import TupleBatch
+from repro.models.base import register_family
+
+_MAX_KEPT = 24
+
+
+class KernelModel:
+    """Gaussian Nadaraya-Watson regressor over a kept point sample."""
+
+    family = "kernel"
+
+    __slots__ = ("_px", "_py", "_pv", "_bandwidth_m")
+
+    def __init__(
+        self,
+        px: Sequence[float],
+        py: Sequence[float],
+        pv: Sequence[float],
+        bandwidth_m: float,
+    ) -> None:
+        if not (len(px) == len(py) == len(pv)):
+            raise ValueError("kept-point arrays must have equal lengths")
+        if not len(px):
+            raise ValueError("kernel model needs at least one kept point")
+        if bandwidth_m <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._px = np.asarray(px, dtype=np.float64)
+        self._py = np.asarray(py, dtype=np.float64)
+        self._pv = np.asarray(pv, dtype=np.float64)
+        self._bandwidth_m = float(bandwidth_m)
+
+    @classmethod
+    def fit(cls, batch: TupleBatch, max_kept: int = _MAX_KEPT) -> "KernelModel":
+        """Keep an evenly-spaced subsample and a plug-in bandwidth."""
+        if not len(batch):
+            raise ValueError("cannot fit a model on an empty batch")
+        n = len(batch)
+        if n <= max_kept:
+            idx = np.arange(n)
+        else:
+            idx = np.linspace(0, n - 1, max_kept).astype(np.intp)
+        px = batch.x[idx]
+        py = batch.y[idx]
+        pv = batch.s[idx]
+        spread = max(float(np.std(batch.x)), float(np.std(batch.y)))
+        # Silverman-flavoured plug-in rule, floored to the GPS jitter scale.
+        bandwidth = max(spread * (len(idx) ** -0.2), 25.0)
+        return cls(px, py, pv, bandwidth)
+
+    def predict(self, t: float, x: float, y: float) -> float:
+        return float(self.predict_batch(np.asarray([t]), np.asarray([x]), np.asarray([y]))[0])
+
+    def predict_batch(self, t: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)[..., None]
+        y = np.asarray(y, dtype=np.float64)[..., None]
+        d2 = (x - self._px) ** 2 + (y - self._py) ** 2
+        w = np.exp(-d2 / (2.0 * self._bandwidth_m**2))
+        denom = np.sum(w, axis=-1)
+        # Far from every kept point the weights underflow; fall back to the
+        # kept-sample mean rather than dividing by zero.
+        fallback = float(np.mean(self._pv))
+        safe = denom > 1e-12
+        num = np.sum(w * self._pv, axis=-1)
+        out = np.where(safe, num / np.where(safe, denom, 1.0), fallback)
+        return out
+
+    def coefficients(self) -> Tuple[float, ...]:
+        flat = [self._bandwidth_m, float(len(self._px))]
+        flat.extend(float(v) for v in self._px)
+        flat.extend(float(v) for v in self._py)
+        flat.extend(float(v) for v in self._pv)
+        return tuple(flat)
+
+    @classmethod
+    def from_coefficients(cls, coeffs: Sequence[float]) -> "KernelModel":
+        if len(coeffs) < 5:
+            raise ValueError("kernel model expects at least 5 coefficients")
+        bandwidth = coeffs[0]
+        n = int(coeffs[1])
+        if len(coeffs) != 2 + 3 * n:
+            raise ValueError(
+                f"kernel model with {n} points expects {2 + 3 * n} coefficients, "
+                f"got {len(coeffs)}"
+            )
+        px = coeffs[2 : 2 + n]
+        py = coeffs[2 + n : 2 + 2 * n]
+        pv = coeffs[2 + 2 * n :]
+        return cls(px, py, pv, bandwidth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KernelModel(kept={len(self._px)}, h={self._bandwidth_m:.0f}m)"
+
+
+register_family("kernel", KernelModel.fit, KernelModel.from_coefficients)

@@ -1,0 +1,37 @@
+"""Network substrate: wire protocol, cellular link model, traffic stats.
+
+The bandwidth experiment (Section 4.2, Figure 7(b)) measures bytes
+transmitted/received by the mobile device and total completion time over
+GPRS/3G.  This package provides byte-accurate message encoding with
+HTTP-like framing (the real EnviroMeter Android app spoke HTTP to the
+server), a latency/throughput link simulator, and per-endpoint traffic
+accounting.
+"""
+
+from repro.network.link import GPRS, HSPA, UMTS, CellularLink
+from repro.network.messages import (
+    ModelCoverResponse,
+    ModelRequest,
+    QueryRequest,
+    ValueResponse,
+    decode_message,
+    encode_message,
+)
+from repro.network.protocol import FRAME_OVERHEAD_BYTES, framed_size
+from repro.network.stats import TrafficStats
+
+__all__ = [
+    "GPRS",
+    "HSPA",
+    "UMTS",
+    "CellularLink",
+    "ModelCoverResponse",
+    "ModelRequest",
+    "QueryRequest",
+    "ValueResponse",
+    "decode_message",
+    "encode_message",
+    "FRAME_OVERHEAD_BYTES",
+    "framed_size",
+    "TrafficStats",
+]

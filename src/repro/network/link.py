@@ -1,0 +1,66 @@
+"""Cellular link simulator.
+
+Models a mobile data bearer by round-trip latency and up/down throughput;
+transferring a message costs ``latency/2 + size/throughput`` in each
+direction, so one request/response exchange pays one full RTT plus the
+serialisation delays.  Presets for the bearers available to the 2013
+deployment (GPRS, UMTS/3G, HSPA).
+
+The simulator advances a virtual clock — experiments measure *modelled*
+network time (Figure 7(b)'s "total time"), decoupled from host speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BearerProfile:
+    """Radio bearer characteristics."""
+
+    name: str
+    rtt_s: float              # round-trip latency
+    downlink_bps: float       # server -> device
+    uplink_bps: float         # device -> server
+
+    def __post_init__(self) -> None:
+        if self.rtt_s <= 0 or self.downlink_bps <= 0 or self.uplink_bps <= 0:
+            raise ValueError("bearer parameters must be positive")
+
+
+GPRS = BearerProfile(name="gprs", rtt_s=0.70, downlink_bps=40_000.0, uplink_bps=20_000.0)
+UMTS = BearerProfile(name="umts", rtt_s=0.25, downlink_bps=384_000.0, uplink_bps=128_000.0)
+HSPA = BearerProfile(name="hspa", rtt_s=0.12, downlink_bps=3_600_000.0, uplink_bps=1_400_000.0)
+
+
+class CellularLink:
+    """A virtual-clock cellular link between the app and the server."""
+
+    def __init__(self, profile: BearerProfile = GPRS) -> None:
+        self.profile = profile
+        self._clock_s = 0.0
+
+    @property
+    def clock_s(self) -> float:
+        """Virtual time elapsed on this link."""
+        return self._clock_s
+
+    def reset(self) -> None:
+        self._clock_s = 0.0
+
+    def send_up(self, size_bytes: int) -> float:
+        """Device -> server transfer; returns the time it took."""
+        dt = self.profile.rtt_s / 2.0 + (8.0 * size_bytes) / self.profile.uplink_bps
+        self._clock_s += dt
+        return dt
+
+    def send_down(self, size_bytes: int) -> float:
+        """Server -> device transfer; returns the time it took."""
+        dt = self.profile.rtt_s / 2.0 + (8.0 * size_bytes) / self.profile.downlink_bps
+        self._clock_s += dt
+        return dt
+
+    def round_trip(self, up_bytes: int, down_bytes: int) -> float:
+        """One request/response exchange; returns its total time."""
+        return self.send_up(up_bytes) + self.send_down(down_bytes)

@@ -1,0 +1,64 @@
+"""Traffic accounting from the mobile device's point of view.
+
+Figure 7(b) reports "total number of bytes transmitted and received by
+the mobile device, and the total time to complete the query" — this class
+is exactly that ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrafficStats:
+    """Bytes sent/received, message counts, and elapsed network time."""
+
+    sent_bytes: int = 0
+    received_bytes: int = 0
+    sent_messages: int = 0
+    received_messages: int = 0
+    network_time_s: float = 0.0
+    compute_time_s: float = 0.0
+
+    def record_sent(self, size_bytes: int, time_s: float = 0.0) -> None:
+        if size_bytes < 0 or time_s < 0:
+            raise ValueError("sizes and times must be non-negative")
+        self.sent_bytes += size_bytes
+        self.sent_messages += 1
+        self.network_time_s += time_s
+
+    def record_received(self, size_bytes: int, time_s: float = 0.0) -> None:
+        if size_bytes < 0 or time_s < 0:
+            raise ValueError("sizes and times must be non-negative")
+        self.received_bytes += size_bytes
+        self.received_messages += 1
+        self.network_time_s += time_s
+
+    def record_compute(self, time_s: float) -> None:
+        if time_s < 0:
+            raise ValueError("times must be non-negative")
+        self.compute_time_s += time_s
+
+    @property
+    def total_time_s(self) -> float:
+        return self.network_time_s + self.compute_time_s
+
+    @property
+    def sent_kb(self) -> float:
+        return self.sent_bytes / 1024.0
+
+    @property
+    def received_kb(self) -> float:
+        return self.received_bytes / 1024.0
+
+    def merged_with(self, other: "TrafficStats") -> "TrafficStats":
+        """Combined ledger (used when aggregating over many clients)."""
+        return TrafficStats(
+            sent_bytes=self.sent_bytes + other.sent_bytes,
+            received_bytes=self.received_bytes + other.received_bytes,
+            sent_messages=self.sent_messages + other.sent_messages,
+            received_messages=self.received_messages + other.received_messages,
+            network_time_s=self.network_time_s + other.network_time_s,
+            compute_time_s=self.compute_time_s + other.compute_time_s,
+        )

@@ -1,0 +1,35 @@
+"""Query processing (Section 2.2).
+
+Query 1 — the *continuous value query*: a mobile object transmits query
+tuples ``q_l = (t_l, x_l, y_l)`` at a uniform interval; the system
+interpolates the sensor value at each position.  Three processors:
+
+* :class:`NaiveProcessor` — exhaustive radius-``r`` scan + average;
+* :class:`IndexedProcessor` — same semantics over an R-tree/VP-tree/…;
+* :class:`ModelCoverProcessor` — nearest-centroid model evaluation.
+
+:class:`QueryEngine` ties processors to a tuple stream + window choice,
+and :mod:`repro.query.continuous` drives a trajectory of query tuples.
+"""
+
+from repro.query.base import PointQueryProcessor, QueryResult
+from repro.query.continuous import ContinuousQueryDriver, uniform_query_tuples
+from repro.query.engine import QueryEngine
+from repro.query.indexed import IndexedProcessor
+from repro.query.modelcover import ModelCoverProcessor
+from repro.query.naive import NaiveProcessor
+from repro.query.planner import PlanEstimate, QueryPlanner, QueryProfile
+
+__all__ = [
+    "PointQueryProcessor",
+    "QueryResult",
+    "ContinuousQueryDriver",
+    "uniform_query_tuples",
+    "QueryEngine",
+    "IndexedProcessor",
+    "ModelCoverProcessor",
+    "NaiveProcessor",
+    "PlanEstimate",
+    "QueryPlanner",
+    "QueryProfile",
+]

@@ -1,0 +1,38 @@
+"""Common types for query processors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.data.tuples import QueryTuple
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Answer to one query tuple.
+
+    ``value`` is the interpolated sensor value ``ŝ_l``; ``None`` when the
+    method found no supporting data (e.g. no raw tuples within radius r —
+    possible under geo-temporal skew, and exactly the failure mode the
+    model cover avoids).  ``support`` is the number of raw tuples (naive /
+    indexed) or kept model (always 1) behind the answer.
+    """
+
+    query: QueryTuple
+    value: Optional[float]
+    support: int = 0
+
+    @property
+    def answered(self) -> bool:
+        return self.value is not None
+
+
+@runtime_checkable
+class PointQueryProcessor(Protocol):
+    """A method for answering one query tuple against one window."""
+
+    name: str
+
+    def process(self, query: QueryTuple) -> QueryResult:
+        ...

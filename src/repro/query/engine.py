@@ -1,0 +1,129 @@
+"""The query engine: processors bound to a stream + window choice.
+
+Ties together the pieces of Figure 3's server region: given the raw tuple
+stream and a window convention, it materialises any of the four processor
+kinds for a window, answers point queries, and renders heatmap grids —
+the three modes of the web interface (Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.adkmn import AdKMNConfig
+from repro.core.builder import CoverBuilder
+from repro.data.tuples import QueryTuple, TupleBatch
+from repro.data.windows import window
+from repro.geo.coords import BoundingBox
+from repro.query.base import PointQueryProcessor, QueryResult
+from repro.query.indexed import IndexedProcessor
+from repro.query.modelcover import ModelCoverProcessor
+from repro.query.naive import NaiveProcessor
+
+METHODS = ("naive", "rtree", "strtree", "vptree", "grid", "kdtree", "model-cover")
+
+
+class QueryEngine:
+    """Answers point/continuous/heatmap queries over a tuple stream."""
+
+    def __init__(
+        self,
+        batch: TupleBatch,
+        h: int = 240,
+        radius_m: float = 1000.0,
+        config: Optional[AdKMNConfig] = None,
+    ) -> None:
+        if not len(batch):
+            raise ValueError("query engine needs a non-empty tuple stream")
+        self._batch = batch
+        self.h = h
+        self.radius_m = radius_m
+        self._builder = CoverBuilder(h, config=config, mode="count")
+        self._processors: Dict[tuple, PointQueryProcessor] = {}
+
+    @property
+    def batch(self) -> TupleBatch:
+        return self._batch
+
+    @property
+    def builder(self) -> CoverBuilder:
+        return self._builder
+
+    def window(self, c: int) -> TupleBatch:
+        return window(self._batch, c, self.h)
+
+    def window_for_time(self, t: float) -> int:
+        """Index of the latest window whose data does not postdate ``t``.
+
+        Continuous queries at time t are answered from the most recent
+        complete window — the server's lazy-update policy.
+        """
+        pos = int(np.searchsorted(self._batch.t, t, side="right"))
+        if pos == 0:
+            return 0
+        return max(0, (pos - 1) // self.h)
+
+    def processor(self, method: str, c: int) -> PointQueryProcessor:
+        """A (cached) processor of the given method over window ``c``."""
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; known: {METHODS}")
+        key = (method, c)
+        if key in self._processors:
+            return self._processors[key]
+        if method == "naive":
+            proc: PointQueryProcessor = NaiveProcessor(self.window(c), self.radius_m)
+        elif method == "model-cover":
+            proc = ModelCoverProcessor(self._builder.cover(self._batch, c))
+        else:
+            proc = IndexedProcessor(self.window(c), kind=method, radius_m=self.radius_m)
+        self._processors[key] = proc
+        return proc
+
+    # -- the three web-interface modes (Section 3) -------------------------
+
+    def point_query(
+        self, t: float, x: float, y: float, method: str = "model-cover"
+    ) -> QueryResult:
+        """Single point query mode: interpolated value at a clicked point."""
+        c = self.window_for_time(t)
+        return self.processor(method, c).process(QueryTuple(t=t, x=x, y=y))
+
+    def continuous_query(
+        self,
+        queries,
+        method: str = "model-cover",
+    ):
+        """Continuous query mode over a prepared query-tuple stream."""
+        results = []
+        for q in queries:
+            c = self.window_for_time(q.t)
+            results.append(self.processor(method, c).process(q))
+        return results
+
+    def heatmap_grid(
+        self,
+        t: float,
+        bounds: BoundingBox,
+        nx: int = 40,
+        ny: int = 30,
+        method: str = "model-cover",
+    ) -> np.ndarray:
+        """Heatmap visualisation mode: an ``(ny, nx)`` value grid.
+
+        Cells the method cannot answer (no data within radius) are NaN.
+        """
+        c = self.window_for_time(t)
+        proc = self.processor(method, c)
+        out = np.full((ny, nx), np.nan)
+        for j in range(ny):
+            fy = 0.5 if ny == 1 else j / (ny - 1)
+            y = bounds.min_y + fy * bounds.height
+            for i in range(nx):
+                fx = 0.5 if nx == 1 else i / (nx - 1)
+                x = bounds.min_x + fx * bounds.width
+                res = proc.process(QueryTuple(t=t, x=x, y=y))
+                if res.answered:
+                    out[j, i] = res.value
+        return out

@@ -1,0 +1,58 @@
+"""The naive method (Section 2.2).
+
+"The server does an exhaustive search in the window W_c to find all the
+raw tuples that are in a radius r centered at (x_l, y_l).  Then the
+interpolated value ŝ_l is computed as the average value of the sensor
+values s_i found in the radius r."
+
+The scan is a per-tuple Python loop on purpose: this reproduces the cost
+profile of the paper's Python implementation (Section 4.1: "the naive and
+the model cover methods are implemented using Python"), which is what the
+efficiency figure compares against.
+"""
+
+from __future__ import annotations
+
+from repro.data.tuples import QueryTuple, TupleBatch
+from repro.query.base import QueryResult
+
+
+class NaiveProcessor:
+    """Exhaustive radius search over one window of raw tuples."""
+
+    name = "naive"
+
+    def __init__(self, window: TupleBatch, radius_m: float = 1000.0) -> None:
+        if radius_m < 0:
+            raise ValueError("radius must be non-negative")
+        self._window = window
+        self._radius = radius_m
+        # Materialise plain Python lists once; scanning numpy arrays
+        # element-wise would pay boxing costs per access instead.
+        self._xs = window.x.tolist()
+        self._ys = window.y.tolist()
+        self._ss = window.s.tolist()
+
+    @property
+    def radius_m(self) -> float:
+        return self._radius
+
+    @property
+    def window(self) -> TupleBatch:
+        return self._window
+
+    def process(self, query: QueryTuple) -> QueryResult:
+        r2 = self._radius * self._radius
+        qx, qy = query.x, query.y
+        total = 0.0
+        count = 0
+        xs, ys, ss = self._xs, self._ys, self._ss
+        for i in range(len(xs)):
+            dx = xs[i] - qx
+            dy = ys[i] - qy
+            if dx * dx + dy * dy <= r2:
+                total += ss[i]
+                count += 1
+        if not count:
+            return QueryResult(query=query, value=None, support=0)
+        return QueryResult(query=query, value=total / count, support=count)

@@ -1,0 +1,141 @@
+"""Cost-based processor selection — the "platform" layer.
+
+EnviroMeter is a *platform* for querying community-sensed data: a client
+registers a query, and the platform decides how to execute it.  This
+module adds the missing planner: a simple cost model over the three
+method families of Section 2.2, calibrated per window, that picks the
+cheapest processor satisfying the query's accuracy requirements.
+
+Cost model (per query, in abstract scan units):
+
+* naive          — ``H``  (full window scan)
+* indexed        — ``build/H_amortised + hit_fraction * H + log H``
+* model cover    — ``O + fit/amortised``  (O = number of models)
+
+plus a one-time preparation cost (index build / Ad-KMN fit) amortised
+over the expected number of queries against the window.  The model is
+deliberately coarse — its job is to get the *ordering* right, which the
+Figure 6(a) measurements define.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.adkmn import AdKMNConfig, fit_adkmn
+from repro.data.tuples import TupleBatch
+from repro.query.base import PointQueryProcessor
+from repro.query.indexed import IndexedProcessor
+from repro.query.modelcover import ModelCoverProcessor
+from repro.query.naive import NaiveProcessor
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """What the planner knows about the upcoming workload.
+
+    ``expected_queries`` amortises preparation cost; ``needs_exact_average``
+    forces a raw-data method (some clients want the literal radius average,
+    e.g. for calibration against reference stations); ``radius_m`` is the
+    interpolation radius of Query 1.
+    """
+
+    expected_queries: int = 1000
+    needs_exact_average: bool = False
+    radius_m: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.expected_queries < 1:
+            raise ValueError("expected_queries must be at least 1")
+        if self.radius_m < 0:
+            raise ValueError("radius must be non-negative")
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """One candidate plan with its estimated per-query cost."""
+
+    method: str
+    per_query_cost: float
+    preparation_cost: float
+
+
+# Relative preparation costs in the same abstract units, measured once on
+# this implementation (build an index / run Ad-KMN over H tuples).
+_PREP_UNITS = {
+    "naive": 0.0,
+    "rtree": 12.0,     # per tuple: quadratic-split inserts
+    "vptree": 8.0,     # per tuple: recursive median partitioning
+    "model-cover": 40.0,  # per tuple: k-means rounds + regression fits
+}
+
+
+class QueryPlanner:
+    """Chooses and materialises the cheapest processor for one window."""
+
+    def __init__(self, window: TupleBatch, config: Optional[AdKMNConfig] = None) -> None:
+        if not len(window):
+            raise ValueError("cannot plan over an empty window")
+        self._window = window
+        self._config = config or AdKMNConfig()
+        self._estimated_o: Optional[int] = None
+        self._processors: Dict[str, PointQueryProcessor] = {}
+
+    def _expected_models(self) -> int:
+        """Estimate O without running the full fit: one cheap fit, cached."""
+        if self._estimated_o is None:
+            result = fit_adkmn(self._window, self._config)
+            self._estimated_o = result.cover.size
+            # Cache the fitted processor: estimation already paid for it.
+            self._processors["model-cover"] = ModelCoverProcessor(result.cover)
+        return self._estimated_o
+
+    def estimates(self, profile: QueryProfile) -> Dict[str, PlanEstimate]:
+        """Per-method cost estimates for a workload profile."""
+        h = len(self._window)
+        amortise = profile.expected_queries
+        # Fraction of the window a radius search touches, from the window
+        # extent: hit_fraction ~ disk area / covered area (clamped).
+        min_x, max_x = float(min(self._window.x)), float(max(self._window.x))
+        min_y, max_y = float(min(self._window.y)), float(max(self._window.y))
+        area = max((max_x - min_x) * (max_y - min_y), 1.0)
+        hit_fraction = min(math.pi * profile.radius_m**2 / area, 1.0)
+
+        out: Dict[str, PlanEstimate] = {}
+        out["naive"] = PlanEstimate("naive", float(h), 0.0)
+        for kind in ("rtree", "vptree"):
+            prep = _PREP_UNITS[kind] * h
+            per_query = hit_fraction * h + math.log2(max(h, 2)) + prep / amortise
+            out[kind] = PlanEstimate(kind, per_query, prep)
+        if not profile.needs_exact_average:
+            o = self._expected_models()
+            prep = _PREP_UNITS["model-cover"] * h
+            out["model-cover"] = PlanEstimate(
+                "model-cover", float(o) + prep / amortise, prep
+            )
+        return out
+
+    def choose(self, profile: QueryProfile) -> PlanEstimate:
+        """The cheapest plan for the profile."""
+        estimates = self.estimates(profile)
+        return min(estimates.values(), key=lambda e: e.per_query_cost)
+
+    def processor_for(self, profile: QueryProfile) -> PointQueryProcessor:
+        """Materialise (and cache) the chosen plan's processor."""
+        plan = self.choose(profile)
+        if plan.method not in self._processors:
+            if plan.method == "naive":
+                proc: PointQueryProcessor = NaiveProcessor(
+                    self._window, profile.radius_m
+                )
+            elif plan.method == "model-cover":
+                cover = fit_adkmn(self._window, self._config).cover
+                proc = ModelCoverProcessor(cover)
+            else:
+                proc = IndexedProcessor(
+                    self._window, kind=plan.method, radius_m=profile.radius_m
+                )
+            self._processors[plan.method] = proc
+        return self._processors[plan.method]

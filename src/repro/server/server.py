@@ -1,0 +1,132 @@
+"""The EnviroMeter server.
+
+Owns the database (raw tuples + model covers), maintains covers lazily
+(a window's cover is fitted on first demand and reused until the stream
+moves past the window — the paper's "lazy update policies"), and serves
+the two request types of Figure 3:
+
+* a :class:`~repro.network.messages.QueryRequest` is answered with the
+  interpolated value (the baseline path, and the app's point-query mode);
+* a :class:`~repro.network.messages.ModelRequest` is answered with the
+  current window's serialized cover — coefficients, centroids and the
+  validity horizon ``t_n`` (the model-cache path, Section 2.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+from repro.core.adkmn import AdKMNConfig
+from repro.core.builder import CoverBuilder
+from repro.core.cover import ModelCover
+from repro.data.tuples import QueryTuple, TupleBatch
+from repro.network.messages import (
+    ModelCoverResponse,
+    ModelRequest,
+    QueryRequest,
+    ValueResponse,
+)
+from repro.query.modelcover import ModelCoverProcessor
+from repro.storage.engine import Database
+
+
+class EnviroMeterServer:
+    """Server side of the EnviroMeter platform."""
+
+    def __init__(
+        self,
+        h: int = 240,
+        config: Optional[AdKMNConfig] = None,
+        database: Optional[Database] = None,
+        validity_horizon_s: float = 4.0 * 3600.0,
+    ) -> None:
+        """``validity_horizon_s`` is how far past its window's data a
+        served cover is declared valid (its ``t_n``).  The default of four
+        hours matches the paper's largest evaluation window; the cache-TTL
+        ablation sweeps it."""
+        self.db = database or Database.for_enviro_meter()
+        self.h = h
+        self.validity_horizon_s = validity_horizon_s
+        self._builder = CoverBuilder(
+            h, config=config, mode="count", validity_margin_s=validity_horizon_s
+        )
+        self._stream: Optional[TupleBatch] = None
+        self._served_covers = 0
+        self._served_values = 0
+
+    # -- ingestion ----------------------------------------------------------
+
+    def ingest(self, batch: TupleBatch) -> int:
+        """Append community-sensed tuples; invalidates the cover cache for
+        windows the new data may extend."""
+        n = self.db.ingest_tuples(batch)
+        self._stream = None  # refresh snapshot lazily
+        self._builder.invalidate()
+        return n
+
+    def _tuples(self) -> TupleBatch:
+        if self._stream is None:
+            self._stream = self.db.raw_tuples()
+        return self._stream
+
+    # -- cover maintenance ----------------------------------------------------
+
+    def current_window(self, t: float) -> int:
+        """Latest complete-or-current window at time ``t``."""
+        batch = self._tuples()
+        if not len(batch):
+            raise RuntimeError("server has no data")
+        import numpy as np
+
+        pos = int(np.searchsorted(batch.t, t, side="right"))
+        if pos == 0:
+            return 0
+        return max(0, (pos - 1) // self.h)
+
+    def cover_for(self, t: float) -> ModelCover:
+        """The model cover responsible for time ``t`` (fitted lazily and
+        persisted into the ``model_cover`` table on first fit)."""
+        c = self.current_window(t)
+        batch = self._tuples()
+        stored = self.db.cover_blob_for_window(c)
+        if stored is not None:
+            return ModelCover.from_blob(stored[2])
+        result = self._builder.build(batch, c)
+        self.db.store_cover_blob(c, result.cover.valid_until, result.cover.to_blob())
+        return result.cover
+
+    # -- request handling -------------------------------------------------------
+
+    def handle(
+        self, request: Union[QueryRequest, ModelRequest]
+    ) -> Union[ValueResponse, ModelCoverResponse]:
+        """Dispatch one client request."""
+        if isinstance(request, QueryRequest):
+            return self._handle_query(request)
+        if isinstance(request, ModelRequest):
+            return self._handle_model_request(request)
+        raise TypeError(f"server cannot handle {type(request).__name__}")
+
+    def _handle_query(self, request: QueryRequest) -> ValueResponse:
+        cover = self.cover_for(request.t)
+        proc = ModelCoverProcessor(cover)
+        result = proc.process(QueryTuple(t=request.t, x=request.x, y=request.y))
+        self._served_values += 1
+        value = result.value if result.value is not None else math.nan
+        return ValueResponse(t=request.t, value=value)
+
+    def _handle_model_request(self, request: ModelRequest) -> ModelCoverResponse:
+        cover = self.cover_for(request.t)
+        self._served_covers += 1
+        return ModelCoverResponse(blob=cover.to_blob())
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def served_values(self) -> int:
+        return self._served_values
+
+    @property
+    def served_covers(self) -> int:
+        return self._served_covers

@@ -1,0 +1,23 @@
+"""Embedded storage engine.
+
+The EnviroMeter architecture (Figure 1) stores sensed data in a database
+with two tables: ``raw_tuples`` (the sensed measurements) and
+``model_cover`` (the serialized models per window).  This package is that
+database: an embedded, append-only, columnar store with typed schemas,
+window scans, and binary persistence — no external DB dependency.
+"""
+
+from repro.storage.engine import Database
+from repro.storage.persist import load_database, save_database
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.table import Table
+
+__all__ = [
+    "Database",
+    "load_database",
+    "save_database",
+    "Column",
+    "ColumnType",
+    "Schema",
+    "Table",
+]

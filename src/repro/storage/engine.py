@@ -1,0 +1,102 @@
+"""The embedded database: a named collection of tables plus the two
+EnviroMeter-specific accessors (``raw_tuples`` and ``model_cover``).
+
+The server (:mod:`repro.server`) owns one :class:`Database`; the query
+processors read tuple windows out of it and the cover builder writes
+serialized covers back into it, mirroring Figure 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data.tuples import TupleBatch
+from repro.storage.schema import MODEL_COVER_SCHEMA, RAW_TUPLES_SCHEMA, Schema
+from repro.storage.table import Table
+
+
+class Database:
+    """An embedded database instance."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    # -- generic table management -------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> tuple:
+        return tuple(sorted(self._tables))
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise KeyError(f"no table named {name!r}")
+        del self._tables[name]
+
+    # -- EnviroMeter-specific schema ------------------------------------------
+
+    @classmethod
+    def for_enviro_meter(cls) -> "Database":
+        """Database pre-created with the Figure 1 tables."""
+        db = cls()
+        db.create_table("raw_tuples", RAW_TUPLES_SCHEMA)
+        db.create_table("model_cover", MODEL_COVER_SCHEMA)
+        return db
+
+    def ingest_tuples(self, batch: TupleBatch) -> int:
+        """Append a batch of raw measurements to ``raw_tuples``."""
+        table = self.table("raw_tuples")
+        return table.insert_columns(t=batch.t, x=batch.x, y=batch.y, s=batch.s)
+
+    def raw_tuples(self) -> TupleBatch:
+        """Snapshot of all stored raw tuples as a columnar batch."""
+        table = self.table("raw_tuples")
+        cols = table.scan()
+        return TupleBatch(cols["t"], cols["x"], cols["y"], cols["s"])
+
+    def store_cover_blob(self, window_c: int, valid_until: float, blob: bytes) -> int:
+        """Persist one window's serialized model cover."""
+        return self.table("model_cover").insert((window_c, valid_until, blob))
+
+    def latest_cover_blob(self) -> Optional[tuple]:
+        """Most recently stored ``(window_c, valid_until, blob)`` or None."""
+        table = self.table("model_cover")
+        if not len(table):
+            return None
+        window_c = table.column("window_c")
+        valid_until = table.column("valid_until")
+        blobs = table.column("cover_blob")
+        i = len(table) - 1
+        return int(window_c[i]), float(valid_until[i]), blobs[i]
+
+    def cover_blob_for_window(self, window_c: int) -> Optional[tuple]:
+        """Latest stored cover for a specific window, or None."""
+        table = self.table("model_cover")
+        if not len(table):
+            return None
+        windows = table.column("window_c")
+        matches = np.flatnonzero(windows == window_c)
+        if not len(matches):
+            return None
+        i = int(matches[-1])
+        return (
+            int(windows[i]),
+            float(table.column("valid_until")[i]),
+            table.column("cover_blob")[i],
+        )

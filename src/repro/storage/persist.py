@@ -1,0 +1,112 @@
+"""Binary persistence for the embedded database.
+
+A simple length-prefixed container format (magic, version, table count,
+then per table: name, schema, column payloads).  Numeric columns are
+stored as raw little-endian arrays; byte columns as length-prefixed blobs.
+The format is self-describing enough to round-trip any schema built from
+:class:`~repro.storage.schema.ColumnType`.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, Union
+
+import numpy as np
+
+from repro.storage.engine import Database
+from repro.storage.schema import Column, ColumnType, Schema
+
+_MAGIC = b"EMDB"
+_VERSION = 1
+
+_CTYPE_CODES = {ColumnType.FLOAT64: 0, ColumnType.INT64: 1, ColumnType.BYTES: 2}
+_CODE_CTYPES = {v: k for k, v in _CTYPE_CODES.items()}
+_NUMPY_DTYPES = {ColumnType.FLOAT64: "<f8", ColumnType.INT64: "<i8"}
+
+
+def _write_str(f: BinaryIO, s: str) -> None:
+    data = s.encode("utf-8")
+    f.write(struct.pack("<I", len(data)))
+    f.write(data)
+
+
+def _read_str(f: BinaryIO) -> str:
+    (n,) = struct.unpack("<I", _read_exact(f, 4))
+    return _read_exact(f, n).decode("utf-8")
+
+
+def _read_exact(f: BinaryIO, n: int) -> bytes:
+    data = f.read(n)
+    if len(data) != n:
+        raise ValueError("truncated database file")
+    return data
+
+
+def save_database(db: Database, path: Union[str, Path]) -> None:
+    """Serialize every table of ``db`` to ``path``."""
+    path = Path(path)
+    buf = io.BytesIO()
+    buf.write(_MAGIC)
+    buf.write(struct.pack("<I", _VERSION))
+    names = db.table_names()
+    buf.write(struct.pack("<I", len(names)))
+    for name in names:
+        table = db.table(name)
+        _write_str(buf, name)
+        buf.write(struct.pack("<I", len(table.schema)))
+        for col in table.schema.columns:
+            _write_str(buf, col.name)
+            buf.write(struct.pack("<B", _CTYPE_CODES[col.ctype]))
+        buf.write(struct.pack("<Q", len(table)))
+        for col in table.schema.columns:
+            snapshot = table.column(col.name)
+            if col.ctype is ColumnType.BYTES:
+                for blob in snapshot:
+                    buf.write(struct.pack("<I", len(blob)))
+                    buf.write(blob)
+            else:
+                arr = np.asarray(snapshot, dtype=_NUMPY_DTYPES[col.ctype])
+                buf.write(arr.tobytes())
+    path.write_bytes(buf.getvalue())
+
+
+def load_database(path: Union[str, Path]) -> Database:
+    """Load a database written by :func:`save_database`."""
+    path = Path(path)
+    with path.open("rb") as f:
+        if _read_exact(f, 4) != _MAGIC:
+            raise ValueError(f"{path}: not an EnviroMeter database file")
+        (version,) = struct.unpack("<I", _read_exact(f, 4))
+        if version != _VERSION:
+            raise ValueError(f"{path}: unsupported format version {version}")
+        (n_tables,) = struct.unpack("<I", _read_exact(f, 4))
+        db = Database()
+        for _ in range(n_tables):
+            name = _read_str(f)
+            (n_cols,) = struct.unpack("<I", _read_exact(f, 4))
+            cols = []
+            for _ in range(n_cols):
+                col_name = _read_str(f)
+                (code,) = struct.unpack("<B", _read_exact(f, 1))
+                cols.append(Column(col_name, _CODE_CTYPES[code]))
+            schema = Schema(tuple(cols))
+            table = db.create_table(name, schema)
+            (n_rows,) = struct.unpack("<Q", _read_exact(f, 8))
+            columns: dict = {}
+            for col in schema.columns:
+                if col.ctype is ColumnType.BYTES:
+                    blobs = []
+                    for _ in range(n_rows):
+                        (blen,) = struct.unpack("<I", _read_exact(f, 4))
+                        blobs.append(_read_exact(f, blen))
+                    columns[col.name] = blobs
+                else:
+                    raw = _read_exact(f, 8 * n_rows)
+                    columns[col.name] = np.frombuffer(raw, dtype=_NUMPY_DTYPES[col.ctype])
+            # Reassemble rows in insertion order.
+            for i in range(n_rows):
+                table.insert(tuple(columns[c.name][i] for c in schema.columns))
+        return db

@@ -1,0 +1,87 @@
+"""Table schemas for the embedded store.
+
+A :class:`Schema` is an ordered list of typed columns.  Two column types
+cover everything EnviroMeter stores: ``FLOAT64`` for measurements and
+timestamps, ``BYTES`` for serialized model blobs in the ``model_cover``
+table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class ColumnType(enum.Enum):
+    """Physical type of a stored column."""
+
+    FLOAT64 = "float64"
+    INT64 = "int64"
+    BYTES = "bytes"
+
+
+@dataclass(frozen=True)
+class Column:
+    """One named, typed column."""
+
+    name: str
+    ctype: ColumnType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise ValueError(f"invalid column name: {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, duplicate-free collection of columns."""
+
+    columns: Tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate column names in schema: {names}")
+        if not self.columns:
+            raise ValueError("schema needs at least one column")
+
+    @classmethod
+    def of(cls, *specs: Tuple[str, ColumnType]) -> "Schema":
+        """Build a schema from ``(name, type)`` pairs."""
+        return cls(tuple(Column(name, ctype) for name, ctype in specs))
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        for c in self.columns:
+            if c.name == name:
+                return c
+        raise KeyError(f"no column named {name!r}")
+
+    def index_of(self, name: str) -> int:
+        for i, c in enumerate(self.columns):
+            if c.name == name:
+                return i
+        raise KeyError(f"no column named {name!r}")
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+RAW_TUPLES_SCHEMA = Schema.of(
+    ("t", ColumnType.FLOAT64),
+    ("x", ColumnType.FLOAT64),
+    ("y", ColumnType.FLOAT64),
+    ("s", ColumnType.FLOAT64),
+)
+"""Schema of the ``raw_tuples`` table (Figure 1)."""
+
+MODEL_COVER_SCHEMA = Schema.of(
+    ("window_c", ColumnType.INT64),
+    ("valid_until", ColumnType.FLOAT64),
+    ("cover_blob", ColumnType.BYTES),
+)
+"""Schema of the ``model_cover`` table: one serialized cover per window."""

@@ -1,0 +1,160 @@
+"""Append-only columnar tables.
+
+Numeric columns live in chunked numpy arrays; byte columns in Python
+lists.  Appends are O(1) amortised; reads return immutable snapshots so a
+long-running query never sees a half-appended row.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.storage.schema import ColumnType, Schema
+
+_CHUNK = 8_192
+
+
+class _NumericColumn:
+    """Growable float64/int64 column stored as a list of full chunks plus
+    one partially-filled tail chunk."""
+
+    __slots__ = ("dtype", "_chunks", "_tail", "_tail_len")
+
+    def __init__(self, dtype: np.dtype) -> None:
+        self.dtype = dtype
+        self._chunks: List[np.ndarray] = []
+        self._tail = np.empty(_CHUNK, dtype=dtype)
+        self._tail_len = 0
+
+    def append(self, value: float) -> None:
+        self._tail[self._tail_len] = value
+        self._tail_len += 1
+        if self._tail_len == _CHUNK:
+            self._chunks.append(self._tail)
+            self._tail = np.empty(_CHUNK, dtype=self.dtype)
+            self._tail_len = 0
+
+    def extend(self, values: np.ndarray) -> None:
+        for v in np.asarray(values, dtype=self.dtype):
+            self.append(v)
+
+    def __len__(self) -> int:
+        return len(self._chunks) * _CHUNK + self._tail_len
+
+    def snapshot(self) -> np.ndarray:
+        """Immutable copy of the whole column."""
+        parts = self._chunks + [self._tail[: self._tail_len]]
+        out = np.concatenate(parts) if parts else np.empty(0, dtype=self.dtype)
+        out.flags.writeable = False
+        return out
+
+
+class _BytesColumn:
+    """Growable column of ``bytes`` values."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: List[bytes] = []
+
+    def append(self, value: bytes) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError(f"expected bytes, got {type(value).__name__}")
+        self._values.append(bytes(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def snapshot(self) -> Tuple[bytes, ...]:
+        return tuple(self._values)
+
+
+_DTYPES = {
+    ColumnType.FLOAT64: np.dtype(np.float64),
+    ColumnType.INT64: np.dtype(np.int64),
+}
+
+
+class Table:
+    """One append-only table with a fixed :class:`Schema`."""
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        if not name or not name.isidentifier():
+            raise ValueError(f"invalid table name: {name!r}")
+        self.name = name
+        self.schema = schema
+        self._columns: Dict[str, Any] = {}
+        for col in schema.columns:
+            if col.ctype is ColumnType.BYTES:
+                self._columns[col.name] = _BytesColumn()
+            else:
+                self._columns[col.name] = _NumericColumn(_DTYPES[col.ctype])
+        self._row_count = 0
+
+    # -- writes -------------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> int:
+        """Append one row (values in schema order); returns its row id."""
+        if len(row) != len(self.schema):
+            raise ValueError(
+                f"{self.name}: row has {len(row)} values, schema has {len(self.schema)}"
+            )
+        for col, value in zip(self.schema.columns, row):
+            self._columns[col.name].append(value)
+        rid = self._row_count
+        self._row_count += 1
+        return rid
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Append many rows; returns the number inserted."""
+        n = 0
+        for row in rows:
+            self.insert(row)
+            n += 1
+        return n
+
+    def insert_columns(self, **columns: np.ndarray) -> int:
+        """Bulk-append numeric column data given as keyword arrays.
+
+        All schema columns must be provided and be the same length.  Only
+        valid for tables without BYTES columns.
+        """
+        if set(columns) != set(self.schema.names):
+            raise ValueError(
+                f"{self.name}: expected columns {self.schema.names}, got {tuple(columns)}"
+            )
+        arrays = {k: np.asarray(v) for k, v in columns.items()}
+        lengths = {len(a) for a in arrays.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"{self.name}: column arrays have differing lengths")
+        for col in self.schema.columns:
+            store = self._columns[col.name]
+            if isinstance(store, _BytesColumn):
+                raise TypeError(f"{self.name}.{col.name}: bulk insert not supported for BYTES")
+            store.extend(arrays[col.name])
+        (n,) = lengths
+        self._row_count += n
+        return n
+
+    # -- reads --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    def column(self, name: str) -> Any:
+        """Immutable snapshot of one column (ndarray or tuple of bytes)."""
+        self.schema.column(name)  # raises KeyError for unknown names
+        return self._columns[name].snapshot()
+
+    def scan(self) -> Dict[str, Any]:
+        """Snapshot of all columns, keyed by name."""
+        return {name: self.column(name) for name in self.schema.names}
+
+    def row(self, rid: int) -> Tuple[Any, ...]:
+        """One row by id.  O(#columns) snapshots — intended for point
+        lookups in small tables like ``model_cover``, not bulk scans."""
+        if not 0 <= rid < self._row_count:
+            raise IndexError(f"{self.name}: row id {rid} out of range")
+        return tuple(self._columns[name].snapshot()[rid] for name in self.schema.names)

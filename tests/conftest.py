@@ -1,0 +1,46 @@
+"""Shared fixtures: small deterministic datasets and windows.
+
+The full 176 K-tuple dataset takes seconds to generate; tests use a
+truncated 1-day variant (still geo-temporally skewed) cached per session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.lausanne import LausanneConfig, LausanneDataset, generate_lausanne_dataset
+from repro.data.tuples import TupleBatch
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> LausanneDataset:
+    """One simulated day, ~5.9 K tuples, deterministic."""
+    return generate_lausanne_dataset(LausanneConfig(days=1, target_tuples=0, seed=7))
+
+
+@pytest.fixture(scope="session")
+def small_batch(small_dataset) -> TupleBatch:
+    return small_dataset.tuples
+
+
+@pytest.fixture(scope="session")
+def daytime_window(small_batch) -> TupleBatch:
+    """A contiguous in-service window of 240 tuples around 10:00."""
+    anchor = 10.0 * 3600.0
+    pos = int(np.searchsorted(small_batch.t, anchor))
+    start = min(pos, len(small_batch) - 240)
+    return small_batch.slice(start, start + 240)
+
+
+@pytest.fixture()
+def tiny_batch() -> TupleBatch:
+    """Twelve hand-written tuples on a 4x3 grid with a linear field."""
+    xs, ys, ts, ss = [], [], [], []
+    for j in range(3):
+        for i in range(4):
+            xs.append(100.0 * i)
+            ys.append(100.0 * j)
+            ts.append(60.0 * (4 * j + i))
+            ss.append(400.0 + 0.5 * (100.0 * i) + 0.25 * (100.0 * j))
+    return TupleBatch(np.array(ts), np.array(xs), np.array(ys), np.array(ss))

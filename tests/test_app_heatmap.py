@@ -1,0 +1,91 @@
+"""Tests for repro.app.heatmap."""
+
+import numpy as np
+import pytest
+
+from repro.app.heatmap import Heatmap, colorize, render_ascii, render_ppm
+from repro.geo.coords import BoundingBox
+
+
+def gradient_heatmap(nx=4, ny=3):
+    grid = np.linspace(400, 800, nx * ny).reshape(ny, nx)
+    return Heatmap(grid=grid, bounds=BoundingBox(0, 0, 400, 300))
+
+
+class TestHeatmap:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            Heatmap(grid=np.zeros(5), bounds=BoundingBox(0, 0, 1, 1))
+
+    def test_value_range(self):
+        hm = gradient_heatmap()
+        lo, hi = hm.value_range()
+        assert lo == 400.0
+        assert hi == 800.0
+
+    def test_value_range_ignores_nan(self):
+        grid = np.array([[np.nan, 500.0], [600.0, np.nan]])
+        hm = Heatmap(grid=grid, bounds=BoundingBox(0, 0, 1, 1))
+        assert hm.value_range() == (500.0, 600.0)
+
+    def test_all_nan_raises(self):
+        hm = Heatmap(grid=np.full((2, 2), np.nan), bounds=BoundingBox(0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            hm.value_range()
+
+    def test_normalised_in_unit_interval(self):
+        norm = gradient_heatmap().normalised()
+        finite = norm[np.isfinite(norm)]
+        assert np.all(finite >= 0.0)
+        assert np.all(finite <= 1.0)
+
+    def test_normalised_constant_grid(self):
+        hm = Heatmap(grid=np.full((2, 2), 5.0), bounds=BoundingBox(0, 0, 1, 1))
+        assert np.all(hm.normalised() == 0.5)
+
+    def test_cell_center(self):
+        hm = gradient_heatmap(nx=5, ny=4)
+        assert hm.cell_center(0, 0) == (0.0, 0.0)
+        assert hm.cell_center(4, 3) == (400.0, 300.0)
+
+
+class TestRenderers:
+    def test_colorize_shape_and_range(self):
+        rgb = colorize(gradient_heatmap())
+        assert rgb.shape == (3, 4, 3)
+        assert rgb.dtype == np.uint8
+
+    def test_colorize_low_is_green_high_is_red(self):
+        rgb = colorize(gradient_heatmap())
+        low = rgb[0, 0]    # smallest value
+        high = rgb[-1, -1]  # largest value
+        assert low[1] > low[0]   # green dominant
+        assert high[0] > high[1]  # red dominant
+
+    def test_colorize_nan_is_grey(self):
+        grid = np.array([[np.nan, 500.0], [600.0, 700.0]])
+        rgb = colorize(Heatmap(grid=grid, bounds=BoundingBox(0, 0, 1, 1)))
+        assert rgb[0, 0].tolist() == [128, 128, 128]
+
+    def test_ascii_dimensions(self):
+        art = render_ascii(gradient_heatmap())
+        lines = art.split("\n")
+        assert len(lines) == 3
+        assert all(len(line) == 4 for line in lines)
+
+    def test_ascii_north_up(self):
+        # Highest values are in the last grid row (north); rendered first.
+        art = render_ascii(gradient_heatmap())
+        assert art.split("\n")[0][-1] == "@"
+
+    def test_ascii_nan_blank(self):
+        grid = np.array([[np.nan, 500.0], [600.0, 700.0]])
+        art = render_ascii(Heatmap(grid=grid, bounds=BoundingBox(0, 0, 1, 1)))
+        assert " " in art
+
+    def test_ppm_file(self, tmp_path):
+        path = tmp_path / "map.ppm"
+        render_ppm(gradient_heatmap(), path)
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n4 3\n255\n")
+        assert len(data) == len(b"P6\n4 3\n255\n") + 4 * 3 * 3

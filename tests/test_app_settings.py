@@ -1,0 +1,44 @@
+"""Tests for repro.app.settings."""
+
+import pytest
+
+from repro.app.settings import AppSettings
+
+
+class TestValidation:
+    def test_defaults(self):
+        s = AppSettings()
+        assert s.use_model_cache
+        assert s.pollutant == "co2"
+
+    def test_empty_server(self):
+        with pytest.raises(ValueError):
+            AppSettings(server_address="")
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            AppSettings(position_update_interval_s=0)
+
+    def test_bad_pollutant(self):
+        with pytest.raises(ValueError):
+            AppSettings(pollutant="unobtainium")
+
+
+class TestImmutableUpdates:
+    def test_with_interval(self):
+        a = AppSettings()
+        b = a.with_interval(30.0)
+        assert b.position_update_interval_s == 30.0
+        assert a.position_update_interval_s == 60.0
+
+    def test_with_server(self):
+        b = AppSettings().with_server("example.com:9999")
+        assert b.server_address == "example.com:9999"
+
+    def test_with_model_cache(self):
+        b = AppSettings().with_model_cache(False)
+        assert not b.use_model_cache
+
+    def test_updates_still_validated(self):
+        with pytest.raises(ValueError):
+            AppSettings().with_interval(-5.0)

@@ -1,0 +1,67 @@
+"""Tests for repro.app.webapp — the three web-interface modes."""
+
+import numpy as np
+import pytest
+
+from repro.app.webapp import WebInterface
+from repro.geo.coords import BoundingBox
+from repro.query.engine import QueryEngine
+
+
+@pytest.fixture(scope="module")
+def web(small_batch):
+    return WebInterface(QueryEngine(small_batch, h=240))
+
+
+@pytest.fixture(scope="module")
+def t_mid(small_batch):
+    return float(small_batch.t[500])
+
+
+class TestPointQueryMode:
+    def test_reading_with_text(self, web, t_mid):
+        reading = web.point_query(t_mid, 2000.0, 1500.0)
+        assert reading.co2_ppm is not None
+        assert "ppm" in reading.text
+
+    def test_reading_coordinates_echoed(self, web, t_mid):
+        reading = web.point_query(t_mid, 1234.0, 2345.0)
+        assert reading.x == 1234.0
+        assert reading.y == 2345.0
+
+
+class TestContinuousQueryMode:
+    def test_readings_along_route(self, web, t_mid):
+        readings = web.continuous_query(
+            [(1000.0, 1000.0), (3000.0, 2200.0)], t_start=t_mid, updates=10
+        )
+        assert len(readings) == 10
+        answered = [r for r in readings if r.co2_ppm is not None]
+        assert len(answered) == 10
+        assert all(r.marker_color.startswith("#") for r in answered)
+
+    def test_needs_two_points(self, web, t_mid):
+        with pytest.raises(ValueError):
+            web.continuous_query([(0.0, 0.0)], t_start=t_mid)
+
+    def test_route_endpoints_visited(self, web, t_mid):
+        readings = web.continuous_query(
+            [(1000.0, 1000.0), (3000.0, 2200.0)], t_start=t_mid, updates=5
+        )
+        assert (readings[0].x, readings[0].y) == (1000.0, 1000.0)
+        assert (readings[-1].x, readings[-1].y) == (3000.0, 2200.0)
+
+
+class TestHeatmapMode:
+    def test_heatmap_covers_bounds(self, web, t_mid):
+        bounds = BoundingBox(0, 0, 6000, 4000)
+        hm = web.heatmap(t_mid, bounds, nx=10, ny=8)
+        assert hm.shape == (8, 10)
+        assert np.all(np.isfinite(hm.grid))
+
+    def test_centroid_markers(self, web, t_mid):
+        markers = web.centroid_markers(t_mid)
+        assert len(markers) >= 1
+        for m in markers:
+            assert m.co2_ppm >= 0.0
+            assert m.color.startswith("#")

@@ -1,0 +1,54 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_quick_flag(self):
+        args = build_parser().parse_args(["figures", "--quick"])
+        assert args.quick
+
+    def test_dataset_defaults(self):
+        args = build_parser().parse_args(["dataset"])
+        assert args.days == 30
+        assert args.target == 176_000
+
+
+class TestCommands:
+    def test_dataset_command(self, tmp_path, capsys):
+        out = tmp_path / "small.csv"
+        rc = main(
+            ["dataset", "--days", "1", "--target", "500", "--out", str(out)]
+        )
+        assert rc == 0
+        assert out.exists()
+        assert "500 tuples" in capsys.readouterr().out
+        from repro.data.io import read_tuples_csv
+
+        assert len(read_tuples_csv(out)) == 500
+
+    def test_heatmap_ascii(self, capsys):
+        rc = main(["heatmap", "--hour", "9.0", "--width", "20", "--height", "8"])
+        assert rc == 0
+        lines = capsys.readouterr().out.rstrip("\n").split("\n")
+        assert len(lines) == 8
+        assert all(len(line) == 20 for line in lines)
+
+    def test_heatmap_ppm(self, tmp_path, capsys):
+        out = tmp_path / "map.ppm"
+        rc = main(["heatmap", "--out", str(out), "--width", "16", "--height", "8"])
+        assert rc == 0
+        assert out.read_bytes().startswith(b"P6\n16 8\n255\n")
+
+    def test_serve_command(self, capsys):
+        rc = main(["serve", "--days", "1", "--query-every", "14400"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        assert "cover(s)" in out

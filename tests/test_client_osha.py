@@ -1,0 +1,60 @@
+"""Tests for repro.client.osha."""
+
+import pytest
+
+from repro.client.osha import (
+    OSHA_STEL_PPM,
+    OSHA_TWA_PPM,
+    HealthLevel,
+    classify_co2,
+    color_for_level,
+    describe_co2,
+    is_acceptable,
+)
+
+
+class TestClassification:
+    def test_fresh_air(self):
+        assert classify_co2(400.0) is HealthLevel.FRESH
+
+    def test_urban(self):
+        assert classify_co2(600.0) is HealthLevel.ACCEPTABLE
+
+    def test_elevated(self):
+        assert classify_co2(1000.0) is HealthLevel.ELEVATED
+
+    def test_poor(self):
+        assert classify_co2(3000.0) is HealthLevel.POOR
+
+    def test_unsafe_above_twa(self):
+        assert classify_co2(OSHA_TWA_PPM) is HealthLevel.UNSAFE
+
+    def test_hazardous_above_stel(self):
+        assert classify_co2(OSHA_STEL_PPM) is HealthLevel.HAZARDOUS
+
+    def test_monotone_in_concentration(self):
+        levels = [classify_co2(ppm) for ppm in (300, 500, 1000, 2000, 10_000, 50_000)]
+        assert levels == sorted(levels)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            classify_co2(-1.0)
+
+
+class TestPresentation:
+    def test_describe_contains_value_and_verdict(self):
+        text = describe_co2(420.0)
+        assert "420" in text
+        assert "Fresh" in text
+
+    def test_colors_go_green_to_red(self):
+        assert color_for_level(HealthLevel.FRESH) == "#2ecc40"
+        assert color_for_level(HealthLevel.UNSAFE) == "#ff4136"
+        # Every level has a colour.
+        for level in HealthLevel:
+            assert color_for_level(level).startswith("#")
+
+    def test_acceptable_thresholds(self):
+        assert is_acceptable(450.0)
+        assert is_acceptable(4999.0)
+        assert not is_acceptable(5001.0)

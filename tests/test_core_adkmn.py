@@ -1,0 +1,124 @@
+"""Tests for repro.core.adkmn — the paper's core algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.adkmn import AdKMNConfig, fit_adkmn
+from repro.data.tuples import TupleBatch
+
+
+def stepped_field_batch(n_per_cell=50, seed=0):
+    """Four spatial quadrants with sharply different levels: a field a
+    single linear model cannot capture, forcing adaptive splits."""
+    rng = np.random.default_rng(seed)
+    xs, ys, ss = [], [], []
+    levels = {(0, 0): 400.0, (1, 0): 600.0, (0, 1): 800.0, (1, 1): 1000.0}
+    for (qx, qy), level in levels.items():
+        xs.extend(rng.uniform(qx * 1000, qx * 1000 + 900, n_per_cell))
+        ys.extend(rng.uniform(qy * 1000, qy * 1000 + 900, n_per_cell))
+        ss.extend(level + rng.normal(0, 5, n_per_cell))
+    n = len(xs)
+    return TupleBatch(np.arange(n) * 10.0, np.array(xs), np.array(ys), np.array(ss))
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tau_n_pct": 0.0},
+            {"initial_k": 0},
+            {"max_models": 1, "initial_k": 2},
+            {"max_rounds": 0},
+            {"min_split_size": 1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            AdKMNConfig(**kwargs)
+
+
+class TestAdaptivity:
+    def test_splits_until_threshold(self):
+        batch = stepped_field_batch()
+        result = fit_adkmn(batch, AdKMNConfig(tau_n_pct=2.0))
+        assert result.converged
+        assert result.cover.size >= 4  # at least one model per quadrant
+        assert result.worst_error_pct <= 2.0
+
+    def test_no_split_when_field_is_simple(self):
+        rng = np.random.default_rng(0)
+        n = 200
+        x = rng.uniform(0, 1000, n)
+        y = rng.uniform(0, 1000, n)
+        s = 400 + 0.01 * x  # gentle plane, well within tau
+        batch = TupleBatch(np.zeros(n), x, y, s)
+        result = fit_adkmn(batch, AdKMNConfig(tau_n_pct=2.0, initial_k=2))
+        assert result.cover.size == 2  # stays at the k-means start
+        assert result.rounds == 1
+
+    def test_tighter_tau_gives_more_models(self):
+        batch = stepped_field_batch()
+        loose = fit_adkmn(batch, AdKMNConfig(tau_n_pct=10.0))
+        tight = fit_adkmn(batch, AdKMNConfig(tau_n_pct=1.0))
+        assert tight.cover.size >= loose.cover.size
+
+    def test_max_models_cap(self):
+        batch = stepped_field_batch()
+        result = fit_adkmn(batch, AdKMNConfig(tau_n_pct=0.1, max_models=5))
+        assert result.cover.size <= 5
+
+    def test_min_split_size_blocks_tiny_regions(self):
+        batch = stepped_field_batch(n_per_cell=6)  # 24 tuples total
+        result = fit_adkmn(
+            batch, AdKMNConfig(tau_n_pct=0.5, min_split_size=16, initial_k=2)
+        )
+        # Regions of ~12 tuples cannot split further.
+        assert result.cover.size <= 4
+
+    def test_labels_match_nearest_centroid(self):
+        batch = stepped_field_batch()
+        result = fit_adkmn(batch, AdKMNConfig())
+        pts = batch.positions()
+        d2 = np.sum(
+            (pts[:, None, :] - result.cover.centroids[None, :, :]) ** 2, axis=2
+        )
+        assert np.array_equal(result.labels, np.argmin(d2, axis=1))
+
+    def test_deterministic(self):
+        batch = stepped_field_batch()
+        a = fit_adkmn(batch, AdKMNConfig(seed=3))
+        b = fit_adkmn(batch, AdKMNConfig(seed=3))
+        assert np.array_equal(a.cover.centroids, b.cover.centroids)
+
+    def test_region_errors_reported_per_model(self):
+        batch = stepped_field_batch()
+        result = fit_adkmn(batch, AdKMNConfig())
+        assert len(result.region_errors_pct) == result.cover.size
+
+
+class TestEdgeCases:
+    def test_empty_window(self):
+        with pytest.raises(ValueError):
+            fit_adkmn(TupleBatch.empty())
+
+    def test_single_tuple(self):
+        batch = TupleBatch([0.0], [1.0], [1.0], [400.0])
+        result = fit_adkmn(batch, AdKMNConfig(initial_k=2))
+        assert result.cover.size == 1  # k clamped to n
+
+    def test_valid_until_defaults_to_window_end(self):
+        batch = stepped_field_batch()
+        result = fit_adkmn(batch)
+        assert result.cover.valid_until == float(np.max(batch.t))
+
+    def test_valid_until_override(self):
+        batch = stepped_field_batch()
+        result = fit_adkmn(batch, valid_until=1e9, window_c=7)
+        assert result.cover.valid_until == 1e9
+        assert result.cover.window_c == 7
+
+    def test_family_propagates(self):
+        batch = stepped_field_batch()
+        result = fit_adkmn(batch, AdKMNConfig(family="mean", tau_n_pct=5.0))
+        assert result.cover.family == "mean"
+        assert result.cover.models[0].family == "mean"

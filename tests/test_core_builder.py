@@ -1,0 +1,97 @@
+"""Tests for repro.core.builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import CoverBuilder
+from repro.core.cover import ModelCover
+from repro.storage.engine import Database
+
+
+class TestValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            CoverBuilder(10, mode="banana")
+
+    def test_bad_h(self):
+        with pytest.raises(ValueError):
+            CoverBuilder(0)
+
+    def test_bad_margin(self):
+        with pytest.raises(ValueError):
+            CoverBuilder(10, validity_margin_s=-1)
+
+
+class TestCountMode(object):
+    def test_build_window(self, small_batch):
+        builder = CoverBuilder(240)
+        result = builder.build(small_batch, 0)
+        assert result.cover.window_c == 0
+        assert result.cover.size >= 1
+
+    def test_valid_until_is_window_end(self, small_batch):
+        builder = CoverBuilder(240)
+        cover = builder.cover(small_batch, 1)
+        assert cover.valid_until == pytest.approx(float(small_batch.t[479]))
+
+    def test_validity_margin_extends(self, small_batch):
+        margin = 3600.0
+        base = CoverBuilder(240).cover(small_batch, 1)
+        extended = CoverBuilder(240, validity_margin_s=margin).cover(small_batch, 1)
+        assert extended.valid_until == pytest.approx(base.valid_until + margin)
+
+    def test_cache_returns_same_object(self, small_batch):
+        builder = CoverBuilder(240)
+        assert builder.build(small_batch, 0) is builder.build(small_batch, 0)
+
+    def test_invalidate_all(self, small_batch):
+        builder = CoverBuilder(240)
+        first = builder.build(small_batch, 0)
+        builder.invalidate()
+        assert builder.build(small_batch, 0) is not first
+
+    def test_invalidate_single(self, small_batch):
+        builder = CoverBuilder(240)
+        a = builder.build(small_batch, 0)
+        b = builder.build(small_batch, 1)
+        builder.invalidate(0)
+        assert builder.build(small_batch, 0) is not a
+        assert builder.build(small_batch, 1) is b
+
+    def test_build_all_covers_every_window(self, small_batch):
+        builder = CoverBuilder(1000)
+        results = list(builder.build_all(small_batch))
+        expected = (len(small_batch) + 999) // 1000
+        assert len(results) == expected
+
+    def test_empty_window_raises(self, small_batch):
+        builder = CoverBuilder(240)
+        with pytest.raises((ValueError, IndexError)):
+            builder.build(small_batch, 10_000)
+
+
+class TestTimeMode:
+    def test_time_window_valid_until(self, small_batch):
+        builder = CoverBuilder(3600.0, mode="time")
+        # Find a window with data: 10:00-11:00 on day 0.
+        c = 10
+        result = builder.build(small_batch, c)
+        assert result.cover.valid_until == pytest.approx((c + 1) * 3600.0)
+
+    def test_build_all_rejected(self, small_batch):
+        builder = CoverBuilder(3600.0, mode="time")
+        with pytest.raises(ValueError):
+            list(builder.build_all(small_batch))
+
+
+class TestPersist:
+    def test_persist_stores_blob(self, small_batch):
+        builder = CoverBuilder(240)
+        db = Database.for_enviro_meter()
+        builder.persist(db, small_batch, 2)
+        stored = db.cover_blob_for_window(2)
+        assert stored is not None
+        window_c, valid_until, blob = stored
+        cover = ModelCover.from_blob(blob)
+        assert cover.window_c == 2
+        assert cover.valid_until == valid_until

@@ -1,0 +1,82 @@
+"""Tests for repro.core.confidence."""
+
+import numpy as np
+import pytest
+
+from repro.core.adkmn import AdKMNConfig, fit_adkmn
+from repro.core.confidence import ConfidenceCover, ConfidentValue
+from repro.data.tuples import TupleBatch
+
+
+def noisy_window(noise=10.0, n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 2000, n)
+    y = rng.uniform(0, 2000, n)
+    s = 450.0 + 0.05 * x + rng.normal(0, noise, n)
+    return TupleBatch(np.arange(n) * 10.0, x, y, s)
+
+
+class TestConfidentValue:
+    def test_interval_symmetric(self):
+        cv = ConfidentValue(value=500.0, std=10.0, region=0, support=20)
+        lo, hi = cv.interval()
+        assert lo == pytest.approx(500.0 - 1.96 * 10.0, rel=1e-3)
+        assert hi == pytest.approx(500.0 + 1.96 * 10.0, rel=1e-3)
+
+    def test_custom_z(self):
+        cv = ConfidentValue(value=0.0, std=1.0, region=0, support=5)
+        assert cv.interval(z=1.0) == (-1.0, 1.0)
+
+    def test_negative_z_rejected(self):
+        with pytest.raises(ValueError):
+            ConfidentValue(0, 1, 0, 1).interval(z=-1)
+
+
+class TestConfidenceCover:
+    def test_std_tracks_sensor_noise(self):
+        w = noisy_window(noise=10.0)
+        result = fit_adkmn(w, AdKMNConfig(tau_n_pct=5.0))
+        conf = ConfidenceCover(result, w)
+        cv = conf.predict(0.0, 1000.0, 1000.0)
+        # Residual std should be near the injected noise level.
+        assert 5.0 < cv.std < 20.0
+        assert cv.support > 0
+
+    def test_noisier_data_wider_intervals(self):
+        quiet = noisy_window(noise=5.0, seed=1)
+        loud = noisy_window(noise=40.0, seed=1)
+        cfg = AdKMNConfig(tau_n_pct=10.0)
+        conf_q = ConfidenceCover(fit_adkmn(quiet, cfg), quiet)
+        conf_l = ConfidenceCover(fit_adkmn(loud, cfg), loud)
+        assert conf_l.predict(0, 1000, 1000).std > conf_q.predict(0, 1000, 1000).std
+
+    def test_prediction_matches_plain_cover(self):
+        w = noisy_window()
+        result = fit_adkmn(w, AdKMNConfig(tau_n_pct=5.0))
+        conf = ConfidenceCover(result, w)
+        cv = conf.predict(0.0, 500.0, 1500.0)
+        assert cv.value == pytest.approx(result.cover.predict(0.0, 500.0, 1500.0))
+
+    def test_region_std_bounds(self):
+        w = noisy_window()
+        result = fit_adkmn(w, AdKMNConfig(tau_n_pct=5.0))
+        conf = ConfidenceCover(result, w)
+        for k in range(result.cover.size):
+            assert conf.region_std(k) >= 0.0
+        with pytest.raises(IndexError):
+            conf.region_std(result.cover.size)
+
+    def test_labels_window_mismatch(self):
+        w = noisy_window()
+        result = fit_adkmn(w, AdKMNConfig(tau_n_pct=5.0))
+        with pytest.raises(ValueError):
+            ConfidenceCover(result, w.slice(0, 10))
+
+    def test_worst_region_is_argmax(self):
+        w = noisy_window()
+        result = fit_adkmn(w, AdKMNConfig(tau_n_pct=5.0))
+        conf = ConfidenceCover(result, w)
+        worst = conf.worst_region()
+        assert conf.region_std(worst) == max(
+            conf.region_std(k) for k in range(result.cover.size)
+        )

@@ -1,0 +1,109 @@
+"""Tests for repro.core.cover."""
+
+import numpy as np
+import pytest
+
+from repro.core.cover import ModelCover
+from repro.models.linear import LinearModel
+from repro.models.mean import MeanModel
+
+
+def make_cover(valid_until=1000.0):
+    models = [MeanModel(400.0), MeanModel(600.0), MeanModel(800.0)]
+    centroids = np.array([[0.0, 0.0], [1000.0, 0.0], [0.0, 1000.0]])
+    return ModelCover(
+        centroids=centroids,
+        models=models,
+        valid_until=valid_until,
+        family="mean",
+        window_c=3,
+    )
+
+
+class TestValidation:
+    def test_mismatched_counts(self):
+        with pytest.raises(ValueError):
+            ModelCover(
+                centroids=np.zeros((2, 2)),
+                models=[MeanModel(1.0)],
+                valid_until=0.0,
+                family="mean",
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ModelCover(
+                centroids=np.zeros((0, 2)), models=[], valid_until=0.0, family="mean"
+            )
+
+    def test_bad_centroid_shape(self):
+        with pytest.raises(ValueError):
+            ModelCover(
+                centroids=np.zeros((1, 3)),
+                models=[MeanModel(1.0)],
+                valid_until=0.0,
+                family="mean",
+            )
+
+
+class TestQuerying:
+    def test_nearest_index(self):
+        cover = make_cover()
+        assert cover.nearest_index(10, 10) == 0
+        assert cover.nearest_index(900, 100) == 1
+        assert cover.nearest_index(100, 900) == 2
+
+    def test_predict_uses_owner_model(self):
+        cover = make_cover()
+        assert cover.predict(0, 10, 10) == 400.0
+        assert cover.predict(0, 990, 0) == 600.0
+
+    def test_predict_batch_matches_scalar(self):
+        cover = make_cover()
+        xs = np.array([10.0, 990.0, 100.0])
+        ys = np.array([10.0, 0.0, 900.0])
+        ts = np.zeros(3)
+        out = cover.predict_batch(ts, xs, ys)
+        assert out.tolist() == [400.0, 600.0, 800.0]
+
+    def test_validity(self):
+        cover = make_cover(valid_until=500.0)
+        assert cover.is_valid_at(500.0)  # t_l <= t_n
+        assert not cover.is_valid_at(500.1)
+
+
+class TestSerialization:
+    def test_round_trip_mean(self):
+        cover = make_cover()
+        rebuilt = ModelCover.from_blob(cover.to_blob())
+        assert rebuilt.size == cover.size
+        assert rebuilt.family == "mean"
+        assert rebuilt.window_c == 3
+        assert rebuilt.valid_until == cover.valid_until
+        assert np.array_equal(rebuilt.centroids, cover.centroids)
+        assert rebuilt.predict(0, 10, 10) == cover.predict(0, 10, 10)
+
+    def test_round_trip_linear(self, tiny_batch):
+        model = LinearModel.fit(tiny_batch)
+        cover = ModelCover(
+            centroids=np.array([[150.0, 100.0]]),
+            models=[model],
+            valid_until=42.0,
+            family="linear",
+        )
+        rebuilt = ModelCover.from_blob(cover.to_blob())
+        assert rebuilt.predict(0, 120, 80) == pytest.approx(cover.predict(0, 120, 80))
+
+    def test_not_a_blob(self):
+        with pytest.raises(ValueError, match="not a model-cover blob"):
+            ModelCover.from_blob(b"garbage!")
+
+    def test_trailing_bytes_rejected(self):
+        blob = make_cover().to_blob() + b"\x00"
+        with pytest.raises(ValueError, match="trailing"):
+            ModelCover.from_blob(blob)
+
+    def test_wire_size_small(self):
+        # 3 mean models: the whole cover fits in well under 200 bytes —
+        # the quantitative heart of Figures 7(a)/(b).
+        assert make_cover().wire_size_bytes() < 200

@@ -1,0 +1,69 @@
+"""Tests for repro.core.variants (Ad-GRID and Ad-SPLIT)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adkmn import AdKMNConfig
+from repro.core.variants import fit_adgrid, fit_adsplit
+from repro.data.tuples import TupleBatch
+from tests.test_core_adkmn import stepped_field_batch
+
+
+@pytest.mark.parametrize("fit", [fit_adgrid, fit_adsplit])
+class TestCommonBehaviour:
+    def test_empty_raises(self, fit):
+        with pytest.raises(ValueError):
+            fit(TupleBatch.empty())
+
+    def test_produces_valid_cover(self, fit):
+        batch = stepped_field_batch()
+        result = fit(batch, AdKMNConfig(tau_n_pct=2.0))
+        cover = result.cover
+        assert cover.size >= 1
+        assert len(result.region_errors_pct) == cover.size
+        assert len(result.labels) == len(batch)
+        # Serialization works for variant covers too.
+        rebuilt_size = type(cover).from_blob(cover.to_blob()).size
+        assert rebuilt_size == cover.size
+
+    def test_adapts_on_stepped_field(self, fit):
+        batch = stepped_field_batch()
+        result = fit(batch, AdKMNConfig(tau_n_pct=2.0))
+        assert result.cover.size >= 4
+
+    def test_respects_max_models(self, fit):
+        batch = stepped_field_batch()
+        result = fit(batch, AdKMNConfig(tau_n_pct=0.05, max_models=6))
+        assert result.cover.size <= 6
+
+    def test_valid_until_override(self, fit):
+        batch = stepped_field_batch()
+        result = fit(batch, valid_until=123.0, window_c=9)
+        assert result.cover.valid_until == 123.0
+        assert result.cover.window_c == 9
+
+
+class TestAdGridSpecifics:
+    def test_centroids_are_cell_centres_inside_extent(self):
+        batch = stepped_field_batch()
+        result = fit_adgrid(batch, AdKMNConfig(tau_n_pct=2.0))
+        cx = result.cover.centroids[:, 0]
+        cy = result.cover.centroids[:, 1]
+        assert np.all(cx >= batch.x.min() - 1)
+        assert np.all(cx <= batch.x.max() + 1)
+        assert np.all(cy >= batch.y.min() - 1)
+        assert np.all(cy <= batch.y.max() + 1)
+
+    def test_labels_cover_all_tuples(self):
+        batch = stepped_field_batch()
+        result = fit_adgrid(batch, AdKMNConfig(tau_n_pct=2.0))
+        counts = np.bincount(result.labels, minlength=result.cover.size)
+        assert counts.sum() == len(batch)
+
+
+class TestAdSplitSpecifics:
+    def test_monotone_model_growth(self):
+        batch = stepped_field_batch()
+        coarse = fit_adsplit(batch, AdKMNConfig(tau_n_pct=8.0))
+        fine = fit_adsplit(batch, AdKMNConfig(tau_n_pct=1.0))
+        assert fine.cover.size >= coarse.cover.size

@@ -1,0 +1,103 @@
+"""Tests for repro.data.field."""
+
+import numpy as np
+import pytest
+
+from repro.data.field import (
+    SECONDS_PER_DAY,
+    DiurnalTrafficCycle,
+    EmissionSource,
+    PollutionField,
+    default_lausanne_field,
+)
+
+
+class TestEmissionSource:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmissionSource(0, 0, 100, sigma_m=0)
+        with pytest.raises(ValueError):
+            EmissionSource(0, 0, -1, sigma_m=10)
+        with pytest.raises(ValueError):
+            EmissionSource(0, 0, 1, sigma_m=10, traffic_coupling=1.5)
+
+    def test_peak_at_center(self):
+        src = EmissionSource(100, 100, amplitude_ppm=200, sigma_m=50)
+        full = src.excess_at(np.array([100.0]), np.array([100.0]), np.array([1.0]))
+        assert full[0] == pytest.approx(200.0)
+
+    def test_decay_with_distance(self):
+        src = EmissionSource(0, 0, amplitude_ppm=200, sigma_m=50)
+        traffic = np.array([1.0])
+        near = src.excess_at(np.array([10.0]), np.array([0.0]), traffic)[0]
+        far = src.excess_at(np.array([200.0]), np.array([0.0]), traffic)[0]
+        assert near > far
+
+    def test_traffic_coupling_zero_is_constant(self):
+        src = EmissionSource(0, 0, 100, 50, traffic_coupling=0.0)
+        lo = src.excess_at(np.array([0.0]), np.array([0.0]), np.array([0.0]))[0]
+        hi = src.excess_at(np.array([0.0]), np.array([0.0]), np.array([1.0]))[0]
+        assert lo == pytest.approx(hi)
+
+
+class TestDiurnalTrafficCycle:
+    def setup_method(self):
+        self.cycle = DiurnalTrafficCycle()
+
+    def test_range(self):
+        t = np.linspace(0, 7 * SECONDS_PER_DAY, 1000)
+        intensity = self.cycle.intensity(t)
+        assert np.all(intensity >= 0.0)
+        assert np.all(intensity <= 1.0)
+
+    def test_rush_hour_peaks(self):
+        morning = self.cycle.intensity(np.array([8.0 * 3600]))[0]
+        night = self.cycle.intensity(np.array([3.0 * 3600]))[0]
+        assert morning > 3 * night
+
+    def test_weekend_scaled_down(self):
+        # Day 5 is a weekend day; same hour on day 0 is a weekday.
+        weekday = self.cycle.intensity(np.array([8.0 * 3600]))[0]
+        weekend = self.cycle.intensity(np.array([5 * SECONDS_PER_DAY + 8.0 * 3600]))[0]
+        assert weekend == pytest.approx(weekday * self.cycle.weekend_factor)
+
+
+class TestPollutionField:
+    def setup_method(self):
+        self.field = default_lausanne_field()
+
+    def test_scalar_matches_vector(self):
+        v = self.field.value(3600.0, 1500.0, 1200.0)
+        arr = self.field.values(
+            np.array([3600.0]), np.array([1500.0]), np.array([1200.0])
+        )
+        assert v == pytest.approx(float(arr[0]))
+
+    def test_above_ambient_everywhere(self):
+        t = np.full(10, 8 * 3600.0)
+        x = np.linspace(0, 6000, 10)
+        y = np.linspace(0, 4000, 10)
+        assert np.all(self.field.values(t, x, y) >= self.field.ambient_ppm)
+
+    def test_plume_raises_concentration(self):
+        at_plume = self.field.value(8 * 3600.0, 1500.0, 1200.0)  # gare source
+        remote = self.field.value(8 * 3600.0, 5900.0, 100.0)
+        assert at_plume > remote + 50
+
+    def test_diurnal_variation(self):
+        rush = self.field.value(8 * 3600.0, 1500.0, 1200.0)
+        night = self.field.value(3 * 3600.0, 1500.0, 1200.0)
+        assert rush > night
+
+    def test_grid_shape_and_orientation(self):
+        xs = np.linspace(0, 6000, 8)
+        ys = np.linspace(0, 4000, 5)
+        grid = self.field.grid(8 * 3600.0, xs, ys)
+        assert grid.shape == (5, 8)
+        # Row 0 is ys[0]; value must equal direct evaluation.
+        assert grid[0, 3] == pytest.approx(self.field.value(8 * 3600.0, xs[3], ys[0]))
+
+    def test_deterministic_given_seed(self):
+        a = default_lausanne_field(seed=3)
+        b = default_lausanne_field(seed=3)
+        assert a.value(0, 100, 100) == b.value(0, 100, 100)

@@ -1,0 +1,97 @@
+"""Tests for repro.data.lausanne (the synthetic dataset generator)."""
+
+import numpy as np
+import pytest
+
+from repro.data.field import SECONDS_PER_DAY
+from repro.data.lausanne import (
+    LausanneConfig,
+    generate_lausanne_dataset,
+    generate_small_dataset,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        LausanneConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"days": 0},
+            {"sampling_interval_s": 0},
+            {"dropout_rate": 1.0},
+            {"noise_ppm": -1},
+            {"gps_jitter_m": -1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            LausanneConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        cfg = LausanneConfig(days=1, target_tuples=0)
+        a = generate_lausanne_dataset(cfg)
+        b = generate_lausanne_dataset(cfg)
+        assert np.array_equal(a.tuples.t, b.tuples.t)
+        assert np.array_equal(a.tuples.s, b.tuples.s)
+
+    def test_time_sorted(self, small_dataset):
+        assert small_dataset.tuples.is_time_sorted()
+
+    def test_values_non_negative(self, small_dataset):
+        assert np.all(small_dataset.tuples.s >= 0.0)
+
+    def test_truth_recorded_per_tuple(self, small_dataset):
+        assert len(small_dataset.truth) == len(small_dataset)
+        # Noise is zero-mean: measured values straddle the truth.
+        residual = small_dataset.tuples.s - small_dataset.truth
+        assert abs(float(np.mean(residual))) < 2.0
+
+    def test_temporal_skew_no_night_data(self, small_dataset):
+        hours = (small_dataset.tuples.t % SECONDS_PER_DAY) / 3600.0
+        assert not np.any((hours >= 0.0) & (hours < 5.0))
+
+    def test_geographic_skew_data_on_routes(self, small_dataset):
+        # Every sample lies within GPS jitter of one of the two polylines.
+        from repro.geo.coords import euclidean
+
+        routes = small_dataset.routes
+        xs, ys = small_dataset.tuples.x, small_dataset.tuples.y
+        for i in range(0, len(xs), 97):
+            d_min = min(
+                min(
+                    euclidean(xs[i], ys[i], *route.position_at_offset(o))
+                    for o in np.linspace(0, route.length_m, 200)
+                )
+                for route in routes
+            )
+            assert d_min < 80.0
+
+    def test_target_tuple_subsampling(self):
+        cfg = LausanneConfig(days=2, target_tuples=1000)
+        ds = generate_lausanne_dataset(cfg)
+        assert len(ds) == 1000
+        assert ds.tuples.is_time_sorted()
+
+    def test_full_scale_count(self):
+        # The headline dataset property: 176 K raw tuples over 30 days.
+        ds = generate_lausanne_dataset()
+        assert len(ds) == 176_000
+        assert ds.tuples.t[-1] < 30 * SECONDS_PER_DAY
+
+    def test_covered_bbox_inside_region(self, small_dataset):
+        bbox = small_dataset.covered_bbox()
+        region = small_dataset.region.bounds
+        assert bbox.min_x >= region.min_x - 100
+        assert bbox.max_x <= region.max_x + 100
+
+
+class TestSmallDataset:
+    def test_truncation(self):
+        ds = generate_small_dataset(n_hours=8)
+        assert len(ds) > 100
+        assert float(ds.tuples.t[-1]) < 8 * 3600.0
+        assert len(ds.truth) == len(ds)

@@ -1,0 +1,86 @@
+"""Tests for repro.data.multipollutant."""
+
+import numpy as np
+import pytest
+
+from repro.data.lausanne import LausanneConfig
+from repro.data.multipollutant import (
+    field_for_pollutant,
+    generate_all_pollutants,
+    generate_pollutant_dataset,
+    tau_for_pollutant,
+)
+
+
+class TestFields:
+    def test_unknown_pollutant(self):
+        with pytest.raises(KeyError):
+            field_for_pollutant("ozone")
+
+    def test_co2_matches_reference_scale(self):
+        field = field_for_pollutant("co2")
+        v = field.value(8 * 3600.0, 1500.0, 1200.0)
+        assert 400.0 < v < 900.0
+
+    def test_co_is_single_digit_ppm(self):
+        field = field_for_pollutant("co")
+        v = field.value(8 * 3600.0, 1500.0, 1200.0)
+        assert 0.0 < v < 10.0
+
+    def test_pm_in_tens(self):
+        field = field_for_pollutant("pm")
+        v = field.value(8 * 3600.0, 1500.0, 1200.0)
+        assert 10.0 < v < 150.0
+
+    def test_shared_emission_geometry(self):
+        """All pollutants peak at the same junctions."""
+        co2 = field_for_pollutant("co2")
+        co = field_for_pollutant("co")
+        t = 8 * 3600.0
+        at_plume_co2 = co2.value(t, 1500.0, 1200.0) - co2.value(t, 5900.0, 200.0)
+        at_plume_co = co.value(t, 1500.0, 1200.0) - co.value(t, 5900.0, 200.0)
+        assert at_plume_co2 > 0
+        assert at_plume_co > 0
+
+
+class TestDatasets:
+    def test_per_pollutant_dataset(self):
+        cfg = LausanneConfig(days=1, target_tuples=0)
+        ds = generate_pollutant_dataset("co", cfg)
+        assert len(ds) > 1000
+        assert np.all(ds.tuples.s >= 0.0)
+        # CO values live on the CO scale, not the CO2 scale.
+        assert float(np.median(ds.tuples.s)) < 20.0
+
+    def test_trajectories_shared_across_pollutants(self):
+        cfg = LausanneConfig(days=1, target_tuples=0)
+        co2 = generate_pollutant_dataset("co2", cfg)
+        pm = generate_pollutant_dataset("pm", cfg)
+        assert np.array_equal(co2.tuples.t, pm.tuples.t)
+        assert np.array_equal(co2.tuples.x, pm.tuples.x)
+
+    def test_generate_all(self):
+        cfg = LausanneConfig(days=1, target_tuples=0)
+        all_ds = generate_all_pollutants(cfg)
+        assert set(all_ds) == {"co", "co2", "pm"}
+
+
+class TestAdKMNIntegration:
+    def test_tau_kwargs(self):
+        kwargs = tau_for_pollutant("co", tau_pct=3.0)
+        assert kwargs["tau_n_pct"] == 3.0
+        assert kwargs["normal_range"] == (0.0, 30.0)
+
+    def test_cover_fits_on_co_data(self):
+        from repro.core.adkmn import AdKMNConfig, fit_adkmn
+        from repro.data.windows import window
+
+        cfg = LausanneConfig(days=1, target_tuples=0)
+        ds = generate_pollutant_dataset("co", cfg)
+        c = int(np.searchsorted(ds.tuples.t, 10 * 3600.0)) // 240
+        w = window(ds.tuples, c, 240)
+        result = fit_adkmn(w, AdKMNConfig(**tau_for_pollutant("co")))
+        assert result.cover.size >= 1
+        # Predictions are on the CO scale.
+        v = result.cover.predict(float(w.t[0]), 2000.0, 1500.0)
+        assert -2.0 < v < 15.0

@@ -1,0 +1,69 @@
+"""Tests for repro.data.pollutants."""
+
+import pytest
+
+from repro.data.pollutants import (
+    CO,
+    CO2,
+    PM10,
+    Pollutant,
+    get_pollutant,
+    registered_pollutants,
+)
+
+
+class TestRegistry:
+    def test_three_pollutants(self):
+        assert registered_pollutants() == ("co", "co2", "pm")
+
+    def test_lookup(self):
+        assert get_pollutant("co2") is CO2
+        assert get_pollutant("co") is CO
+        assert get_pollutant("pm") is PM10
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown pollutant"):
+            get_pollutant("ozone")
+
+
+class TestValidation:
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            Pollutant("x", "x", "ppm", (10.0, 10.0), ((1.0, "a"),), ambient=0.0)
+
+    def test_unordered_bands(self):
+        with pytest.raises(ValueError):
+            Pollutant(
+                "x", "x", "ppm", (0.0, 10.0), ((5.0, "a"), (1.0, "b")), ambient=0.0
+            )
+
+    def test_no_bands(self):
+        with pytest.raises(ValueError):
+            Pollutant("x", "x", "ppm", (0.0, 10.0), (), ambient=0.0)
+
+
+class TestBands:
+    def test_co2_bands(self):
+        assert CO2.band(400.0) == "fresh"
+        assert CO2.band(600.0) == "acceptable"
+        assert CO2.band(6000.0) == "unsafe"
+        assert CO2.band(50_000.0) == "unsafe"  # past the last threshold
+
+    def test_co_bands(self):
+        assert CO.band(0.4) == "fresh"
+        assert CO.band(30.0) == "poor"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CO2.band(-1.0)
+
+    def test_range_width_is_footnote1_denominator(self):
+        assert CO2.range_width == 650.0
+
+    def test_adkmn_accepts_any_pollutant_range(self, daytime_window):
+        """The pollutant's normal range plugs straight into Ad-KMN."""
+        from repro.core.adkmn import AdKMNConfig, fit_adkmn
+
+        cfg = AdKMNConfig(tau_n_pct=2.0, normal_range=CO2.normal_range)
+        result = fit_adkmn(daytime_window, cfg)
+        assert result.cover.size >= 1

@@ -1,0 +1,145 @@
+"""Tests for repro.data.quality."""
+
+import numpy as np
+import pytest
+
+from repro.data.quality import (
+    QualityConfig,
+    duplicate_mask,
+    range_mask,
+    region_mask,
+    screen_window,
+    spike_mask,
+)
+from repro.data.tuples import TupleBatch
+from repro.geo.coords import BoundingBox
+from repro.geo.region import Region
+
+
+def clean_batch(n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    return TupleBatch(
+        np.arange(n) * 60.0,
+        rng.uniform(0, 5000, n),
+        rng.uniform(0, 3000, n),
+        450.0 + rng.normal(0, 10, n),
+    )
+
+
+REGION = Region("lausanne", BoundingBox(0, 0, 6000, 4000))
+
+
+class TestConfigValidation:
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            QualityConfig(physical_range=(10.0, 10.0))
+
+    def test_invalid_mad(self):
+        with pytest.raises(ValueError):
+            QualityConfig(mad_threshold=0)
+
+
+class TestIndividualChecks:
+    def test_range_mask(self):
+        batch = TupleBatch([0, 1, 2], [0, 0, 0], [0, 0, 0], [-5.0, 450.0, 20_000.0])
+        mask = range_mask(batch, (0.0, 10_000.0))
+        assert mask.tolist() == [False, True, False]
+
+    def test_region_mask(self):
+        batch = TupleBatch([0, 1], [100.0, -999.0], [100.0, 100.0], [450.0, 450.0])
+        assert region_mask(batch, REGION).tolist() == [True, False]
+
+    def test_spike_mask_flags_outlier(self):
+        batch = clean_batch()
+        spiked = TupleBatch(
+            np.append(batch.t, 99_999.0),
+            np.append(batch.x, 100.0),
+            np.append(batch.y, 100.0),
+            np.append(batch.s, 5_000.0),  # wild spike
+        )
+        mask = spike_mask(spiked, mad_threshold=6.0)
+        assert not mask[-1]
+        assert np.sum(~mask) == 1
+
+    def test_spike_mask_small_batches_pass(self):
+        batch = TupleBatch([0, 1], [0, 0], [0, 0], [400.0, 9_999.0])
+        assert spike_mask(batch, 6.0).all()
+
+    def test_spike_mask_constant_window_passes(self):
+        batch = TupleBatch(
+            np.arange(10.0), np.zeros(10), np.zeros(10), np.full(10, 450.0)
+        )
+        assert spike_mask(batch, 6.0).all()
+
+    def test_duplicate_mask_keeps_first(self):
+        batch = TupleBatch(
+            [0.0, 0.0, 1.0], [5.0, 5.0, 5.0], [5.0, 5.0, 5.0], [450.0, 451.0, 452.0]
+        )
+        assert duplicate_mask(batch).tolist() == [True, False, True]
+
+
+class TestScreenWindow:
+    def test_clean_data_untouched(self):
+        batch = clean_batch()
+        clean, report = screen_window(batch, region=REGION)
+        assert len(clean) == len(batch)
+        assert report.rejected == 0
+        assert report.rejection_rate == 0.0
+
+    def test_empty_window(self):
+        clean, report = screen_window(TupleBatch.empty())
+        assert len(clean) == 0
+        assert report.total == 0
+
+    def test_each_fault_charged_once(self):
+        base = clean_batch(n=40)
+        # Append: one out-of-range, one out-of-region, one duplicate of
+        # row 0, one spike.
+        t = np.append(base.t, [9000.0, 9001.0, base.t[0], 9003.0])
+        x = np.append(base.x, [100.0, -5000.0, base.x[0], 200.0])
+        y = np.append(base.y, [100.0, 100.0, base.y[0], 200.0])
+        s = np.append(base.s, [-10.0, 450.0, 450.0, 3000.0])
+        dirty = TupleBatch(t, x, y, s)
+        clean, report = screen_window(dirty, region=REGION)
+        assert report.out_of_range == 1
+        assert report.out_of_region == 1
+        assert report.duplicates == 1
+        assert report.spikes == 1
+        assert report.rejected == 4
+        assert len(clean) == 40
+
+    def test_stuck_sensor_does_not_mask_spikes(self):
+        # A stuck-at-20000 value is removed by the range check FIRST, so
+        # the MAD screen still sees the true distribution and catches the
+        # smaller (in-range) spike.
+        base = clean_batch(n=60)
+        t = np.append(base.t, [8000.0, 8001.0])
+        x = np.append(base.x, [100.0, 150.0])
+        y = np.append(base.y, [100.0, 150.0])
+        s = np.append(base.s, [20_000.0, 2_000.0])
+        clean, report = screen_window(TupleBatch(t, x, y, s), region=REGION)
+        assert report.out_of_range == 1
+        assert report.spikes == 1
+        assert len(clean) == 60
+
+    def test_region_check_optional(self):
+        batch = TupleBatch([0.0], [-99_999.0], [0.0], [450.0])
+        clean, report = screen_window(batch)  # no region passed
+        assert len(clean) == 1
+        assert report.out_of_region == 0
+
+    def test_modeling_on_screened_data(self):
+        """Screen -> Ad-KMN is the intended composition."""
+        from repro.core.adkmn import AdKMNConfig, fit_adkmn
+
+        base = clean_batch(n=80)
+        s = base.s.copy()
+        s.flags.writeable = True
+        s[10] = 9_500.0  # in physical range but a wild spike
+        dirty = TupleBatch(base.t, base.x, base.y, s)
+        clean, report = screen_window(dirty, region=REGION)
+        assert report.spikes == 1
+        result = fit_adkmn(clean, AdKMNConfig(tau_n_pct=5.0))
+        # The fitted cover is sane: predictions near the true level.
+        v = result.cover.predict(0.0, 2500.0, 1500.0)
+        assert 350.0 < v < 600.0

@@ -1,0 +1,98 @@
+"""Tests for repro.data.routes."""
+
+import math
+
+import pytest
+
+from repro.data.routes import BusRoute, lausanne_routes
+
+
+def straight_route(**kwargs):
+    defaults = dict(
+        name="test",
+        waypoints=((0.0, 0.0), (1000.0, 0.0)),
+        speed_mps=10.0,
+        service_start_h=6.0,
+        service_end_h=22.0,
+        dwell_s=0.0,
+    )
+    defaults.update(kwargs)
+    return BusRoute(**defaults)
+
+
+class TestBusRouteValidation:
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ValueError):
+            straight_route(waypoints=((0.0, 0.0),))
+
+    def test_positive_speed(self):
+        with pytest.raises(ValueError):
+            straight_route(speed_mps=0.0)
+
+    def test_service_window(self):
+        with pytest.raises(ValueError):
+            straight_route(service_start_h=23.0, service_end_h=6.0)
+
+
+class TestGeometry:
+    def test_length(self):
+        route = straight_route(waypoints=((0, 0), (300, 400)))
+        assert route.length_m == pytest.approx(500.0)
+
+    def test_leg_lengths(self):
+        route = straight_route(waypoints=((0, 0), (100, 0), (100, 50)))
+        assert route.leg_lengths() == pytest.approx([100.0, 50.0])
+
+    def test_position_at_offset_midpoint(self):
+        route = straight_route()
+        assert route.position_at_offset(500.0) == pytest.approx((500.0, 0.0))
+
+    def test_position_at_offset_clamped(self):
+        route = straight_route()
+        assert route.position_at_offset(-50.0) == (0.0, 0.0)
+        assert route.position_at_offset(99_999.0) == (1000.0, 0.0)
+
+    def test_position_across_legs(self):
+        route = straight_route(waypoints=((0, 0), (100, 0), (100, 100)))
+        x, y = route.position_at_offset(150.0)
+        assert (x, y) == pytest.approx((100.0, 50.0))
+
+
+class TestService:
+    def test_in_service(self):
+        route = straight_route()
+        assert route.in_service(10 * 3600.0)
+        assert not route.in_service(3 * 3600.0)
+        assert not route.in_service(22 * 3600.0)  # end is exclusive
+
+    def test_shuttle_returns(self):
+        route = straight_route()
+        one_way = route.one_way_duration_s()
+        # At twice the one-way time (plus terminus dwell = 0) the bus is
+        # back near the start.
+        x, y = route.position_at_service_time(2 * one_way)
+        assert x == pytest.approx(0.0, abs=1.0)
+
+    def test_midpoint_of_run(self):
+        route = straight_route()
+        x, y = route.position_at_service_time(route.one_way_duration_s() / 2)
+        assert x == pytest.approx(500.0, abs=1.0)
+
+    def test_positions_stay_on_route(self):
+        route = straight_route(waypoints=((0, 0), (100, 0), (100, 100)))
+        for k in range(50):
+            x, y = route.position_at_service_time(k * 7.3)
+            assert -1 <= x <= 101
+            assert -1 <= y <= 101
+
+
+class TestLausanneRoutes:
+    def test_two_routes(self):
+        a, b = lausanne_routes()
+        assert a.name != b.name
+        assert a.length_m > 3000
+        assert b.length_m > 2000
+
+    def test_depots_differ(self):
+        a, b = lausanne_routes()
+        assert a.depot != b.depot

@@ -1,0 +1,113 @@
+"""Tests for repro.data.tuples."""
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import QueryTuple, RawTuple, TupleBatch
+
+
+class TestRawTuple:
+    def test_fields_and_position(self):
+        b = RawTuple(t=1.0, x=2.0, y=3.0, s=450.0)
+        assert b.position() == (2.0, 3.0)
+        assert b.s == 450.0
+
+    def test_frozen(self):
+        b = RawTuple(1, 2, 3, 4)
+        with pytest.raises(AttributeError):
+            b.s = 5.0
+
+
+class TestQueryTuple:
+    def test_position(self):
+        q = QueryTuple(t=9.0, x=-1.0, y=4.0)
+        assert q.position() == (-1.0, 4.0)
+
+
+class TestTupleBatchConstruction:
+    def test_basic(self):
+        batch = TupleBatch([1, 2], [3, 4], [5, 6], [7, 8])
+        assert len(batch) == 2
+        assert batch.t.dtype == np.float64
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TupleBatch([1], [1, 2], [1], [1])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            TupleBatch(np.zeros((2, 2)), np.zeros(2), np.zeros(2), np.zeros(2))
+
+    def test_columns_read_only(self):
+        batch = TupleBatch([1], [2], [3], [4])
+        with pytest.raises(ValueError):
+            batch.t[0] = 99.0
+
+    def test_from_rows_round_trip(self):
+        rows = [RawTuple(1, 2, 3, 4), RawTuple(5, 6, 7, 8)]
+        batch = TupleBatch.from_rows(rows)
+        assert batch.rows() == rows
+
+    def test_empty(self):
+        batch = TupleBatch.empty()
+        assert len(batch) == 0
+        assert batch.rows() == []
+
+
+class TestTupleBatchOps:
+    def setup_method(self):
+        self.batch = TupleBatch(
+            [0.0, 10.0, 20.0, 30.0],
+            [1.0, 2.0, 3.0, 4.0],
+            [5.0, 6.0, 7.0, 8.0],
+            [400.0, 410.0, 420.0, 430.0],
+        )
+
+    def test_row(self):
+        assert self.batch.row(2) == RawTuple(20.0, 3.0, 7.0, 420.0)
+
+    def test_iteration(self):
+        assert [r.s for r in self.batch] == [400.0, 410.0, 420.0, 430.0]
+
+    def test_slice_is_view(self):
+        sl = self.batch.slice(1, 3)
+        assert len(sl) == 2
+        assert sl.t[0] == 10.0
+        assert sl.t.base is not None  # zero-copy
+
+    def test_take(self):
+        taken = self.batch.take([3, 0])
+        assert taken.t.tolist() == [30.0, 0.0]
+
+    def test_select_mask(self):
+        out = self.batch.select_mask(self.batch.s > 405)
+        assert len(out) == 3
+
+    def test_select_mask_wrong_length(self):
+        with pytest.raises(ValueError):
+            self.batch.select_mask(np.array([True]))
+
+    def test_positions_shape(self):
+        pos = self.batch.positions()
+        assert pos.shape == (4, 2)
+        assert pos[1].tolist() == [2.0, 6.0]
+
+    def test_time_span(self):
+        assert self.batch.time_span() == (0.0, 30.0)
+
+    def test_time_span_empty_raises(self):
+        with pytest.raises(ValueError):
+            TupleBatch.empty().time_span()
+
+    def test_is_time_sorted(self):
+        assert self.batch.is_time_sorted()
+        shuffled = self.batch.take([2, 0, 1, 3])
+        assert not shuffled.is_time_sorted()
+
+    def test_single_sorted(self):
+        assert TupleBatch([5], [0], [0], [0]).is_time_sorted()
+
+    def test_concat(self):
+        merged = self.batch.concat(self.batch.slice(0, 1))
+        assert len(merged) == 5
+        assert merged.t[-1] == 0.0

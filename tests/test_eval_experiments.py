@@ -1,0 +1,104 @@
+"""Tests for repro.eval.experiments — scaled-down figure regenerators.
+
+Each experiment runs on the small 1-day dataset with reduced query counts
+so the whole module stays fast; the *shape* assertions mirror what
+EXPERIMENTS.md checks at full scale.
+"""
+
+import pytest
+
+from repro.eval.experiments import (
+    run_fig6a,
+    run_fig6b,
+    run_fig7a,
+    run_fig7b,
+)
+from repro.eval.report import (
+    format_fig6a,
+    format_fig6b,
+    format_fig7a,
+    format_fig7b,
+)
+
+
+@pytest.fixture(scope="module")
+def fig6a_rows(small_dataset):
+    return run_fig6a(small_dataset, h_values=(40, 240), n_queries=150)
+
+
+@pytest.fixture(scope="module")
+def fig6b_rows(small_dataset):
+    return run_fig6b(small_dataset, h_values=(40, 240), n_queries=300)
+
+
+@pytest.fixture(scope="module")
+def fig7a_rows(small_dataset):
+    return run_fig7a(small_dataset, h=1500, runs=2)
+
+
+@pytest.fixture(scope="module")
+def fig7b_rows(small_dataset):
+    return run_fig7b(small_dataset, n_queries=50)
+
+
+class TestFig6a:
+    def test_row_grid_complete(self, fig6a_rows):
+        assert len(fig6a_rows) == 2 * 4  # 2 H values x 4 methods
+
+    def test_model_cover_fastest(self, fig6a_rows):
+        for h in (40, 240):
+            by = {r.method: r.elapsed_s for r in fig6a_rows if r.h == h}
+            assert by["adkmn"] < by["naive"]
+            assert by["adkmn"] < by["rtree"]
+            assert by["adkmn"] < by["vptree"]
+
+    def test_naive_grows_with_h(self, fig6a_rows):
+        by_h = {r.h: r.elapsed_s for r in fig6a_rows if r.method == "naive"}
+        assert by_h[240] > by_h[40]
+
+    def test_formatting(self, fig6a_rows):
+        table = format_fig6a(fig6a_rows)
+        assert "H=40" in table and "adkmn" in table
+
+
+class TestFig6b:
+    def test_adkmn_beats_naive(self, fig6b_rows):
+        for h in (40, 240):
+            by = {r.method: r.nrmse_pct for r in fig6b_rows if r.h == h}
+            assert by["adkmn"] < by["naive"]
+
+    def test_model_cover_answers_everything(self, fig6b_rows):
+        for r in fig6b_rows:
+            if r.method == "adkmn":
+                assert r.answered == r.n_queries
+
+    def test_formatting(self, fig6b_rows):
+        assert "NRMSE" in format_fig6b(fig6b_rows)
+
+
+class TestFig7a:
+    def test_model_cover_smallest_by_far(self, fig7a_rows):
+        by = {r.method: r.kilobytes for r in fig7a_rows}
+        assert by["adkmn"] * 5 < by["naive"]
+        assert by["adkmn"] * 5 < by["rtree"]
+        assert by["adkmn"] * 5 < by["vptree"]
+
+    def test_vptree_heaviest_index(self, fig7a_rows):
+        by = {r.method: r.kilobytes for r in fig7a_rows}
+        assert by["vptree"] > by["rtree"]
+
+    def test_formatting(self, fig7a_rows):
+        assert "x model-cover" in format_fig7a(fig7a_rows)
+
+
+class TestFig7b:
+    def test_model_cache_dominates(self, fig7b_rows):
+        by = {r.technique: r for r in fig7b_rows}
+        base, cache = by["baseline"], by["model-cache"]
+        assert base.sent_kb > 20 * cache.sent_kb
+        assert base.received_kb > 5 * cache.received_kb
+        assert base.total_time_s > 10 * cache.total_time_s
+
+    def test_formatting(self, fig7b_rows):
+        table = format_fig7b(fig7b_rows)
+        assert "ratios" in table

@@ -1,0 +1,78 @@
+"""Tests for repro.eval.memory (the Pympler substitute)."""
+
+import sys
+
+import numpy as np
+
+from repro.eval.memory import deep_sizeof, deep_sizeof_kb
+
+
+class SlottedPoint:
+    __slots__ = ("x", "y")
+
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+
+class DictObject:
+    def __init__(self, payload):
+        self.payload = payload
+
+
+class TestDeepSizeof:
+    def test_atoms(self):
+        assert deep_sizeof(42) == sys.getsizeof(42)
+        assert deep_sizeof("hello") == sys.getsizeof("hello")
+
+    def test_list_includes_elements(self):
+        values = [10_000 + i for i in range(100)]  # non-cached ints
+        total = deep_sizeof(values)
+        assert total > sys.getsizeof(values)
+        assert total >= sys.getsizeof(values) + 100 * sys.getsizeof(10_000)
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(1000, 1100))
+        a = [shared, shared]
+        b = [shared]
+        assert deep_sizeof(a) < 2 * deep_sizeof(b) + sys.getsizeof(a)
+
+    def test_cycles_terminate(self):
+        a = []
+        a.append(a)
+        assert deep_sizeof(a) >= sys.getsizeof(a)
+
+    def test_dict_keys_and_values(self):
+        d = {"key-%d" % i: i * 1.5 for i in range(50)}
+        assert deep_sizeof(d) > sys.getsizeof(d)
+
+    def test_slotted_object(self):
+        p = SlottedPoint(1.5, 2.5)
+        assert deep_sizeof(p) >= sys.getsizeof(p) + 2 * sys.getsizeof(1.5)
+
+    def test_dict_object(self):
+        o = DictObject([1.0] * 10)
+        assert deep_sizeof(o) > sys.getsizeof(o)
+
+    def test_numpy_array_counts_buffer(self):
+        arr = np.zeros(100_000)
+        assert deep_sizeof(arr) >= arr.nbytes
+
+    def test_numpy_view_charges_base_once(self):
+        base = np.zeros(100_000)
+        views = [base[10:20], base[30:40]]
+        total = deep_sizeof(views)
+        assert total < 2 * base.nbytes  # not double-counted
+        assert total >= base.nbytes     # but the base is included
+
+    def test_class_objects_excluded(self):
+        # A plain instance should not drag in its type/module machinery.
+        assert deep_sizeof(DictObject([])) < 10_000
+
+    def test_kb_helper(self):
+        assert deep_sizeof_kb([0] * 10) == deep_sizeof([0] * 10) / 1024.0
+
+    def test_bigger_structure_bigger_size(self):
+        small = [SlottedPoint(float(i), float(i)) for i in range(10)]
+        large = [SlottedPoint(float(i), float(i)) for i in range(100)]
+        assert deep_sizeof(large) > 5 * deep_sizeof(small)

@@ -1,0 +1,92 @@
+"""Tests for repro.eval.metrics and repro.eval.timing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.field import PollutionField
+from repro.data.tuples import QueryTuple
+from repro.eval.metrics import evaluate_accuracy
+from repro.eval.timing import Timer, time_callable
+from repro.query.base import QueryResult
+
+
+class ConstantField(PollutionField):
+    pass
+
+
+class OracleProcessor:
+    """Answers with the true field value: NRMSE must be ~0."""
+
+    name = "oracle"
+
+    def __init__(self, field):
+        self._field = field
+
+    def process(self, q):
+        return QueryResult(query=q, value=self._field.value(q.t, q.x, q.y), support=1)
+
+
+class RefusingProcessor:
+    name = "refuser"
+
+    def process(self, q):
+        return QueryResult(query=q, value=None, support=0)
+
+
+@pytest.fixture()
+def field():
+    from repro.data.field import default_lausanne_field
+
+    return default_lausanne_field()
+
+
+@pytest.fixture()
+def queries():
+    rng = np.random.default_rng(0)
+    return [
+        QueryTuple(
+            t=float(rng.uniform(0, 86_400)),
+            x=float(rng.uniform(0, 6000)),
+            y=float(rng.uniform(0, 4000)),
+        )
+        for _ in range(50)
+    ]
+
+
+class TestEvaluateAccuracy:
+    def test_oracle_scores_zero(self, field, queries):
+        nrmse, answered = evaluate_accuracy(OracleProcessor(field), queries, field)
+        assert nrmse == pytest.approx(0.0, abs=1e-9)
+        assert answered == 50
+
+    def test_biased_processor_scores_positive(self, field, queries):
+        class Biased(OracleProcessor):
+            def process(self, q):
+                res = super().process(q)
+                return QueryResult(query=q, value=res.value + 30.0, support=1)
+
+        nrmse, _ = evaluate_accuracy(Biased(field), queries, field)
+        assert nrmse > 0.0
+
+    def test_refusing_processor_raises(self, field, queries):
+        with pytest.raises(ValueError, match="answered no queries"):
+            evaluate_accuracy(RefusingProcessor(), queries, field)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed_s >= 0.009
+
+    def test_time_callable_best_of(self):
+        calls = []
+        best = time_callable(lambda: calls.append(1), repeats=3)
+        assert len(calls) == 3
+        assert best >= 0.0
+
+    def test_time_callable_validation(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)

@@ -1,0 +1,91 @@
+"""Tests for repro.eval.plots."""
+
+import pytest
+
+from repro.eval.experiments import Fig6aRow, Fig7bRow
+from repro.eval.plots import fig6a_chart, fig7b_chart, log_bar_chart, series_chart
+
+
+class TestLogBarChart:
+    def test_renders_all_labels(self):
+        chart = log_bar_chart({"baseline": 100.0, "model-cache": 1.0}, "kb")
+        assert "baseline" in chart
+        assert "model-cache" in chart
+        assert "log scale" in chart
+
+    def test_bigger_value_longer_bar(self):
+        chart = log_bar_chart({"big": 1000.0, "small": 1.0}, "kb")
+        lines = chart.split("\n")
+        big_bar = lines[0].count("#")
+        small_bar = lines[1].count("#")
+        assert big_bar > small_bar
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            log_bar_chart({}, "kb")
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            log_bar_chart({"zero": 0.0}, "kb")
+
+    def test_equal_values(self):
+        chart = log_bar_chart({"a": 5.0, "b": 5.0}, "s")
+        assert chart.count("#") >= 2
+
+
+class TestSeriesChart:
+    def test_dimensions(self):
+        chart = series_chart(
+            {"m": [(40.0, 0.01), (240.0, 0.02)]},
+            "H",
+            "time",
+            width=30,
+            height=8,
+        )
+        body = [l for l in chart.split("\n") if "|" in l]
+        assert len(body) == 8
+
+    def test_markers_and_legend(self):
+        chart = series_chart(
+            {"fast": [(1.0, 1.0)], "slow": [(1.0, 100.0)]},
+            "x",
+            "y",
+        )
+        assert "o=fast" in chart
+        assert "x=slow" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_log_y_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            series_chart({"a": [(1.0, 0.0)]}, "x", "y", log_y=True)
+
+    def test_linear_y_allows_zero(self):
+        chart = series_chart({"a": [(0.0, 0.0), (1.0, 5.0)]}, "x", "y", log_y=False)
+        assert "|" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_chart({}, "x", "y")
+
+
+class TestFigureCharts:
+    def test_fig6a_chart(self):
+        rows = [
+            Fig6aRow(h=40, method="adkmn", elapsed_s=0.01, n_queries=10),
+            Fig6aRow(h=240, method="adkmn", elapsed_s=0.02, n_queries=10),
+            Fig6aRow(h=40, method="naive", elapsed_s=0.1, n_queries=10),
+            Fig6aRow(h=240, method="naive", elapsed_s=0.5, n_queries=10),
+        ]
+        chart = fig6a_chart(rows)
+        assert "o=adkmn" in chart
+        assert "window size H" in chart
+
+    def test_fig7b_chart(self):
+        rows = [
+            Fig7bRow("baseline", 100.0, 50.0, 90.0, 100),
+            Fig7bRow("model-cache", 1.0, 2.0, 1.0, 100),
+        ]
+        chart = fig7b_chart(rows)
+        assert "sent:" in chart
+        assert "received:" in chart
+        assert "total time:" in chart

@@ -1,0 +1,85 @@
+"""Tests for repro.eval.report formatting."""
+
+from repro.eval.experiments import Fig6aRow, Fig6bRow, Fig7aRow, Fig7bRow
+from repro.eval.report import (
+    format_fig6a,
+    format_fig6b,
+    format_fig7a,
+    format_fig7b,
+)
+
+
+class TestFig6aTable:
+    def test_grid_layout(self):
+        rows = [
+            Fig6aRow(h=40, method="adkmn", elapsed_s=0.01, n_queries=100),
+            Fig6aRow(h=240, method="adkmn", elapsed_s=0.02, n_queries=100),
+            Fig6aRow(h=40, method="naive", elapsed_s=0.10, n_queries=100),
+            Fig6aRow(h=240, method="naive", elapsed_s=0.50, n_queries=100),
+        ]
+        table = format_fig6a(rows)
+        lines = table.split("\n")
+        assert "H=40" in lines[1] and "H=240" in lines[1]
+        assert any(line.strip().startswith("adkmn") for line in lines)
+        assert "0.500" in table
+
+    def test_method_order_preserved(self):
+        rows = [
+            Fig6aRow(h=40, method="zeta", elapsed_s=1.0, n_queries=1),
+            Fig6aRow(h=40, method="alpha", elapsed_s=1.0, n_queries=1),
+        ]
+        table = format_fig6a(rows)
+        assert table.index("zeta") < table.index("alpha")
+
+
+class TestFig6bTable:
+    def test_values_formatted(self):
+        rows = [
+            Fig6bRow(h=40, method="adkmn", nrmse_pct=8.123, answered=99, n_queries=100),
+            Fig6bRow(h=40, method="naive", nrmse_pct=17.456, answered=99, n_queries=100),
+        ]
+        table = format_fig6b(rows)
+        assert "8.12" in table and "17.46" in table
+
+
+class TestFig7aTable:
+    def test_ratios_relative_to_adkmn(self):
+        rows = [
+            Fig7aRow(method="adkmn", kilobytes=10.0, runs=3),
+            Fig7aRow(method="naive", kilobytes=100.0, runs=3),
+        ]
+        table = format_fig7a(rows)
+        assert "10.0x" in table
+        assert "1.0x" in table
+
+    def test_no_adkmn_row_no_ratio(self):
+        rows = [Fig7aRow(method="naive", kilobytes=100.0, runs=3)]
+        table = format_fig7a(rows)
+        assert "100.0" in table
+
+
+class TestFig7bTable:
+    def test_ratio_line(self):
+        rows = [
+            Fig7bRow(
+                technique="baseline", sent_kb=100.0, received_kb=50.0,
+                total_time_s=90.0, n_queries=100,
+            ),
+            Fig7bRow(
+                technique="model-cache", sent_kb=1.0, received_kb=2.0,
+                total_time_s=1.0, n_queries=100,
+            ),
+        ]
+        table = format_fig7b(rows)
+        assert "sent 100x" in table
+        assert "received 25x" in table
+        assert "time 90x" in table
+
+    def test_single_row_no_ratio(self):
+        rows = [
+            Fig7bRow(
+                technique="baseline", sent_kb=1.0, received_kb=1.0,
+                total_time_s=1.0, n_queries=10,
+            )
+        ]
+        assert "ratios" not in format_fig7b(rows)

@@ -1,0 +1,43 @@
+"""Tests for repro.geo.region."""
+
+import pytest
+
+from repro.geo.coords import BoundingBox
+from repro.geo.region import Region, SubRegion, nearest_subregion
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region("r", BoundingBox(0, 0, 10, 10))
+        assert region.contains(5, 5)
+        assert not region.contains(11, 5)
+
+
+class TestSubRegion:
+    def test_size_and_distance(self):
+        sub = SubRegion(centroid=(0.0, 0.0), member_indices=[1, 2, 3])
+        assert sub.size == 3
+        assert sub.distance_to(3, 4) == pytest.approx(5.0)
+
+    def test_default_empty_members(self):
+        assert SubRegion(centroid=(1.0, 1.0)).size == 0
+
+
+class TestNearestSubregion:
+    def test_picks_nearest(self):
+        subs = [
+            SubRegion(centroid=(0.0, 0.0)),
+            SubRegion(centroid=(10.0, 0.0)),
+            SubRegion(centroid=(5.0, 5.0)),
+        ]
+        assert nearest_subregion(subs, 9.0, 1.0) == 1
+        assert nearest_subregion(subs, 0.5, 0.5) == 0
+        assert nearest_subregion(subs, 5.0, 4.0) == 2
+
+    def test_tie_prefers_first(self):
+        subs = [SubRegion(centroid=(0.0, 0.0)), SubRegion(centroid=(2.0, 0.0))]
+        assert nearest_subregion(subs, 1.0, 0.0) == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            nearest_subregion([], 0, 0)

@@ -1,0 +1,111 @@
+"""Tests for repro.geo.streetgraph."""
+
+import pytest
+
+from repro.geo.coords import euclidean
+from repro.geo.streetgraph import StreetGraph, lausanne_street_graph
+
+
+@pytest.fixture()
+def square():
+    """A 4-junction square with one diagonal."""
+    g = StreetGraph()
+    g.add_junction("a", 0, 0)
+    g.add_junction("b", 100, 0)
+    g.add_junction("c", 100, 100)
+    g.add_junction("d", 0, 100)
+    g.add_street("a", "b")
+    g.add_street("b", "c")
+    g.add_street("c", "d")
+    g.add_street("d", "a")
+    g.add_street("a", "c")  # diagonal
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_junction(self, square):
+        with pytest.raises(ValueError):
+            square.add_junction("a", 5, 5)
+
+    def test_street_between_unknown(self, square):
+        with pytest.raises(KeyError):
+            square.add_street("a", "zzz")
+
+    def test_self_loop_rejected(self, square):
+        with pytest.raises(ValueError):
+            square.add_street("a", "a")
+
+    def test_street_length_is_distance(self, square):
+        assert square.add_street("b", "d") == pytest.approx(
+            euclidean(100, 0, 0, 100)
+        )
+
+    def test_counts(self, square):
+        assert square.junction_count == 4
+        assert square.street_count == 5
+
+
+class TestQueries:
+    def test_position(self, square):
+        assert square.position("c") == (100.0, 100.0)
+        with pytest.raises(KeyError):
+            square.position("zzz")
+
+    def test_nearest_junction(self, square):
+        assert square.nearest_junction(90.0, 10.0) == "b"
+        assert square.nearest_junction(10.0, 90.0) == "d"
+
+    def test_nearest_on_empty(self):
+        with pytest.raises(ValueError):
+            StreetGraph().nearest_junction(0, 0)
+
+    def test_shortest_path_prefers_diagonal(self, square):
+        path = square.shortest_path("a", "c")
+        assert path.nodes == ("a", "c")
+        assert path.length_m == pytest.approx(euclidean(0, 0, 100, 100))
+
+    def test_shortest_path_multi_hop(self, square):
+        path = square.shortest_path("b", "d")
+        assert path.length_m == pytest.approx(200.0)  # via a or c
+        assert len(path.nodes) == 3
+
+    def test_no_path(self):
+        g = StreetGraph()
+        g.add_junction("x", 0, 0)
+        g.add_junction("y", 10, 10)
+        with pytest.raises(ValueError, match="no street route"):
+            g.shortest_path("x", "y")
+
+    def test_unknown_junction_in_path(self, square):
+        with pytest.raises(KeyError):
+            square.shortest_path("a", "zzz")
+
+    def test_route_via_concatenates(self, square):
+        route = square.route_via(["b", "a", "d"])
+        assert route.nodes == ("b", "a", "d")
+        assert route.length_m == pytest.approx(200.0)
+        assert route.waypoints[0] == (100.0, 0.0)
+
+    def test_route_via_needs_two_stops(self, square):
+        with pytest.raises(ValueError):
+            square.route_via(["a"])
+
+
+class TestLausanneGraph:
+    def test_connected(self):
+        g = lausanne_street_graph()
+        assert g.is_connected()
+        assert g.junction_count == 20
+
+    def test_cross_city_route_exists(self):
+        g = lausanne_street_graph()
+        path = g.shortest_path("w-terminus", "ne-terminus")
+        assert path.length_m > 4000
+        assert path.nodes[0] == "w-terminus"
+        assert path.nodes[-1] == "ne-terminus"
+
+    def test_bus_line_a_corridor(self):
+        # The line-A corridor follows the graph's gare -> centre artery.
+        g = lausanne_street_graph()
+        route = g.route_via(["w-terminus", "gare", "centre", "ne-terminus"])
+        assert {"gare", "centre"} <= set(route.nodes)

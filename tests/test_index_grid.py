@@ -1,0 +1,63 @@
+"""Tests for repro.index.grid."""
+
+import random
+
+import pytest
+
+from repro.index.base import brute_force_radius
+from repro.index.grid import GridIndex
+
+
+def random_points(n, seed=0, extent=1000.0):
+    rng = random.Random(seed)
+    xs = [rng.uniform(0, extent) for _ in range(n)]
+    ys = [rng.uniform(0, extent) for _ in range(n)]
+    return xs, ys
+
+
+class TestConstruction:
+    def test_empty(self):
+        gi = GridIndex([], [])
+        assert len(gi) == 0
+        assert gi.cell_count == 0
+        assert gi.query_radius(0, 0, 100) == []
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex([], [], cell_m=0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            GridIndex([1.0], [])
+
+    def test_cell_count(self):
+        gi = GridIndex([0.0, 1.0, 500.0], [0.0, 1.0, 500.0], cell_m=250.0)
+        assert gi.cell_count == 2  # (0,0) holds the first two points
+
+
+class TestRadiusQuery:
+    def test_matches_brute_force(self):
+        xs, ys = random_points(400, seed=1)
+        gi = GridIndex(xs, ys, cell_m=130.0)
+        rng = random.Random(2)
+        for _ in range(100):
+            qx, qy = rng.uniform(-100, 1100), rng.uniform(-100, 1100)
+            r = rng.uniform(0, 400)
+            assert sorted(gi.query_radius(qx, qy, r)) == brute_force_radius(
+                xs, ys, qx, qy, r
+            )
+
+    def test_negative_coordinates(self):
+        gi = GridIndex([-500.0, -10.0], [-500.0, -10.0], cell_m=100.0)
+        assert sorted(gi.query_radius(-255.0, -255.0, 400.0)) == [0, 1]
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            GridIndex([0.0], [0.0]).query_radius(0, 0, -0.1)
+
+    def test_radius_smaller_than_cell(self):
+        xs, ys = random_points(200, seed=4)
+        gi = GridIndex(xs, ys, cell_m=500.0)
+        assert sorted(gi.query_radius(500, 500, 20)) == brute_force_radius(
+            xs, ys, 500, 500, 20
+        )

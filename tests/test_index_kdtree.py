@@ -1,0 +1,58 @@
+"""Tests for repro.index.kdtree."""
+
+import random
+
+import pytest
+
+from repro.index.base import brute_force_radius
+from repro.index.kdtree import KDTree
+
+
+def random_points(n, seed=0, extent=1000.0):
+    rng = random.Random(seed)
+    xs = [rng.uniform(0, extent) for _ in range(n)]
+    ys = [rng.uniform(0, extent) for _ in range(n)]
+    return xs, ys
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = KDTree([], [])
+        assert len(tree) == 0
+        assert tree.query_radius(0, 0, 5) == []
+
+    def test_balanced_height(self):
+        xs, ys = random_points(1023)
+        tree = KDTree(xs, ys)
+        assert tree.height == 10  # median splits give a perfect tree
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            KDTree([1.0, 2.0], [1.0])
+
+
+class TestRadiusQuery:
+    def test_matches_brute_force(self):
+        xs, ys = random_points(400, seed=1)
+        tree = KDTree(xs, ys)
+        rng = random.Random(2)
+        for _ in range(100):
+            qx, qy = rng.uniform(-100, 1100), rng.uniform(-100, 1100)
+            r = rng.uniform(0, 400)
+            assert sorted(tree.query_radius(qx, qy, r)) == brute_force_radius(
+                xs, ys, qx, qy, r
+            )
+
+    def test_collinear_points(self):
+        xs = [float(i) for i in range(100)]
+        ys = [0.0] * 100
+        tree = KDTree(xs, ys)
+        assert sorted(tree.query_radius(50.0, 0.0, 2.5)) == [48, 49, 50, 51, 52]
+
+    def test_duplicates(self):
+        tree = KDTree([1.0] * 10, [1.0] * 10)
+        assert sorted(tree.query_radius(1, 1, 0)) == list(range(10))
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            KDTree([0.0], [0.0]).query_radius(0, 0, -1)

@@ -1,0 +1,90 @@
+"""Tests for repro.index.rtree."""
+
+import random
+
+import pytest
+
+from repro.index.base import brute_force_radius
+from repro.index.rtree import RTree
+
+
+def random_points(n, seed=0, extent=1000.0):
+    rng = random.Random(seed)
+    xs = [rng.uniform(0, extent) for _ in range(n)]
+    ys = [rng.uniform(0, extent) for _ in range(n)]
+    return xs, ys
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = RTree([], [])
+        assert len(tree) == 0
+        assert tree.query_radius(0, 0, 100) == []
+
+    def test_single_point(self):
+        tree = RTree([5.0], [5.0])
+        assert tree.query_radius(5, 5, 0) == [0]
+        assert tree.query_radius(100, 100, 1) == []
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RTree([1.0], [1.0, 2.0])
+
+    def test_max_entries_minimum(self):
+        with pytest.raises(ValueError):
+            RTree([], [], max_entries=3)
+
+    def test_grows_in_height(self):
+        xs, ys = random_points(500)
+        tree = RTree(xs, ys, max_entries=8)
+        assert tree.height >= 3
+        assert len(tree) == 500
+
+    def test_node_count_reasonable(self):
+        xs, ys = random_points(200)
+        tree = RTree(xs, ys, max_entries=8)
+        # At least n/M leaf nodes, at most ~n nodes.
+        assert 200 // 8 <= tree.count_nodes() <= 200
+
+
+class TestRadiusQuery:
+    def test_matches_brute_force(self):
+        xs, ys = random_points(400, seed=1)
+        tree = RTree(xs, ys)
+        rng = random.Random(2)
+        for _ in range(100):
+            qx, qy = rng.uniform(-100, 1100), rng.uniform(-100, 1100)
+            r = rng.uniform(0, 400)
+            assert sorted(tree.query_radius(qx, qy, r)) == brute_force_radius(
+                xs, ys, qx, qy, r
+            )
+
+    def test_boundary_inclusive(self):
+        tree = RTree([0.0, 10.0], [0.0, 0.0])
+        assert sorted(tree.query_radius(0, 0, 10.0)) == [0, 1]
+
+    def test_negative_radius(self):
+        tree = RTree([0.0], [0.0])
+        with pytest.raises(ValueError):
+            tree.query_radius(0, 0, -1)
+
+    def test_duplicate_points_all_returned(self):
+        xs = [5.0] * 20
+        ys = [5.0] * 20
+        tree = RTree(xs, ys)
+        assert sorted(tree.query_radius(5, 5, 1)) == list(range(20))
+
+    def test_zero_radius_exact_hit(self):
+        xs, ys = random_points(50, seed=3)
+        tree = RTree(xs, ys)
+        assert tree.query_radius(xs[7], ys[7], 0.0) == [7]
+
+    def test_clustered_data(self):
+        # Two tight clusters far apart: queries on one cluster must not
+        # leak results from the other.
+        xs = [0.0 + i * 0.1 for i in range(50)] + [900.0 + i * 0.1 for i in range(50)]
+        ys = [0.0] * 100
+        tree = RTree(xs, ys)
+        hits = tree.query_radius(0.0, 0.0, 50.0)
+        assert all(i < 50 for i in hits)
+        assert len(hits) == 50

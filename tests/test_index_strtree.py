@@ -1,0 +1,82 @@
+"""Tests for repro.index.strtree."""
+
+import random
+
+import pytest
+
+from repro.index.base import brute_force_radius
+from repro.index.strtree import STRTree
+
+
+def random_points(n, seed=0, extent=1000.0):
+    rng = random.Random(seed)
+    xs = [rng.uniform(0, extent) for _ in range(n)]
+    ys = [rng.uniform(0, extent) for _ in range(n)]
+    return xs, ys
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = STRTree([], [])
+        assert len(tree) == 0
+        assert tree.height == 0
+        assert tree.query_radius(0, 0, 100) == []
+
+    def test_single_leaf(self):
+        xs, ys = random_points(10)
+        assert STRTree(xs, ys).height == 1
+
+    def test_multi_level(self):
+        xs, ys = random_points(2000)
+        tree = STRTree(xs, ys, leaf_capacity=16)
+        assert tree.height >= 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            STRTree([1.0], [])
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            STRTree([], [], leaf_capacity=1)
+
+
+class TestRadiusQuery:
+    def test_matches_brute_force(self):
+        xs, ys = random_points(600, seed=1)
+        tree = STRTree(xs, ys)
+        rng = random.Random(2)
+        for _ in range(120):
+            qx, qy = rng.uniform(-100, 1100), rng.uniform(-100, 1100)
+            r = rng.uniform(0, 400)
+            assert sorted(tree.query_radius(qx, qy, r)) == brute_force_radius(
+                xs, ys, qx, qy, r
+            )
+
+    def test_duplicates(self):
+        tree = STRTree([3.0] * 40, [3.0] * 40)
+        assert sorted(tree.query_radius(3, 3, 0)) == list(range(40))
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            STRTree([0.0], [0.0]).query_radius(0, 0, -1)
+
+    def test_collinear(self):
+        xs = [float(i) for i in range(200)]
+        ys = [0.0] * 200
+        tree = STRTree(xs, ys, leaf_capacity=8)
+        assert sorted(tree.query_radius(100.0, 0.0, 1.5)) == [99, 100, 101]
+
+
+class TestVersusDynamicRTree:
+    def test_same_results_as_insert_built_rtree(self):
+        from repro.index.rtree import RTree
+
+        xs, ys = random_points(300, seed=3)
+        a = STRTree(xs, ys)
+        b = RTree(xs, ys)
+        rng = random.Random(4)
+        for _ in range(50):
+            qx, qy, r = rng.uniform(0, 1000), rng.uniform(0, 1000), rng.uniform(0, 300)
+            assert sorted(a.query_radius(qx, qy, r)) == sorted(
+                b.query_radius(qx, qy, r)
+            )

@@ -1,0 +1,83 @@
+"""Tests for repro.index.vptree."""
+
+import random
+
+import pytest
+
+from repro.index.base import brute_force_radius
+from repro.index.vptree import VPTree, _median
+
+
+def random_points(n, seed=0, extent=1000.0):
+    rng = random.Random(seed)
+    xs = [rng.uniform(0, extent) for _ in range(n)]
+    ys = [rng.uniform(0, extent) for _ in range(n)]
+    return xs, ys
+
+
+class TestMedian:
+    def test_odd(self):
+        assert _median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even(self):
+        assert _median([1.0, 2.0, 3.0, 10.0]) == 2.5
+
+    def test_single(self):
+        assert _median([4.0]) == 4.0
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = VPTree([], [])
+        assert len(tree) == 0
+        assert tree.query_radius(0, 0, 10) == []
+
+    def test_single(self):
+        tree = VPTree([1.0], [2.0])
+        assert tree.query_radius(1, 2, 0) == [0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            VPTree([1.0], [])
+
+    def test_deterministic_given_seed(self):
+        xs, ys = random_points(100)
+        a = VPTree(xs, ys, seed=5)
+        b = VPTree(xs, ys, seed=5)
+        assert a.query_radius(500, 500, 200) == b.query_radius(500, 500, 200)
+
+    def test_balancedish_height(self):
+        xs, ys = random_points(512)
+        tree = VPTree(xs, ys)
+        # Perfectly balanced would be ~9; allow slack for median ties.
+        assert tree.height <= 20
+        assert tree.count_nodes() == 512
+
+
+class TestRadiusQuery:
+    def test_matches_brute_force(self):
+        xs, ys = random_points(400, seed=1)
+        tree = VPTree(xs, ys)
+        rng = random.Random(2)
+        for _ in range(100):
+            qx, qy = rng.uniform(-100, 1100), rng.uniform(-100, 1100)
+            r = rng.uniform(0, 400)
+            assert sorted(tree.query_radius(qx, qy, r)) == brute_force_radius(
+                xs, ys, qx, qy, r
+            )
+
+    def test_all_identical_points(self):
+        # Degenerate case: every point at the same position (forced split).
+        xs = [5.0] * 30
+        ys = [7.0] * 30
+        tree = VPTree(xs, ys)
+        assert sorted(tree.query_radius(5, 7, 0.5)) == list(range(30))
+        assert tree.query_radius(50, 50, 1) == []
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            VPTree([0.0], [0.0]).query_radius(0, 0, -1)
+
+    def test_boundary_inclusive(self):
+        tree = VPTree([0.0, 3.0], [0.0, 4.0])
+        assert sorted(tree.query_radius(0, 0, 5.0)) == [0, 1]

@@ -1,0 +1,50 @@
+"""Tests for repro.models.base (registry and protocol)."""
+
+import pytest
+
+from repro.models.base import (
+    Model,
+    model_factory,
+    rebuild_model,
+    register_family,
+    registered_families,
+)
+from repro.models.linear import LinearModel
+from repro.models.mean import MeanModel
+
+
+class TestRegistry:
+    def test_builtin_families_registered(self):
+        fams = registered_families()
+        for name in ("mean", "linear", "poly2", "kernel"):
+            assert name in fams
+
+    def test_factory_returns_fitting_fn(self, tiny_batch):
+        fit = model_factory("mean")
+        model = fit(tiny_batch)
+        assert isinstance(model, MeanModel)
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="unknown model family"):
+            model_factory("does-not-exist")
+        with pytest.raises(KeyError, match="unknown model family"):
+            rebuild_model("does-not-exist", (1.0,))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_family("mean", MeanModel.fit, MeanModel.from_coefficients)
+
+    def test_rebuild_round_trip(self, tiny_batch):
+        original = LinearModel.fit(tiny_batch)
+        rebuilt = rebuild_model("linear", original.coefficients())
+        assert rebuilt.predict(0, 130, 140) == pytest.approx(
+            original.predict(0, 130, 140)
+        )
+
+
+class TestProtocol:
+    def test_models_satisfy_protocol(self, tiny_batch):
+        for family in registered_families():
+            model = model_factory(family)(tiny_batch)
+            assert isinstance(model, Model)
+            assert model.family == family

@@ -1,0 +1,78 @@
+"""Tests for repro.models.errors."""
+
+import numpy as np
+import pytest
+
+from repro.models.errors import (
+    CO2_NORMAL_RANGE_PPM,
+    approximation_error_pct,
+    normal_range_width,
+    nrmse_pct,
+    rmse,
+)
+
+
+class TestApproximationError:
+    def test_footnote1_definition(self):
+        # mean |pred - actual| / range width * 100
+        pred = np.array([410.0, 420.0])
+        actual = np.array([400.0, 400.0])
+        width = normal_range_width(CO2_NORMAL_RANGE_PPM)
+        expected = np.mean([10.0, 20.0]) / width * 100.0
+        assert approximation_error_pct(pred, actual) == pytest.approx(expected)
+
+    def test_perfect_prediction(self):
+        v = np.array([400.0, 500.0])
+        assert approximation_error_pct(v, v) == 0.0
+
+    def test_custom_range(self):
+        pred = np.array([10.0])
+        actual = np.array([0.0])
+        assert approximation_error_pct(pred, actual, normal_range=(0, 100)) == 10.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            approximation_error_pct(np.zeros(2), np.zeros(3))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            approximation_error_pct(np.array([]), np.array([]))
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            normal_range_width((100.0, 100.0))
+
+
+class TestNRMSE:
+    def test_range_normalised(self):
+        actual = np.array([0.0, 100.0])
+        pred = actual + 10.0
+        assert nrmse_pct(pred, actual) == pytest.approx(10.0)
+
+    def test_zero_for_perfect(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert nrmse_pct(v, v) == 0.0
+
+    def test_zero_spread_raises(self):
+        v = np.array([5.0, 5.0])
+        with pytest.raises(ValueError, match="spread"):
+            nrmse_pct(v + 1, v)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            nrmse_pct(np.zeros(2), np.zeros(3))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            nrmse_pct(np.array([]), np.array([]))
+
+
+class TestRMSE:
+    def test_known_value(self):
+        assert rmse(np.array([3.0, 5.0]), np.array([0.0, 0.0])) == pytest.approx(
+            np.sqrt(17.0)
+        )
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            rmse(np.array([]), np.array([]))

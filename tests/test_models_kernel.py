@@ -1,0 +1,67 @@
+"""Tests for repro.models.kernel."""
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import TupleBatch
+from repro.models.kernel import KernelModel
+
+
+class TestFit:
+    def test_interpolates_near_kept_points(self, tiny_batch):
+        model = KernelModel.fit(tiny_batch)
+        # At a kept point the prediction should be near the local values.
+        pred = model.predict(0, tiny_batch.x[0], tiny_batch.y[0])
+        assert abs(pred - tiny_batch.s[0]) < 60.0
+
+    def test_subsamples_large_batches(self):
+        n = 500
+        batch = TupleBatch(
+            np.arange(n, dtype=float),
+            np.random.default_rng(0).uniform(0, 1000, n),
+            np.random.default_rng(1).uniform(0, 1000, n),
+            np.full(n, 450.0),
+        )
+        model = KernelModel.fit(batch, max_kept=24)
+        # 2 header floats + 3 per kept point.
+        assert len(model.coefficients()) == 2 + 3 * 24
+
+    def test_far_query_falls_back_to_mean(self, tiny_batch):
+        model = KernelModel.fit(tiny_batch)
+        far = model.predict(0, 1e7, 1e7)
+        assert far == pytest.approx(float(np.mean(model.coefficients()[2 + 2 * 12:])), abs=1e-6)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            KernelModel.fit(TupleBatch.empty())
+
+    def test_constant_field_predicts_constant(self):
+        n = 40
+        rng = np.random.default_rng(2)
+        batch = TupleBatch(
+            np.zeros(n), rng.uniform(0, 100, n), rng.uniform(0, 100, n), np.full(n, 500.0)
+        )
+        model = KernelModel.fit(batch)
+        assert model.predict(0, 50, 50) == pytest.approx(500.0)
+
+
+class TestWire:
+    def test_round_trip(self, tiny_batch):
+        model = KernelModel.fit(tiny_batch)
+        rebuilt = KernelModel.from_coefficients(model.coefficients())
+        assert rebuilt.predict(0, 150, 150) == pytest.approx(model.predict(0, 150, 150))
+
+    def test_arity_checks(self):
+        with pytest.raises(ValueError):
+            KernelModel.from_coefficients((1.0,))
+        with pytest.raises(ValueError):
+            # Claims 3 points but provides data for 2.
+            KernelModel.from_coefficients((50.0, 3.0) + (1.0,) * 6)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            KernelModel([1.0], [1.0], [1.0], bandwidth_m=0.0)
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            KernelModel([1.0, 2.0], [1.0], [1.0], bandwidth_m=10.0)

@@ -1,0 +1,82 @@
+"""Tests for repro.models.linear."""
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import TupleBatch
+from repro.models.linear import LinearModel
+
+
+class TestFit:
+    def test_recovers_planar_field(self, tiny_batch):
+        # tiny_batch has s = 400 + 0.5x + 0.25y exactly; the ridge shrinks
+        # slopes slightly, so allow a small tolerance.
+        model = LinearModel.fit(tiny_batch)
+        for i in range(len(tiny_batch)):
+            pred = model.predict(tiny_batch.t[i], tiny_batch.x[i], tiny_batch.y[i])
+            assert pred == pytest.approx(tiny_batch.s[i], rel=0.02)
+
+    def test_time_invariant(self, tiny_batch):
+        model = LinearModel.fit(tiny_batch)
+        assert model.predict(0.0, 50, 50) == model.predict(1e9, 50, 50)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LinearModel.fit(TupleBatch.empty())
+
+    def test_single_point_degrades_to_mean(self):
+        batch = TupleBatch([0.0], [100.0], [200.0], [500.0])
+        model = LinearModel.fit(batch)
+        assert model.predict(0, 100, 200) == pytest.approx(500.0)
+        # Slopes are fully shrunk: prediction far away stays finite & flat.
+        assert model.predict(0, 100_000, 200_000) == pytest.approx(500.0, rel=0.01)
+
+    def test_collinear_road_data_does_not_explode(self):
+        # Points along a road (x varies, y constant + GPS noise): the
+        # perpendicular slope must be tiny thanks to the ridge.
+        rng = np.random.default_rng(0)
+        n = 30
+        x = np.linspace(0, 1000, n)
+        y = 500.0 + rng.normal(0, 8, n)
+        s = 450.0 + 0.1 * x + rng.normal(0, 12, n)
+        model = LinearModel.fit(TupleBatch(np.arange(n) * 60.0, x, y, s))
+        on_road = model.predict(0, 500, 500)
+        off_road = model.predict(0, 500, 900)  # 400 m perpendicular
+        assert abs(off_road - on_road) < 60.0
+
+    def test_ridge_barely_affects_well_spread_fit(self):
+        rng = np.random.default_rng(1)
+        n = 200
+        x = rng.uniform(0, 2000, n)
+        y = rng.uniform(0, 2000, n)
+        s = 400.0 + 0.2 * x - 0.1 * y
+        model = LinearModel.fit(TupleBatch(np.zeros(n), x, y, s))
+        coeffs = model.coefficients()
+        assert coeffs[1] == pytest.approx(0.2, rel=0.01)
+        assert coeffs[2] == pytest.approx(-0.1, rel=0.02)
+
+
+class TestPredictBatch:
+    def test_matches_scalar(self, tiny_batch):
+        model = LinearModel.fit(tiny_batch)
+        out = model.predict_batch(tiny_batch.t, tiny_batch.x, tiny_batch.y)
+        for i in range(len(tiny_batch)):
+            assert out[i] == pytest.approx(
+                model.predict(tiny_batch.t[i], tiny_batch.x[i], tiny_batch.y[i])
+            )
+
+
+class TestWire:
+    def test_five_coefficients(self, tiny_batch):
+        assert len(LinearModel.fit(tiny_batch).coefficients()) == 5
+
+    def test_round_trip(self, tiny_batch):
+        model = LinearModel.fit(tiny_batch)
+        rebuilt = LinearModel.from_coefficients(model.coefficients())
+        assert rebuilt.predict(7, 123, 456) == pytest.approx(model.predict(7, 123, 456))
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            LinearModel.from_coefficients((1.0, 2.0, 3.0))
+        with pytest.raises(ValueError):
+            LinearModel(b=(1.0, 2.0), x0=0, y0=0)

@@ -1,0 +1,44 @@
+"""Tests for repro.models.mean."""
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import TupleBatch
+from repro.models.mean import MeanModel
+
+
+class TestFit:
+    def test_predicts_mean_everywhere(self, tiny_batch):
+        model = MeanModel.fit(tiny_batch)
+        expected = float(np.mean(tiny_batch.s))
+        assert model.predict(0, 0, 0) == pytest.approx(expected)
+        assert model.predict(99, 1e6, -1e6) == pytest.approx(expected)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            MeanModel.fit(TupleBatch.empty())
+
+    def test_single_tuple(self):
+        batch = TupleBatch([0.0], [1.0], [2.0], [450.0])
+        assert MeanModel.fit(batch).predict(0, 0, 0) == 450.0
+
+
+class TestPredictBatch:
+    def test_shape_broadcast(self, tiny_batch):
+        model = MeanModel.fit(tiny_batch)
+        out = model.predict_batch(np.zeros(5), np.zeros(5), np.zeros(5))
+        assert out.shape == (5,)
+        assert np.all(out == out[0])
+
+
+class TestWire:
+    def test_coefficients_round_trip(self, tiny_batch):
+        model = MeanModel.fit(tiny_batch)
+        coeffs = model.coefficients()
+        assert len(coeffs) == 1
+        rebuilt = MeanModel.from_coefficients(coeffs)
+        assert rebuilt.predict(1, 2, 3) == model.predict(1, 2, 3)
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            MeanModel.from_coefficients((1.0, 2.0))

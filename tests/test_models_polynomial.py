@@ -1,0 +1,62 @@
+"""Tests for repro.models.polynomial."""
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import TupleBatch
+from repro.models.polynomial import PolynomialModel
+
+
+def quadratic_batch(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1000, n)
+    y = rng.uniform(0, 1000, n)
+    s = 400 + 0.1 * x + 0.05 * y + 1e-4 * (x - 500) ** 2
+    return TupleBatch(np.zeros(n), x, y, s), s
+
+
+class TestFit:
+    def test_fits_quadratic_surface(self):
+        batch, s = quadratic_batch()
+        model = PolynomialModel.fit(batch)
+        pred = model.predict_batch(batch.t, batch.x, batch.y)
+        assert np.max(np.abs(pred - s)) < 1.0
+
+    def test_beats_linear_on_curved_field(self):
+        from repro.models.linear import LinearModel
+
+        batch, s = quadratic_batch()
+        poly = PolynomialModel.fit(batch)
+        linear = LinearModel.fit(batch)
+        poly_rmse = np.sqrt(np.mean((poly.predict_batch(batch.t, batch.x, batch.y) - s) ** 2))
+        lin_rmse = np.sqrt(np.mean((linear.predict_batch(batch.t, batch.x, batch.y) - s) ** 2))
+        assert poly_rmse < lin_rmse / 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            PolynomialModel.fit(TupleBatch.empty())
+
+    def test_degenerate_single_position(self):
+        batch = TupleBatch([0.0, 1.0], [5.0, 5.0], [5.0, 5.0], [400.0, 410.0])
+        model = PolynomialModel.fit(batch)
+        assert model.predict(0, 5, 5) == pytest.approx(405.0, abs=1.0)
+
+
+class TestWire:
+    def test_round_trip(self):
+        batch, _ = quadratic_batch()
+        model = PolynomialModel.fit(batch)
+        rebuilt = PolynomialModel.from_coefficients(model.coefficients())
+        assert rebuilt.predict(0, 321, 654) == pytest.approx(model.predict(0, 321, 654))
+
+    def test_coefficient_count(self):
+        batch, _ = quadratic_batch()
+        assert len(PolynomialModel.fit(batch).coefficients()) == 9
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            PolynomialModel.from_coefficients(tuple(range(5)))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            PolynomialModel(b=(0.0,) * 6, x0=0, y0=0, scale=0.0)

@@ -1,0 +1,60 @@
+"""Tests for repro.network.link and repro.network.protocol."""
+
+import pytest
+
+from repro.network.link import GPRS, HSPA, UMTS, BearerProfile, CellularLink
+from repro.network.protocol import FRAME_OVERHEAD_BYTES, framed_size
+
+
+class TestFraming:
+    def test_adds_overhead(self):
+        assert framed_size(100) == 100 + FRAME_OVERHEAD_BYTES
+
+    def test_custom_overhead(self):
+        assert framed_size(10, overhead=5) == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            framed_size(-1)
+        with pytest.raises(ValueError):
+            framed_size(1, overhead=-1)
+
+
+class TestBearerProfiles:
+    def test_presets_ordered_by_speed(self):
+        assert GPRS.downlink_bps < UMTS.downlink_bps < HSPA.downlink_bps
+        assert GPRS.rtt_s > UMTS.rtt_s > HSPA.rtt_s
+
+    def test_invalid_profile(self):
+        with pytest.raises(ValueError):
+            BearerProfile("bad", rtt_s=0, downlink_bps=1, uplink_bps=1)
+
+
+class TestCellularLink:
+    def test_clock_accumulates(self):
+        link = CellularLink(GPRS)
+        dt1 = link.send_up(1000)
+        dt2 = link.send_down(1000)
+        assert link.clock_s == pytest.approx(dt1 + dt2)
+
+    def test_transfer_time_formula(self):
+        link = CellularLink(GPRS)
+        dt = link.send_up(2500)  # 2500 B = 20 000 bits at 20 kbit/s = 1 s
+        assert dt == pytest.approx(GPRS.rtt_s / 2 + 1.0)
+
+    def test_downlink_faster_than_uplink(self):
+        link = CellularLink(GPRS)
+        up = link.send_up(10_000)
+        down = link.send_down(10_000)
+        assert down < up
+
+    def test_round_trip_pays_full_rtt(self):
+        link = CellularLink(UMTS)
+        total = link.round_trip(0, 0)
+        assert total == pytest.approx(UMTS.rtt_s)
+
+    def test_reset(self):
+        link = CellularLink()
+        link.send_up(100)
+        link.reset()
+        assert link.clock_s == 0.0

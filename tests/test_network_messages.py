@@ -1,0 +1,95 @@
+"""Tests for repro.network.messages."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cover import ModelCover
+from repro.models.mean import MeanModel
+from repro.network.messages import (
+    ModelCoverResponse,
+    ModelRequest,
+    QueryRequest,
+    ValueResponse,
+    decode_message,
+    encode_message,
+)
+
+
+def sample_cover():
+    return ModelCover(
+        centroids=np.array([[1.0, 2.0]]),
+        models=[MeanModel(430.0)],
+        valid_until=500.0,
+        family="mean",
+    )
+
+
+class TestRoundTrips:
+    def test_query_request(self):
+        msg = QueryRequest(t=1.5, x=-2.5, y=3.5)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_value_response(self):
+        msg = ValueResponse(t=9.0, value=442.25)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_value_response_nan(self):
+        msg = ValueResponse(t=9.0, value=math.nan)
+        decoded = decode_message(encode_message(msg))
+        assert math.isnan(decoded.value)
+
+    def test_model_request(self):
+        msg = ModelRequest(t=0.0, x=100.0, y=200.0)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_model_cover_response(self):
+        cover = sample_cover()
+        msg = ModelCoverResponse(blob=cover.to_blob())
+        decoded = decode_message(encode_message(msg))
+        assert isinstance(decoded, ModelCoverResponse)
+        rebuilt = decoded.cover()
+        assert rebuilt.predict(0, 0, 0) == 430.0
+        assert rebuilt.valid_until == 500.0
+
+
+class TestSizes:
+    def test_query_request_is_compact(self):
+        # 1 type byte + 3 doubles = 25 bytes.
+        assert len(QueryRequest(0, 0, 0).body()) == 25
+
+    def test_value_response_is_compact(self):
+        assert len(ValueResponse(0, 0).body()) == 17
+
+    def test_cover_response_scales_with_models(self):
+        small = ModelCoverResponse(blob=sample_cover().to_blob())
+        big_cover = ModelCover(
+            centroids=np.arange(40, dtype=float).reshape(20, 2),
+            models=[MeanModel(float(i)) for i in range(20)],
+            valid_until=1.0,
+            family="mean",
+        )
+        big = ModelCoverResponse(blob=big_cover.to_blob())
+        assert len(big.body()) > len(small.body())
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            decode_message(b"")
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown message type"):
+            decode_message(b"\xff" + b"\x00" * 24)
+
+    def test_truncated_cover(self):
+        msg = ModelCoverResponse(blob=sample_cover().to_blob())
+        data = encode_message(msg)[:-3]
+        with pytest.raises(ValueError, match="truncated"):
+            decode_message(data)
+
+    def test_trailing_bytes_in_cover(self):
+        data = encode_message(ModelCoverResponse(blob=sample_cover().to_blob()))
+        with pytest.raises(ValueError, match="trailing"):
+            decode_message(data + b"\x00")

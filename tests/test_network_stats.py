@@ -1,0 +1,48 @@
+"""Tests for repro.network.stats."""
+
+import pytest
+
+from repro.network.stats import TrafficStats
+
+
+class TestLedger:
+    def test_records_sent(self):
+        stats = TrafficStats()
+        stats.record_sent(1024, 0.5)
+        assert stats.sent_bytes == 1024
+        assert stats.sent_kb == 1.0
+        assert stats.sent_messages == 1
+        assert stats.network_time_s == 0.5
+
+    def test_records_received(self):
+        stats = TrafficStats()
+        stats.record_received(2048, 0.25)
+        assert stats.received_kb == 2.0
+        assert stats.received_messages == 1
+
+    def test_total_time_includes_compute(self):
+        stats = TrafficStats()
+        stats.record_sent(10, 1.0)
+        stats.record_compute(0.5)
+        assert stats.total_time_s == pytest.approx(1.5)
+
+    def test_negative_rejected(self):
+        stats = TrafficStats()
+        with pytest.raises(ValueError):
+            stats.record_sent(-1)
+        with pytest.raises(ValueError):
+            stats.record_received(1, -0.1)
+        with pytest.raises(ValueError):
+            stats.record_compute(-1.0)
+
+    def test_merge(self):
+        a = TrafficStats()
+        a.record_sent(100, 1.0)
+        b = TrafficStats()
+        b.record_received(200, 2.0)
+        merged = a.merged_with(b)
+        assert merged.sent_bytes == 100
+        assert merged.received_bytes == 200
+        assert merged.network_time_s == pytest.approx(3.0)
+        # Originals untouched.
+        assert a.received_bytes == 0

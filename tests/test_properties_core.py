@@ -1,0 +1,89 @@
+"""Property-based tests on core invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adkmn import AdKMNConfig, fit_adkmn
+from repro.core.cover import ModelCover
+from repro.core.kmeans import kmeans
+from repro.data.tuples import TupleBatch
+from repro.models.mean import MeanModel
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+ppm = st.floats(min_value=0.0, max_value=5000.0, allow_nan=False)
+
+
+@st.composite
+def tuple_batches(draw, min_size=4, max_size=60):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    t = sorted(draw(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=n, max_size=n)))
+    x = draw(st.lists(finite, min_size=n, max_size=n))
+    y = draw(st.lists(finite, min_size=n, max_size=n))
+    s = draw(st.lists(ppm, min_size=n, max_size=n))
+    return TupleBatch(np.array(t), np.array(x), np.array(y), np.array(s))
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=tuple_batches())
+def test_adkmn_always_produces_valid_cover(batch):
+    """Whatever the window, Ad-KMN yields a structurally valid cover whose
+    labels are a nearest-centroid partition and whose size respects caps."""
+    cfg = AdKMNConfig(tau_n_pct=2.0, max_models=16)
+    result = fit_adkmn(batch, cfg)
+    cover = result.cover
+    assert 1 <= cover.size <= min(16, len(batch))
+    assert len(result.labels) == len(batch)
+    pts = batch.positions()
+    d2 = np.sum((pts[:, None, :] - cover.centroids[None, :, :]) ** 2, axis=2)
+    best = np.min(d2, axis=1)
+    chosen = d2[np.arange(len(batch)), result.labels]
+    assert np.allclose(chosen, best)
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=tuple_batches())
+def test_cover_serialization_round_trip(batch):
+    """to_blob/from_blob is lossless for predictions."""
+    result = fit_adkmn(batch, AdKMNConfig(tau_n_pct=5.0, max_models=8))
+    cover = result.cover
+    rebuilt = ModelCover.from_blob(cover.to_blob())
+    assert rebuilt.size == cover.size
+    assert rebuilt.valid_until == cover.valid_until
+    # Predictions agree at the window's own points.
+    a = cover.predict_batch(batch.t, batch.x, batch.y)
+    b = rebuilt.predict_batch(batch.t, batch.x, batch.y)
+    assert np.allclose(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    points=st.lists(st.tuples(finite, finite), min_size=3, max_size=50),
+    k=st.integers(min_value=1, max_value=3),
+)
+def test_kmeans_partition_invariants(points, k):
+    pts = np.asarray(points, dtype=float)
+    result = kmeans(pts, k, seed=0)
+    assert result.k == k
+    assert len(result.labels) == len(pts)
+    assert result.inertia >= 0.0
+    # Every label refers to an existing centroid.
+    assert np.all(result.labels >= 0)
+    assert np.all(result.labels < k)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(ppm, min_size=1, max_size=10),
+    t=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+)
+def test_cover_validity_boundary(values, t):
+    """is_valid_at is exactly the paper's t_l <= t_n check."""
+    cover = ModelCover(
+        centroids=np.zeros((1, 2)),
+        models=[MeanModel(values[0])],
+        valid_until=t,
+        family="mean",
+    )
+    assert cover.is_valid_at(t)
+    assert not cover.is_valid_at(np.nextafter(t, np.inf))

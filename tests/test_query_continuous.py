@@ -1,0 +1,92 @@
+"""Tests for repro.query.continuous."""
+
+import pytest
+
+from repro.data.tuples import QueryTuple
+from repro.query.base import QueryResult
+from repro.query.continuous import (
+    ContinuousQueryDriver,
+    uniform_query_tuples,
+    waypoint_trajectory,
+)
+
+
+class FakeProcessor:
+    name = "fake"
+
+    def __init__(self):
+        self.seen = []
+
+    def process(self, query):
+        self.seen.append(query)
+        return QueryResult(query=query, value=42.0, support=1)
+
+
+class TestUniformQueryTuples:
+    def test_uniform_interval(self):
+        traj = lambda t: (t, 2 * t)
+        qs = uniform_query_tuples(traj, 100.0, 60.0, 5)
+        assert len(qs) == 5
+        gaps = {qs[i + 1].t - qs[i].t for i in range(4)}
+        assert gaps == {60.0}  # |t_{l+1} - t_l| is always the same
+
+    def test_positions_follow_trajectory(self):
+        traj = lambda t: (t, -t)
+        qs = uniform_query_tuples(traj, 0.0, 10.0, 3)
+        assert qs[2].x == 20.0
+        assert qs[2].y == -20.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            uniform_query_tuples(lambda t: (0, 0), 0, 0.0, 5)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            uniform_query_tuples(lambda t: (0, 0), 0, 1.0, 0)
+
+
+class TestWaypointTrajectory:
+    def test_endpoints(self):
+        traj = waypoint_trajectory([(0, 0), (100, 0)], 0.0, 100.0)
+        assert traj(-5.0) == (0, 0)
+        assert traj(0.0) == (0, 0)
+        assert traj(100.0) == (100, 0)
+        assert traj(150.0) == (100, 0)
+
+    def test_constant_speed_midpoint(self):
+        traj = waypoint_trajectory([(0, 0), (100, 0)], 0.0, 100.0)
+        x, y = traj(50.0)
+        assert x == pytest.approx(50.0)
+
+    def test_multi_leg(self):
+        traj = waypoint_trajectory([(0, 0), (100, 0), (100, 100)], 0.0, 200.0)
+        x, y = traj(150.0)  # three quarters of the 200 m path = (100, 50)
+        assert (x, y) == pytest.approx((100.0, 50.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            waypoint_trajectory([(0, 0)], 0, 10)
+        with pytest.raises(ValueError):
+            waypoint_trajectory([(0, 0), (1, 1)], 10, 10)
+
+    def test_zero_length_leg(self):
+        traj = waypoint_trajectory([(0, 0), (0, 0), (100, 0)], 0.0, 100.0)
+        x, y = traj(50.0)
+        assert x == pytest.approx(50.0)
+
+
+class TestDriver:
+    def test_run_processes_in_order(self):
+        proc = FakeProcessor()
+        driver = ContinuousQueryDriver(proc)
+        qs = [QueryTuple(float(i), 0, 0) for i in range(5)]
+        results = driver.run(qs)
+        assert len(results) == 5
+        assert [q.t for q in proc.seen] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_run_trajectory(self):
+        proc = FakeProcessor()
+        driver = ContinuousQueryDriver(proc)
+        results = driver.run_trajectory(lambda t: (t, t), 0.0, 30.0, 4)
+        assert len(results) == 4
+        assert proc.seen[-1].t == 90.0

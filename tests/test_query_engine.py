@@ -1,0 +1,84 @@
+"""Tests for repro.query.engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import QueryTuple, TupleBatch
+from repro.geo.coords import BoundingBox
+from repro.query.engine import METHODS, QueryEngine
+
+
+@pytest.fixture(scope="module")
+def engine(small_batch):
+    return QueryEngine(small_batch, h=240, radius_m=1000.0)
+
+
+class TestConstruction:
+    def test_rejects_empty_stream(self):
+        with pytest.raises(ValueError):
+            QueryEngine(TupleBatch.empty())
+
+
+class TestWindowSelection:
+    def test_window_for_time_zero(self, engine, small_batch):
+        assert engine.window_for_time(float(small_batch.t[0])) == 0
+
+    def test_window_advances_with_time(self, engine, small_batch):
+        t_late = float(small_batch.t[240 * 3 + 10])
+        assert engine.window_for_time(t_late) == 3
+
+    def test_window_before_any_data(self, engine):
+        assert engine.window_for_time(-100.0) == 0
+
+    def test_window_after_all_data(self, engine, small_batch):
+        c = engine.window_for_time(float(small_batch.t[-1]) + 1e6)
+        assert c == (len(small_batch) - 1) // 240
+
+
+class TestProcessors:
+    def test_all_methods_available(self, engine):
+        for method in METHODS:
+            proc = engine.processor(method, 0)
+            assert proc.process(QueryTuple(0, 2000, 1500)) is not None
+
+    def test_unknown_method(self, engine):
+        with pytest.raises(ValueError):
+            engine.processor("quantum", 0)
+
+    def test_processor_cached(self, engine):
+        assert engine.processor("naive", 0) is engine.processor("naive", 0)
+
+
+class TestWebModes:
+    def test_point_query_model_cover_always_answers(self, engine, small_batch):
+        t = float(small_batch.t[100])
+        res = engine.point_query(t, 2000.0, 1500.0)
+        assert res.answered
+
+    def test_point_query_naive_can_miss(self, engine, small_batch):
+        t = float(small_batch.t[100])
+        res = engine.point_query(t, -50_000.0, -50_000.0, method="naive")
+        assert not res.answered
+
+    def test_continuous_query_spans_windows(self, engine, small_batch):
+        t0 = float(small_batch.t[0])
+        t1 = float(small_batch.t[300])  # crosses into window 1
+        queries = [QueryTuple(t0, 2000, 1500), QueryTuple(t1, 2000, 1500)]
+        results = engine.continuous_query(queries)
+        assert len(results) == 2
+        assert all(r.answered for r in results)
+
+    def test_heatmap_grid_shape(self, engine, small_batch):
+        t = float(small_batch.t[100])
+        bounds = BoundingBox(0, 0, 6000, 4000)
+        grid = engine.heatmap_grid(t, bounds, nx=8, ny=6)
+        assert grid.shape == (6, 8)
+        assert np.all(np.isfinite(grid))  # model cover answers everywhere
+
+    def test_heatmap_naive_has_gaps(self, engine, small_batch):
+        t = float(small_batch.t[100])
+        bounds = BoundingBox(-20_000, -20_000, 26_000, 24_000)
+        grid = engine.heatmap_grid(t, bounds, nx=6, ny=6, method="naive")
+        assert np.any(np.isnan(grid))  # geo-skew: corners have no data

@@ -1,0 +1,55 @@
+"""Tests for repro.query.indexed."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import QueryTuple, TupleBatch
+from repro.query.indexed import IndexedProcessor, available_index_kinds
+from repro.query.naive import NaiveProcessor
+
+
+def random_window(n=300, seed=0):
+    rng = random.Random(seed)
+    return TupleBatch(
+        np.arange(n, dtype=float),
+        [rng.uniform(0, 3000) for _ in range(n)],
+        [rng.uniform(0, 3000) for _ in range(n)],
+        [rng.uniform(380, 700) for _ in range(n)],
+    )
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("kind", available_index_kinds())
+    def test_identical_to_naive(self, kind):
+        """The paper's accuracy experiment relies on indexes producing
+        the same result as the naive method — enforce it exactly."""
+        window = random_window()
+        naive = NaiveProcessor(window, radius_m=800.0)
+        indexed = IndexedProcessor(window, kind=kind, radius_m=800.0)
+        rng = random.Random(1)
+        for _ in range(60):
+            q = QueryTuple(0.0, rng.uniform(-200, 3200), rng.uniform(-200, 3200))
+            a = naive.process(q)
+            b = indexed.process(q)
+            assert a.support == b.support
+            if a.value is None:
+                assert b.value is None
+            else:
+                assert b.value == pytest.approx(a.value)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown index kind"):
+            IndexedProcessor(random_window(), kind="btree")
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            IndexedProcessor(random_window(), radius_m=-5)
+
+    def test_name_is_kind(self):
+        assert IndexedProcessor(random_window(), kind="vptree").name == "vptree"
+
+    def test_no_data(self):
+        proc = IndexedProcessor(random_window(), kind="rtree", radius_m=10.0)
+        assert proc.process(QueryTuple(0, -9999, -9999)).value is None

@@ -1,0 +1,54 @@
+"""Tests for repro.query.modelcover."""
+
+import numpy as np
+import pytest
+
+from repro.core.cover import ModelCover
+from repro.data.tuples import QueryTuple
+from repro.models.mean import MeanModel
+from repro.query.modelcover import ModelCoverProcessor
+
+
+def make_cover():
+    return ModelCover(
+        centroids=np.array([[0.0, 0.0], [1000.0, 1000.0]]),
+        models=[MeanModel(400.0), MeanModel(700.0)],
+        valid_until=100.0,
+        family="mean",
+    )
+
+
+class TestProcessing:
+    def test_routes_to_nearest_model(self):
+        proc = ModelCoverProcessor(make_cover())
+        assert proc.process(QueryTuple(0, 10, 10)).value == 400.0
+        assert proc.process(QueryTuple(0, 990, 990)).value == 700.0
+
+    def test_always_answers(self):
+        proc = ModelCoverProcessor(make_cover())
+        res = proc.process(QueryTuple(0, 1e6, -1e6))
+        assert res.answered
+        assert res.support == 1
+
+    def test_matches_cover_predict(self):
+        cover = make_cover()
+        proc = ModelCoverProcessor(cover)
+        q = QueryTuple(5.0, 300.0, 800.0)
+        assert proc.process(q).value == pytest.approx(cover.predict(q.t, q.x, q.y))
+
+    def test_tie_breaks_to_first(self):
+        proc = ModelCoverProcessor(make_cover())
+        assert proc.process(QueryTuple(0, 500, 500)).value == 400.0
+
+    def test_name(self):
+        assert ModelCoverProcessor(make_cover()).name == "model-cover"
+
+    def test_single_model_cover(self):
+        cover = ModelCover(
+            centroids=np.array([[5.0, 5.0]]),
+            models=[MeanModel(555.0)],
+            valid_until=0.0,
+            family="mean",
+        )
+        proc = ModelCoverProcessor(cover)
+        assert proc.process(QueryTuple(0, -100, 100)).value == 555.0

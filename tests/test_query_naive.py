@@ -1,0 +1,51 @@
+"""Tests for repro.query.naive."""
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import QueryTuple, TupleBatch
+from repro.query.naive import NaiveProcessor
+
+
+def cross_batch():
+    """Five tuples: one at the origin, four 100 m away on the axes."""
+    xs = [0.0, 100.0, -100.0, 0.0, 0.0]
+    ys = [0.0, 0.0, 0.0, 100.0, -100.0]
+    ss = [400.0, 410.0, 420.0, 430.0, 440.0]
+    return TupleBatch(np.zeros(5), xs, ys, ss)
+
+
+class TestRadiusAverage:
+    def test_averages_within_radius(self):
+        proc = NaiveProcessor(cross_batch(), radius_m=150.0)
+        res = proc.process(QueryTuple(0, 0, 0))
+        assert res.value == pytest.approx(np.mean([400, 410, 420, 430, 440]))
+        assert res.support == 5
+
+    def test_tight_radius_hits_centre_only(self):
+        proc = NaiveProcessor(cross_batch(), radius_m=50.0)
+        res = proc.process(QueryTuple(0, 0, 0))
+        assert res.value == 400.0
+        assert res.support == 1
+
+    def test_boundary_inclusive(self):
+        proc = NaiveProcessor(cross_batch(), radius_m=100.0)
+        assert proc.process(QueryTuple(0, 0, 0)).support == 5
+
+    def test_no_data_returns_none(self):
+        proc = NaiveProcessor(cross_batch(), radius_m=50.0)
+        res = proc.process(QueryTuple(0, 5000, 5000))
+        assert res.value is None
+        assert not res.answered
+        assert res.support == 0
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            NaiveProcessor(cross_batch(), radius_m=-1)
+
+    def test_empty_window(self):
+        proc = NaiveProcessor(TupleBatch.empty(), radius_m=100.0)
+        assert proc.process(QueryTuple(0, 0, 0)).value is None
+
+    def test_name(self):
+        assert NaiveProcessor(cross_batch()).name == "naive"

@@ -1,0 +1,79 @@
+"""Tests for repro.query.planner."""
+
+import pytest
+
+from repro.data.tuples import QueryTuple, TupleBatch
+from repro.query.planner import PlanEstimate, QueryPlanner, QueryProfile
+
+
+class TestProfileValidation:
+    def test_defaults(self):
+        p = QueryProfile()
+        assert p.expected_queries == 1000
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            QueryProfile(expected_queries=0)
+        with pytest.raises(ValueError):
+            QueryProfile(radius_m=-1)
+
+
+class TestPlanning:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            QueryPlanner(TupleBatch.empty())
+
+    def test_model_cover_wins_for_long_workloads(self, daytime_window):
+        planner = QueryPlanner(daytime_window)
+        plan = planner.choose(QueryProfile(expected_queries=100_000))
+        assert plan.method == "model-cover"
+
+    def test_naive_wins_for_single_query(self, daytime_window):
+        planner = QueryPlanner(daytime_window)
+        plan = planner.choose(QueryProfile(expected_queries=1))
+        # One query never amortises index build or model fit.
+        assert plan.method == "naive"
+
+    def test_exact_average_excludes_model_cover(self, daytime_window):
+        planner = QueryPlanner(daytime_window)
+        estimates = planner.estimates(
+            QueryProfile(expected_queries=100_000, needs_exact_average=True)
+        )
+        assert "model-cover" not in estimates
+        plan = planner.choose(
+            QueryProfile(expected_queries=100_000, needs_exact_average=True)
+        )
+        assert plan.method in ("naive", "rtree", "vptree")
+
+    def test_estimates_cover_all_methods(self, daytime_window):
+        planner = QueryPlanner(daytime_window)
+        estimates = planner.estimates(QueryProfile())
+        assert set(estimates) == {"naive", "rtree", "vptree", "model-cover"}
+        for est in estimates.values():
+            assert isinstance(est, PlanEstimate)
+            assert est.per_query_cost > 0
+
+    def test_processor_for_answers_queries(self, daytime_window):
+        planner = QueryPlanner(daytime_window)
+        proc = planner.processor_for(QueryProfile(expected_queries=100_000))
+        q = QueryTuple(
+            t=float(daytime_window.t[0]),
+            x=float(daytime_window.x[0]),
+            y=float(daytime_window.y[0]),
+        )
+        assert proc.process(q).answered
+
+    def test_processor_cached(self, daytime_window):
+        planner = QueryPlanner(daytime_window)
+        profile = QueryProfile(expected_queries=100_000)
+        assert planner.processor_for(profile) is planner.processor_for(profile)
+
+    def test_cost_ordering_matches_fig6a(self, daytime_window):
+        """For a sustained workload the estimated per-query ordering must
+        match the measured Figure 6(a) ordering: model cover cheapest."""
+        planner = QueryPlanner(daytime_window)
+        estimates = planner.estimates(QueryProfile(expected_queries=5000))
+        assert (
+            estimates["model-cover"].per_query_cost
+            < estimates["naive"].per_query_cost
+        )

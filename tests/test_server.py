@@ -1,0 +1,93 @@
+"""Tests for repro.server."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cover import ModelCover
+from repro.network.messages import (
+    ModelCoverResponse,
+    ModelRequest,
+    QueryRequest,
+    ValueResponse,
+)
+from repro.server.server import EnviroMeterServer
+
+
+@pytest.fixture()
+def server(small_batch):
+    srv = EnviroMeterServer(h=240)
+    srv.ingest(small_batch)
+    return srv
+
+
+class TestIngestion:
+    def test_ingest_counts(self, small_batch):
+        srv = EnviroMeterServer()
+        assert srv.ingest(small_batch) == len(small_batch)
+
+    def test_no_data_raises(self):
+        srv = EnviroMeterServer()
+        with pytest.raises(RuntimeError):
+            srv.current_window(0.0)
+
+
+class TestCoverMaintenance:
+    def test_cover_persisted_on_first_fit(self, server, small_batch):
+        t = float(small_batch.t[100])
+        server.cover_for(t)
+        c = server.current_window(t)
+        assert server.db.cover_blob_for_window(c) is not None
+
+    def test_cover_reused_from_table(self, server, small_batch):
+        t = float(small_batch.t[100])
+        a = server.cover_for(t)
+        b = server.cover_for(t)
+        assert np.array_equal(a.centroids, b.centroids)
+        # Only one blob stored for the window.
+        table = server.db.table("model_cover")
+        assert len(table) == 1
+
+    def test_validity_horizon_applied(self, server, small_batch):
+        t = float(small_batch.t[100])
+        cover = server.cover_for(t)
+        window_end = float(small_batch.t[239])
+        assert cover.valid_until == pytest.approx(
+            window_end + server.validity_horizon_s
+        )
+
+    def test_later_time_uses_later_window(self, server, small_batch):
+        c_early = server.current_window(float(small_batch.t[10]))
+        c_late = server.current_window(float(small_batch.t[1000]))
+        assert c_late > c_early
+
+
+class TestRequestHandling:
+    def test_query_request(self, server, small_batch):
+        t = float(small_batch.t[100])
+        response = server.handle(QueryRequest(t=t, x=2000.0, y=1500.0))
+        assert isinstance(response, ValueResponse)
+        assert not math.isnan(response.value)
+        assert server.served_values == 1
+
+    def test_model_request(self, server, small_batch):
+        t = float(small_batch.t[100])
+        response = server.handle(ModelRequest(t=t, x=0.0, y=0.0))
+        assert isinstance(response, ModelCoverResponse)
+        cover = ModelCover.from_blob(response.blob)
+        assert cover.size >= 1
+        assert server.served_covers == 1
+
+    def test_unknown_request(self, server):
+        with pytest.raises(TypeError):
+            server.handle("not-a-request")
+
+    def test_ingest_invalidates_cache(self, server, small_batch):
+        t = float(small_batch.t[100])
+        server.handle(ModelRequest(t=t, x=0.0, y=0.0))
+        # New data arrives; the server must rebuild covers lazily and not
+        # crash on a stale snapshot.
+        server.ingest(small_batch.slice(0, 10))
+        response = server.handle(ModelRequest(t=t, x=0.0, y=0.0))
+        assert isinstance(response, ModelCoverResponse)

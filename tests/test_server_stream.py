@@ -1,0 +1,74 @@
+"""Tests for repro.server.stream."""
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import TupleBatch
+from repro.server.server import EnviroMeterServer
+from repro.server.stream import StreamReplayer
+
+
+class TestSlices:
+    def test_partition_is_complete(self, small_batch):
+        replayer = StreamReplayer(EnviroMeterServer(), batch_interval_s=1800.0)
+        total = sum(len(piece) for _, piece in replayer.slices(small_batch))
+        assert total == len(small_batch)
+
+    def test_slices_time_ordered(self, small_batch):
+        replayer = StreamReplayer(EnviroMeterServer(), batch_interval_s=1800.0)
+        times = [t for t, _ in replayer.slices(small_batch)]
+        assert times == sorted(times)
+
+    def test_empty_intervals_skipped(self):
+        # Two bursts separated by a long gap.
+        t = np.array([0.0, 10.0, 10_000.0])
+        batch = TupleBatch(t, np.zeros(3), np.zeros(3), np.full(3, 400.0))
+        replayer = StreamReplayer(EnviroMeterServer(), batch_interval_s=100.0)
+        pieces = list(replayer.slices(batch))
+        assert len(pieces) == 2  # no empty deliveries in between
+
+    def test_unsorted_rejected(self):
+        t = np.array([10.0, 0.0])
+        batch = TupleBatch(t, np.zeros(2), np.zeros(2), np.zeros(2))
+        replayer = StreamReplayer(EnviroMeterServer())
+        with pytest.raises(ValueError, match="time-sorted"):
+            list(replayer.slices(batch))
+
+    def test_empty_stream(self):
+        replayer = StreamReplayer(EnviroMeterServer())
+        assert list(replayer.slices(TupleBatch.empty())) == []
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            StreamReplayer(EnviroMeterServer(), batch_interval_s=0)
+
+
+class TestRun:
+    def test_full_replay_ingests_everything(self, small_batch):
+        server = EnviroMeterServer(h=240)
+        stats = StreamReplayer(server, batch_interval_s=3600.0).run(small_batch)
+        assert stats.tuples == len(small_batch)
+        assert len(server.db.raw_tuples()) == len(small_batch)
+        assert stats.batches >= 10
+
+    def test_queries_force_lazy_cover_builds(self, small_batch):
+        server = EnviroMeterServer(h=240)
+        stats = StreamReplayer(server, batch_interval_s=1800.0).run(
+            small_batch, query_every_s=4 * 3600.0
+        )
+        assert server.served_values >= 2
+        assert stats.covers_built >= 2  # distinct windows were materialised
+
+    def test_no_queries_no_covers(self, small_batch):
+        server = EnviroMeterServer(h=240)
+        stats = StreamReplayer(server, batch_interval_s=3600.0).run(small_batch)
+        assert stats.covers_built == 0  # lazy: nothing asked, nothing built
+
+    def test_progress_callback(self, small_batch):
+        server = EnviroMeterServer(h=240)
+        seen = []
+        StreamReplayer(server, batch_interval_s=3600.0).run(
+            small_batch, on_progress=lambda t, n: seen.append((t, n))
+        )
+        assert seen
+        assert seen[-1][1] == len(small_batch)

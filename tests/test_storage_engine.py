@@ -1,0 +1,89 @@
+"""Tests for repro.storage.engine."""
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import TupleBatch
+from repro.storage.engine import Database
+from repro.storage.schema import ColumnType, Schema
+
+
+class TestTableManagement:
+    def test_create_and_get(self):
+        db = Database()
+        db.create_table("a", Schema.of(("x", ColumnType.FLOAT64)))
+        assert db.has_table("a")
+        assert db.table("a").name == "a"
+
+    def test_duplicate_rejected(self):
+        db = Database()
+        db.create_table("a", Schema.of(("x", ColumnType.FLOAT64)))
+        with pytest.raises(ValueError):
+            db.create_table("a", Schema.of(("x", ColumnType.FLOAT64)))
+
+    def test_missing_table(self):
+        with pytest.raises(KeyError):
+            Database().table("nope")
+
+    def test_drop(self):
+        db = Database()
+        db.create_table("a", Schema.of(("x", ColumnType.FLOAT64)))
+        db.drop_table("a")
+        assert not db.has_table("a")
+        with pytest.raises(KeyError):
+            db.drop_table("a")
+
+    def test_table_names_sorted(self):
+        db = Database()
+        for name in ("zeta", "alpha"):
+            db.create_table(name, Schema.of(("x", ColumnType.FLOAT64)))
+        assert db.table_names() == ("alpha", "zeta")
+
+
+class TestEnviroMeterSchema:
+    def test_figure1_tables(self):
+        db = Database.for_enviro_meter()
+        assert db.has_table("raw_tuples")
+        assert db.has_table("model_cover")
+
+    def test_ingest_and_read_back(self):
+        db = Database.for_enviro_meter()
+        batch = TupleBatch([1.0, 2.0], [3.0, 4.0], [5.0, 6.0], [7.0, 8.0])
+        assert db.ingest_tuples(batch) == 2
+        out = db.raw_tuples()
+        assert np.array_equal(out.t, batch.t)
+        assert np.array_equal(out.s, batch.s)
+
+    def test_ingest_appends(self):
+        db = Database.for_enviro_meter()
+        batch = TupleBatch([1.0], [1.0], [1.0], [1.0])
+        db.ingest_tuples(batch)
+        db.ingest_tuples(batch)
+        assert len(db.raw_tuples()) == 2
+
+
+class TestCoverBlobs:
+    def test_latest_none_when_empty(self):
+        db = Database.for_enviro_meter()
+        assert db.latest_cover_blob() is None
+        assert db.cover_blob_for_window(0) is None
+
+    def test_store_and_fetch_latest(self):
+        db = Database.for_enviro_meter()
+        db.store_cover_blob(0, 100.0, b"first")
+        db.store_cover_blob(1, 200.0, b"second")
+        window_c, valid_until, blob = db.latest_cover_blob()
+        assert (window_c, valid_until, blob) == (1, 200.0, b"second")
+
+    def test_fetch_for_window_takes_newest(self):
+        db = Database.for_enviro_meter()
+        db.store_cover_blob(3, 100.0, b"old")
+        db.store_cover_blob(3, 150.0, b"new")
+        _, valid_until, blob = db.cover_blob_for_window(3)
+        assert blob == b"new"
+        assert valid_until == 150.0
+
+    def test_fetch_unknown_window(self):
+        db = Database.for_enviro_meter()
+        db.store_cover_blob(1, 100.0, b"x")
+        assert db.cover_blob_for_window(2) is None

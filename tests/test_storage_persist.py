@@ -1,0 +1,70 @@
+"""Tests for repro.storage.persist."""
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import TupleBatch
+from repro.storage.engine import Database
+from repro.storage.persist import load_database, save_database
+from repro.storage.schema import ColumnType, Schema
+
+
+class TestRoundTrip:
+    def test_enviro_meter_database(self, tmp_path):
+        db = Database.for_enviro_meter()
+        db.ingest_tuples(TupleBatch([1.0, 2.0], [3.0, 4.0], [5.0, 6.0], [7.0, 8.0]))
+        db.store_cover_blob(0, 99.5, b"\x00\x01\x02cover")
+        path = tmp_path / "state.emdb"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.table_names() == db.table_names()
+        out = loaded.raw_tuples()
+        assert np.array_equal(out.t, np.array([1.0, 2.0]))
+        assert loaded.latest_cover_blob() == (0, 99.5, b"\x00\x01\x02cover")
+
+    def test_empty_database(self, tmp_path):
+        path = tmp_path / "empty.emdb"
+        save_database(Database(), path)
+        assert load_database(path).table_names() == ()
+
+    def test_custom_schema(self, tmp_path):
+        db = Database()
+        table = db.create_table(
+            "mixed",
+            Schema.of(
+                ("k", ColumnType.INT64),
+                ("v", ColumnType.FLOAT64),
+                ("blob", ColumnType.BYTES),
+            ),
+        )
+        table.insert((1, 2.5, b"abc"))
+        table.insert((2, -1.0, b""))
+        path = tmp_path / "mixed.emdb"
+        save_database(db, path)
+        loaded = load_database(path).table("mixed")
+        assert loaded.row(0) == (1, 2.5, b"abc")
+        assert loaded.row(1) == (2, -1.0, b"")
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.emdb"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(ValueError, match="not an EnviroMeter"):
+            load_database(path)
+
+    def test_truncated(self, tmp_path):
+        db = Database.for_enviro_meter()
+        db.ingest_tuples(TupleBatch([1.0], [1.0], [1.0], [1.0]))
+        path = tmp_path / "ok.emdb"
+        save_database(db, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="truncated"):
+            load_database(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "future.emdb"
+        path.write_bytes(b"EMDB" + (99).to_bytes(4, "little") + b"\x00" * 4)
+        with pytest.raises(ValueError, match="version"):
+            load_database(path)

@@ -1,0 +1,57 @@
+"""Tests for repro.storage.schema."""
+
+import pytest
+
+from repro.storage.schema import (
+    MODEL_COVER_SCHEMA,
+    RAW_TUPLES_SCHEMA,
+    Column,
+    ColumnType,
+    Schema,
+)
+
+
+class TestColumn:
+    def test_valid(self):
+        Column("t", ColumnType.FLOAT64)
+
+    @pytest.mark.parametrize("name", ["", "1abc", "a-b", "a b"])
+    def test_invalid_names(self, name):
+        with pytest.raises(ValueError):
+            Column(name, ColumnType.FLOAT64)
+
+
+class TestSchema:
+    def test_of_builder(self):
+        schema = Schema.of(("a", ColumnType.FLOAT64), ("b", ColumnType.BYTES))
+        assert schema.names == ("a", "b")
+        assert len(schema) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema.of(("a", ColumnType.FLOAT64), ("a", ColumnType.INT64))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Schema(())
+
+    def test_column_lookup(self):
+        schema = Schema.of(("a", ColumnType.FLOAT64), ("b", ColumnType.INT64))
+        assert schema.column("b").ctype is ColumnType.INT64
+        assert schema.index_of("b") == 1
+
+    def test_unknown_column(self):
+        schema = Schema.of(("a", ColumnType.FLOAT64))
+        with pytest.raises(KeyError):
+            schema.column("zzz")
+        with pytest.raises(KeyError):
+            schema.index_of("zzz")
+
+
+class TestBuiltinSchemas:
+    def test_raw_tuples_matches_paper(self):
+        # b_i = (t_i, x_i, y_i, s_i)
+        assert RAW_TUPLES_SCHEMA.names == ("t", "x", "y", "s")
+
+    def test_model_cover_has_blob(self):
+        assert MODEL_COVER_SCHEMA.column("cover_blob").ctype is ColumnType.BYTES

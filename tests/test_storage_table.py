@@ -1,0 +1,112 @@
+"""Tests for repro.storage.table."""
+
+import numpy as np
+import pytest
+
+from repro.storage.schema import ColumnType, Schema
+from repro.storage.table import Table
+
+
+def numeric_table():
+    return Table("points", Schema.of(("t", ColumnType.FLOAT64), ("n", ColumnType.INT64)))
+
+
+def blob_table():
+    return Table("blobs", Schema.of(("id", ColumnType.INT64), ("data", ColumnType.BYTES)))
+
+
+class TestValidation:
+    def test_bad_name(self):
+        with pytest.raises(ValueError):
+            Table("bad name", Schema.of(("a", ColumnType.FLOAT64)))
+
+    def test_wrong_row_width(self):
+        table = numeric_table()
+        with pytest.raises(ValueError):
+            table.insert((1.0,))
+
+    def test_bytes_type_checked(self):
+        table = blob_table()
+        with pytest.raises(TypeError):
+            table.insert((1, "not-bytes"))
+
+
+class TestInsertAndScan:
+    def test_insert_returns_row_ids(self):
+        table = numeric_table()
+        assert table.insert((1.0, 2)) == 0
+        assert table.insert((3.0, 4)) == 1
+        assert len(table) == 2
+
+    def test_column_snapshot(self):
+        table = numeric_table()
+        table.insert_many([(1.0, 10), (2.0, 20)])
+        col = table.column("n")
+        assert col.tolist() == [10, 20]
+        assert col.dtype == np.int64
+
+    def test_snapshot_immutable(self):
+        table = numeric_table()
+        table.insert((1.0, 1))
+        snap = table.column("t")
+        with pytest.raises(ValueError):
+            snap[0] = 9.0
+
+    def test_snapshot_isolated_from_later_appends(self):
+        table = numeric_table()
+        table.insert((1.0, 1))
+        snap = table.column("t")
+        table.insert((2.0, 2))
+        assert len(snap) == 1
+
+    def test_scan(self):
+        table = numeric_table()
+        table.insert((1.0, 5))
+        cols = table.scan()
+        assert set(cols) == {"t", "n"}
+
+    def test_row(self):
+        table = blob_table()
+        table.insert((7, b"abc"))
+        assert table.row(0) == (7, b"abc")
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            numeric_table().row(0)
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            numeric_table().column("zzz")
+
+    def test_crosses_chunk_boundary(self):
+        table = numeric_table()
+        n = 9000  # > one 8192 chunk
+        table.insert_columns(
+            t=np.arange(n, dtype=float), n=np.arange(n, dtype=np.int64)
+        )
+        assert len(table) == n
+        col = table.column("t")
+        assert col[8191] == 8191.0
+        assert col[8192] == 8192.0
+
+
+class TestBulkInsert:
+    def test_insert_columns(self):
+        table = numeric_table()
+        assert table.insert_columns(t=np.ones(5), n=np.arange(5)) == 5
+        assert len(table) == 5
+
+    def test_missing_column(self):
+        table = numeric_table()
+        with pytest.raises(ValueError):
+            table.insert_columns(t=np.ones(3))
+
+    def test_length_mismatch(self):
+        table = numeric_table()
+        with pytest.raises(ValueError):
+            table.insert_columns(t=np.ones(3), n=np.ones(4))
+
+    def test_bytes_bulk_rejected(self):
+        table = blob_table()
+        with pytest.raises(TypeError):
+            table.insert_columns(id=np.ones(1), data=np.ones(1))
