@@ -1,0 +1,180 @@
+"""Scalar vs batched query execution throughput.
+
+Not a paper figure — this measures the reproduction's own batched
+execution path (``repro/query/README.md``): the heatmap grid as one
+``process_batch`` call versus the historical cell-by-cell scalar loop,
+and a windowed continuous stream through the grouped/parallel path
+versus per-tuple processing.
+
+Run standalone for the headline numbers on the 1-day Lausanne fixture::
+
+    PYTHONPATH=src python benchmarks/bench_batch_execution.py
+
+which also checks the acceptance bar: the batched 40x30 model-cover
+heatmap must be at least 3x faster than the scalar loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.lausanne import LausanneConfig, generate_lausanne_dataset
+from repro.data.tuples import QueryTuple
+from repro.eval.timing import time_callable
+from repro.geo.coords import BoundingBox
+from repro.query.base import QueryBatch, process_batch
+from repro.query.engine import QueryEngine
+
+GRID_NX, GRID_NY = 40, 30
+N_CONTINUOUS = 240        # sparse: ~10 queries per window
+N_CONTINUOUS_DENSE = 4800  # dense: ~200 queries per window
+METHODS = ("model-cover", "naive", "kdtree")
+
+
+def day_fixture():
+    """The deterministic 1-day Lausanne dataset (~5.9 K tuples)."""
+    return generate_lausanne_dataset(LausanneConfig(days=1, target_tuples=0, seed=7))
+
+
+def _engine(dataset) -> QueryEngine:
+    return QueryEngine(dataset.tuples, h=240)
+
+
+def _grid_probes(engine, dataset, nx=GRID_NX, ny=GRID_NY):
+    t = float(dataset.tuples.t[len(dataset.tuples) // 2])
+    bounds = dataset.covered_bbox()
+    probes = QueryBatch.from_grid(
+        t, bounds.min_x, bounds.min_y, bounds.width, bounds.height, nx, ny
+    )
+    return t, bounds, probes
+
+
+def _continuous_stream(dataset, n=N_CONTINUOUS):
+    """A query stream sweeping several windows (diagonal walk in time)."""
+    tuples = dataset.tuples
+    span = len(tuples) - 1
+    return [
+        QueryTuple(
+            float(tuples.t[i * span // max(n - 1, 1)]),
+            float(tuples.x[i * span // max(n - 1, 1)]) + 50.0,
+            float(tuples.y[i * span // max(n - 1, 1)]) - 50.0,
+        )
+        for i in range(n)
+    ]
+
+
+def scalar_grid(proc, probes) -> int:
+    """The historical per-cell loop heatmap_grid used before batching."""
+    answered = 0
+    for q in probes:
+        if proc.process(q).answered:
+            answered += 1
+    return answered
+
+
+def heatmap_speedup(dataset, method="model-cover", nx=GRID_NX, ny=GRID_NY, repeats=3):
+    """(scalar_s, batched_s) for one full heatmap grid."""
+    engine = _engine(dataset)
+    t, _, probes = _grid_probes(engine, dataset, nx, ny)
+    proc = engine.processor(method, engine.window_for_time(t))
+    scalar_s = time_callable(lambda: scalar_grid(proc, probes), repeats=repeats)
+    batched_s = time_callable(lambda: process_batch(proc, probes), repeats=repeats)
+    return scalar_s, batched_s
+
+
+def continuous_speedup(dataset, method="model-cover", n=N_CONTINUOUS, repeats=3):
+    """(scalar_s, batched_s) for a multi-window continuous stream."""
+    engine = _engine(dataset)
+    queries = _continuous_stream(dataset, n=n)
+    # Warm the processor cache so both paths measure query work only.
+    for q in queries:
+        engine.processor(method, engine.window_for_time(q.t))
+
+    def scalar():
+        for q in queries:
+            engine.processor(method, engine.window_for_time(q.t)).process(q)
+
+    scalar_s = time_callable(scalar, repeats=repeats)
+    batched_s = time_callable(
+        lambda: engine.continuous_query_batch(queries, method=method),
+        repeats=repeats,
+    )
+    return scalar_s, batched_s
+
+
+# -- pytest-benchmark entry points -----------------------------------------
+
+
+@pytest.fixture(scope="module")
+def day_dataset():
+    return day_fixture()
+
+
+@pytest.mark.parametrize("path", ("scalar", "batched"))
+@pytest.mark.parametrize("method", METHODS)
+def bench_heatmap(benchmark, day_dataset, method, path):
+    engine = _engine(day_dataset)
+    t, _, probes = _grid_probes(engine, day_dataset)
+    proc = engine.processor(method, engine.window_for_time(t))
+    benchmark.group = f"heatmap {GRID_NX}x{GRID_NY} {method}"
+    benchmark.extra_info["path"] = path
+    if path == "scalar":
+        benchmark(lambda: scalar_grid(proc, probes))
+    else:
+        benchmark(lambda: process_batch(proc, probes))
+
+
+@pytest.mark.parametrize("path", ("scalar", "batched"))
+def bench_continuous(benchmark, day_dataset, path):
+    engine = _engine(day_dataset)
+    queries = _continuous_stream(day_dataset)
+    for q in queries:
+        engine.processor("model-cover", engine.window_for_time(q.t))
+    benchmark.group = "continuous model-cover"
+    benchmark.extra_info["path"] = path
+    if path == "scalar":
+
+        def run():
+            for q in queries:
+                engine.processor(
+                    "model-cover", engine.window_for_time(q.t)
+                ).process(q)
+
+        benchmark(run)
+    else:
+        benchmark(lambda: engine.continuous_query_batch(queries))
+    benchmark.extra_info["cache"] = engine.cache_stats.as_dict()
+
+
+# -- standalone report ------------------------------------------------------
+
+
+def main() -> int:
+    dataset = day_fixture()
+    print(f"1-day Lausanne fixture: {len(dataset.tuples)} tuples")
+    print(f"\nheatmap grid {GRID_NX}x{GRID_NY} (one window):")
+    print(f"  {'method':<12} {'scalar':>10} {'batched':>10} {'speedup':>9}")
+    ok = True
+    for method in METHODS:
+        scalar_s, batched_s = heatmap_speedup(dataset, method)
+        speedup = scalar_s / batched_s
+        print(
+            f"  {method:<12} {scalar_s * 1e3:>8.1f}ms {batched_s * 1e3:>8.1f}ms"
+            f" {speedup:>8.1f}x"
+        )
+        if method == "model-cover" and speedup < 3.0:
+            ok = False
+    print("\ncontinuous model-cover stream across windows:")
+    for label, n in (("sparse", N_CONTINUOUS), ("dense", N_CONTINUOUS_DENSE)):
+        scalar_s, batched_s = continuous_speedup(dataset, n=n)
+        print(
+            f"  {label:<6} n={n:<5} {scalar_s * 1e3:>8.1f}ms {batched_s * 1e3:>8.1f}ms"
+            f" {scalar_s / batched_s:>8.1f}x"
+        )
+    verdict = "PASS" if ok else "FAIL"
+    print(f"\nacceptance (model-cover heatmap >= 3x): {verdict}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

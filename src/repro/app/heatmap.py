@@ -92,16 +92,26 @@ def _ramp_color(v: float) -> Tuple[int, int, int]:
     return _RAMP[-1][1]
 
 
+_RAMP_STOPS = np.array([f for f, _ in _RAMP])
+_RAMP_RGB = np.array([c for _, c in _RAMP], dtype=np.float64)
+
+
 def colorize(heatmap: Heatmap) -> np.ndarray:
-    """(ny, nx, 3) uint8 RGB image; NaN cells are grey."""
+    """(ny, nx, 3) uint8 RGB image; NaN cells are grey.
+
+    Vectorised: one ``np.interp`` per channel over the whole grid instead
+    of a per-cell ramp walk — the batched heatmap path renders 1200-cell
+    grids, so the colour pass should not reintroduce a scalar loop.
+    """
     norm = heatmap.normalised()
-    ny, nx = norm.shape
-    out = np.full((ny, nx, 3), 128, dtype=np.uint8)
-    for j in range(ny):
-        for i in range(nx):
-            v = norm[j, i]
-            if np.isfinite(v):
-                out[j, i] = _ramp_color(float(v))
+    finite = np.isfinite(norm)
+    v = np.where(finite, norm, 0.0)
+    out = np.empty(norm.shape + (3,), dtype=np.uint8)
+    for ch in range(3):
+        out[..., ch] = np.rint(
+            np.interp(v, _RAMP_STOPS, _RAMP_RGB[:, ch])
+        ).astype(np.uint8)
+    out[~finite] = 128
     return out
 
 

@@ -85,28 +85,30 @@ class WebInterface:
         duration_s: float = 1800.0,
         updates: int = 30,
     ) -> List[RouteReading]:
-        """Average CO2 for each point along a user-selected route."""
+        """Average CO2 for each point along a user-selected route.
+
+        Runs on the engine's batched path: the route's query stream is
+        grouped by window and each group is answered by one vectorised
+        ``process_batch`` call (groups in parallel on the engine's
+        executor), instead of one scalar ``process`` per route point.
+        """
         if len(route_points) < 2:
             raise ValueError("select at least two route points")
         traj = waypoint_trajectory(route_points, t_start, t_start + duration_s)
         interval = duration_s / max(updates - 1, 1)
         queries = uniform_query_tuples(traj, t_start, interval, updates)
-        results = self._engine.continuous_query(queries, method="model-cover")
+        result = self._engine.continuous_query_batch(queries, method="model-cover")
         readings: List[RouteReading] = []
-        for res in results:
-            if res.value is None:
-                readings.append(
-                    RouteReading(res.query.x, res.query.y, None, None)
-                )
+        for i in range(len(result)):
+            x = float(result.queries.x[i])
+            y = float(result.queries.y[i])
+            if not result.answered[i]:
+                readings.append(RouteReading(x, y, None, None))
             else:
-                level = classify_co2(max(res.value, 0.0))
+                value = float(result.values[i])
+                level = classify_co2(max(value, 0.0))
                 readings.append(
-                    RouteReading(
-                        res.query.x,
-                        res.query.y,
-                        res.value,
-                        color_for_level(level),
-                    )
+                    RouteReading(x, y, value, color_for_level(level))
                 )
         return readings
 
@@ -157,7 +159,8 @@ class WebInterface:
     ) -> Heatmap:
         """Alternative heatmap: evaluate the owning model at every cell
         (exposes the models' raw extrapolation behaviour; useful for
-        debugging covers, not what the demo UI showed)."""
+        debugging covers, not what the demo UI showed).  The grid is one
+        batched ``process_batch`` call through the engine."""
         grid = self._engine.heatmap_grid(t, bounds, nx=nx, ny=ny, method="model-cover")
         return Heatmap(grid=grid, bounds=bounds)
 

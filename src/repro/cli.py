@@ -83,12 +83,16 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
     ds = generate_lausanne_dataset(
         LausanneConfig(days=args.days, seed=args.seed, target_tuples=0)
     )
-    web = WebInterface(QueryEngine(ds.tuples, h=500))
+    engine = QueryEngine(ds.tuples, h=500, max_workers=args.workers)
+    web = WebInterface(engine)
     anchor = args.hour * 3600.0
     pos = min(int(np.searchsorted(ds.tuples.t, anchor)), len(ds.tuples) - 1)
     t = float(ds.tuples.t[pos])
     bounds = BoundingBox(0.0, 0.0, 6000.0, 4000.0)
-    heatmap = web.heatmap(t, bounds, nx=args.width, ny=args.height)
+    if args.model_grid:
+        heatmap = web.model_grid(t, bounds, nx=args.width, ny=args.height)
+    else:
+        heatmap = web.heatmap(t, bounds, nx=args.width, ny=args.height)
     if args.out:
         render_ppm(heatmap, args.out)
         print(f"wrote {args.out}")
@@ -114,6 +118,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"served {server.served_values} value(s)"
     )
     return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -142,6 +153,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--width", type=int, default=72)
     p.add_argument("--height", type=int, default=24)
+    p.add_argument(
+        "--model-grid",
+        action="store_true",
+        help="evaluate the owning model per cell (batched path) instead of "
+        "the centroid-splat demo rendering",
+    )
+    p.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="thread-pool size for batched query groups (default: CPU count)",
+    )
     p.add_argument("--out", default=None, help="PPM output path (default: ASCII to stdout)")
     p.set_defaults(func=_cmd_heatmap)
 

@@ -80,16 +80,20 @@ class ModelCover:
         t = np.asarray(t, dtype=np.float64)
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
+        if not len(x):
+            return np.empty(0, dtype=np.float64)
         d2 = (
             (x[:, None] - self.centroids[None, :, 0]) ** 2
             + (y[:, None] - self.centroids[None, :, 1]) ** 2
         )
+        # argmin keeps the first minimum, matching the scalar scan's
+        # strict-< tie-break in nearest_index / ModelCoverProcessor.
         owner = np.argmin(d2, axis=1)
         out = np.empty(len(x), dtype=np.float64)
-        for k in range(self.size):
+        hits = np.bincount(owner, minlength=self.size)
+        for k in np.flatnonzero(hits):
             mask = owner == k
-            if np.any(mask):
-                out[mask] = self.models[k].predict_batch(t[mask], x[mask], y[mask])
+            out[mask] = self.models[k].predict_batch(t[mask], x[mask], y[mask])
         return out
 
     def is_valid_at(self, t: float) -> bool:

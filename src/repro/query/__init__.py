@@ -8,21 +8,43 @@ interpolates the sensor value at each position.  Three processors:
 * :class:`IndexedProcessor` — same semantics over an R-tree/VP-tree/…;
 * :class:`ModelCoverProcessor` — nearest-centroid model evaluation.
 
+Every processor answers one query at a time (``process``) and many at
+once (``process_batch`` over a columnar :class:`QueryBatch`) — the
+batched path is vectorised with NumPy and is what the engine's heatmap
+and continuous modes use; see ``repro/query/README.md``.
+
 :class:`QueryEngine` ties processors to a tuple stream + window choice,
-and :mod:`repro.query.continuous` drives a trajectory of query tuples.
+:mod:`repro.query.executor` fans per-window query groups across a thread
+pool, and :mod:`repro.query.continuous` drives a trajectory of query
+tuples.
 """
 
-from repro.query.base import PointQueryProcessor, QueryResult
+from repro.query.base import (
+    BatchResult,
+    PointQueryProcessor,
+    QueryBatch,
+    QueryResult,
+    process_batch,
+    process_batch_scalar,
+)
 from repro.query.continuous import ContinuousQueryDriver, uniform_query_tuples
 from repro.query.engine import QueryEngine
+from repro.query.executor import BatchExecutor, QueryGroup, group_queries_by_window
 from repro.query.indexed import IndexedProcessor
 from repro.query.modelcover import ModelCoverProcessor
 from repro.query.naive import NaiveProcessor
 from repro.query.planner import PlanEstimate, QueryPlanner, QueryProfile
 
 __all__ = [
+    "BatchExecutor",
+    "BatchResult",
     "PointQueryProcessor",
+    "QueryBatch",
+    "QueryGroup",
     "QueryResult",
+    "group_queries_by_window",
+    "process_batch",
+    "process_batch_scalar",
     "ContinuousQueryDriver",
     "uniform_query_tuples",
     "QueryEngine",

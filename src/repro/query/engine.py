@@ -4,11 +4,20 @@ Ties together the pieces of Figure 3's server region: given the raw tuple
 stream and a window convention, it materialises any of the four processor
 kinds for a window, answers point queries, and renders heatmap grids —
 the three modes of the web interface (Section 3).
+
+Execution goes through the **batched path** (``repro/query/README.md``):
+heatmap grids are one :class:`~repro.query.base.QueryBatch` per grid and
+continuous queries are grouped by window and fanned out across a
+:class:`~repro.query.executor.BatchExecutor`.  Materialised processors
+live in a bounded LRU cache keyed by ``(method, window)``; its
+effectiveness counters are a :class:`~repro.eval.timing.CacheStats`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
@@ -17,16 +26,65 @@ from repro.core.builder import CoverBuilder
 from repro.data.tuples import QueryTuple, TupleBatch
 from repro.data.windows import window
 from repro.geo.coords import BoundingBox
-from repro.query.base import PointQueryProcessor, QueryResult
+
+if TYPE_CHECKING:  # runtime import is deferred: repro.eval pulls in the
+    from repro.eval.timing import CacheStats  # server package, which imports us
+from repro.query.base import (
+    BatchResult,
+    PointQueryProcessor,
+    QueryBatch,
+    QueryResult,
+    process_batch,
+    process_batch_scalar,
+)
+from repro.query.executor import (
+    BatchExecutor,
+    QueryGroup,
+    group_queries_by_window,
+    scatter_results,
+)
 from repro.query.indexed import IndexedProcessor
 from repro.query.modelcover import ModelCoverProcessor
 from repro.query.naive import NaiveProcessor
 
 METHODS = ("naive", "rtree", "strtree", "vptree", "grid", "kdtree", "model-cover")
 
+DEFAULT_PROCESSOR_CACHE_CAPACITY = 64
+"""Default bound on cached ``(method, window)`` processors.
+
+Sized for a day of 4-hour windows across all seven methods plus headroom;
+a long-running server sweeping months of windows stays bounded instead of
+accreting one index/cover per window it ever touched.
+"""
+
+MIN_PARALLEL_QUERIES = 512
+"""Below this many queries in a stream, groups run serially.
+
+Dispatching a handful of ten-query groups to pool threads costs more in
+submission overhead than the numpy work saves; the threshold keeps sparse
+continuous streams on the zero-overhead serial loop while dense streams
+(many queries per window) fan out.
+"""
+
+MIN_VECTORISED_GROUP = 24
+"""Below this many queries in a group, the scalar loop answers it.
+
+Vectorised ``process_batch`` pays fixed numpy dispatch (distance-matrix
+broadcasts, per-model gathers) that only amortises once a group has a few
+dozen queries; under the cutoff the per-query scalar path is faster, and
+both paths are equivalent by construction, so this is purely a cost
+choice.
+"""
+
 
 class QueryEngine:
-    """Answers point/continuous/heatmap queries over a tuple stream."""
+    """Answers point/continuous/heatmap queries over a tuple stream.
+
+    ``cache_capacity`` bounds the processor cache (LRU eviction);
+    ``max_workers`` caps the thread pool continuous-query groups fan out
+    on (default: one worker per CPU, see :mod:`repro.query.executor` for
+    the thread-safety contract and sizing guidance).
+    """
 
     def __init__(
         self,
@@ -34,14 +92,24 @@ class QueryEngine:
         h: int = 240,
         radius_m: float = 1000.0,
         config: Optional[AdKMNConfig] = None,
+        cache_capacity: int = DEFAULT_PROCESSOR_CACHE_CAPACITY,
+        max_workers: Optional[int] = None,
     ) -> None:
         if not len(batch):
             raise ValueError("query engine needs a non-empty tuple stream")
+        if cache_capacity < 1:
+            raise ValueError("cache_capacity must be at least 1")
         self._batch = batch
         self.h = h
         self.radius_m = radius_m
         self._builder = CoverBuilder(h, config=config, mode="count")
-        self._processors: Dict[tuple, PointQueryProcessor] = {}
+        from repro.eval.timing import CacheStats  # deferred: cycle guard
+
+        self._processors: "OrderedDict[tuple, PointQueryProcessor]" = OrderedDict()
+        self._cache_capacity = cache_capacity
+        self._cache_lock = threading.RLock()
+        self._cache_stats = CacheStats()
+        self._executor = BatchExecutor(max_workers=max_workers)
 
     @property
     def batch(self) -> TupleBatch:
@@ -50,6 +118,24 @@ class QueryEngine:
     @property
     def builder(self) -> CoverBuilder:
         return self._builder
+
+    @property
+    def cache_capacity(self) -> int:
+        return self._cache_capacity
+
+    @property
+    def cache_stats(self) -> "CacheStats":
+        """Hit/miss/eviction counters of the processor cache (live view)."""
+        return self._cache_stats
+
+    @property
+    def executor(self) -> BatchExecutor:
+        return self._executor
+
+    def cached_processor_keys(self) -> List[tuple]:
+        """Cache keys in eviction order (least recently used first)."""
+        with self._cache_lock:
+            return list(self._processors)
 
     def window(self, c: int) -> TupleBatch:
         return window(self._batch, c, self.h)
@@ -65,21 +151,44 @@ class QueryEngine:
             return 0
         return max(0, (pos - 1) // self.h)
 
+    def windows_for_times(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`window_for_time` over an array of timestamps."""
+        pos = np.searchsorted(self._batch.t, np.asarray(ts), side="right")
+        return np.where(pos == 0, 0, np.maximum(0, (pos - 1) // self.h))
+
     def processor(self, method: str, c: int) -> PointQueryProcessor:
-        """A (cached) processor of the given method over window ``c``."""
+        """A processor of the given method over window ``c``.
+
+        Served from the bounded LRU cache when possible; a materialisation
+        (index build / cover fit) counts as a miss and may evict the least
+        recently used processor, which is simply rebuilt on next demand.
+        The whole lookup-or-build runs under the cache lock, so concurrent
+        callers never build the same processor twice.
+        """
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; known: {METHODS}")
         key = (method, c)
-        if key in self._processors:
-            return self._processors[key]
-        if method == "naive":
-            proc: PointQueryProcessor = NaiveProcessor(self.window(c), self.radius_m)
-        elif method == "model-cover":
-            proc = ModelCoverProcessor(self._builder.cover(self._batch, c))
-        else:
-            proc = IndexedProcessor(self.window(c), kind=method, radius_m=self.radius_m)
-        self._processors[key] = proc
-        return proc
+        with self._cache_lock:
+            if key in self._processors:
+                self._processors.move_to_end(key)
+                self._cache_stats.record_hit()
+                return self._processors[key]
+            self._cache_stats.record_miss()
+            if method == "naive":
+                proc: PointQueryProcessor = NaiveProcessor(
+                    self.window(c), self.radius_m
+                )
+            elif method == "model-cover":
+                proc = ModelCoverProcessor(self._builder.cover(self._batch, c))
+            else:
+                proc = IndexedProcessor(
+                    self.window(c), kind=method, radius_m=self.radius_m
+                )
+            self._processors[key] = proc
+            while len(self._processors) > self._cache_capacity:
+                self._processors.popitem(last=False)
+                self._cache_stats.record_eviction()
+            return proc
 
     # -- the three web-interface modes (Section 3) -------------------------
 
@@ -90,17 +199,64 @@ class QueryEngine:
         c = self.window_for_time(t)
         return self.processor(method, c).process(QueryTuple(t=t, x=x, y=y))
 
+    def process_groups(
+        self, method: str, groups: Sequence[QueryGroup]
+    ) -> List[BatchResult]:
+        """Run per-window groups through the batched path, in parallel.
+
+        Processors are materialised serially first (cache + builder are
+        guarded, but serial materialisation keeps miss costs predictable);
+        the pool threads then only touch immutable processors.  Streams
+        below :data:`MIN_PARALLEL_QUERIES` stay on the serial loop — see
+        the constant's rationale.
+        """
+        procs = [self.processor(method, g.window_c) for g in groups]
+
+        def run_one(pair):
+            proc, group = pair
+            if len(group.queries) < MIN_VECTORISED_GROUP:
+                return process_batch_scalar(proc, group.queries)
+            return process_batch(proc, group.queries)
+
+        pairs = list(zip(procs, groups))
+        total = sum(len(g.queries) for g in groups)
+        if total < MIN_PARALLEL_QUERIES:
+            return [run_one(pair) for pair in pairs]
+        return self._executor.map(run_one, pairs)
+
     def continuous_query(
         self,
-        queries,
+        queries: Sequence[QueryTuple],
         method: str = "model-cover",
-    ):
-        """Continuous query mode over a prepared query-tuple stream."""
-        results = []
-        for q in queries:
-            c = self.window_for_time(q.t)
-            results.append(self.processor(method, c).process(q))
-        return results
+    ) -> List[QueryResult]:
+        """Continuous query mode over a prepared query-tuple stream.
+
+        The stream is grouped by window, each group is answered by one
+        ``process_batch`` call, and groups run concurrently on the
+        executor.  Results come back in stream order, exactly as the
+        scalar loop produced them.
+        """
+        result = self.continuous_query_batch(queries, method=method)
+        return result.results()
+
+    def continuous_query_batch(
+        self,
+        queries: Sequence[QueryTuple] | QueryBatch,
+        method: str = "model-cover",
+    ) -> BatchResult:
+        """Columnar variant of :meth:`continuous_query`."""
+        batch = (
+            queries
+            if isinstance(queries, QueryBatch)
+            else QueryBatch.from_queries(queries)
+        )
+        groups = group_queries_by_window(
+            batch, self.window_for_time, windows_for_times=self.windows_for_times
+        )
+        results = self.process_groups(method, groups)
+        if len(groups) == 1:
+            return results[0]  # single window: already in stream order
+        return scatter_results(groups, results, len(batch))
 
     def heatmap_grid(
         self,
@@ -112,18 +268,14 @@ class QueryEngine:
     ) -> np.ndarray:
         """Heatmap visualisation mode: an ``(ny, nx)`` value grid.
 
-        Cells the method cannot answer (no data within radius) are NaN.
+        The whole grid is one :class:`QueryBatch` answered by a single
+        ``process_batch`` call.  Cells the method cannot answer (no data
+        within radius) are NaN; degenerate axes (``nx == 1``/``ny == 1``)
+        probe the centre of the bounding box.
         """
         c = self.window_for_time(t)
         proc = self.processor(method, c)
-        out = np.full((ny, nx), np.nan)
-        for j in range(ny):
-            fy = 0.5 if ny == 1 else j / (ny - 1)
-            y = bounds.min_y + fy * bounds.height
-            for i in range(nx):
-                fx = 0.5 if nx == 1 else i / (nx - 1)
-                x = bounds.min_x + fx * bounds.width
-                res = proc.process(QueryTuple(t=t, x=x, y=y))
-                if res.answered:
-                    out[j, i] = res.value
-        return out
+        probes = QueryBatch.from_grid(
+            t, bounds.min_x, bounds.min_y, bounds.width, bounds.height, nx, ny
+        )
+        return process_batch(proc, probes).grid(ny, nx)

@@ -15,7 +15,9 @@ the two request types of Figure 3:
 from __future__ import annotations
 
 import math
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.core.adkmn import AdKMNConfig
 from repro.core.builder import CoverBuilder
@@ -27,6 +29,7 @@ from repro.network.messages import (
     QueryRequest,
     ValueResponse,
 )
+from repro.query.base import QueryBatch
 from repro.query.modelcover import ModelCoverProcessor
 from repro.storage.engine import Database
 
@@ -77,8 +80,6 @@ class EnviroMeterServer:
         batch = self._tuples()
         if not len(batch):
             raise RuntimeError("server has no data")
-        import numpy as np
-
         pos = int(np.searchsorted(batch.t, t, side="right"))
         if pos == 0:
             return 0
@@ -107,6 +108,51 @@ class EnviroMeterServer:
         if isinstance(request, ModelRequest):
             return self._handle_model_request(request)
         raise TypeError(f"server cannot handle {type(request).__name__}")
+
+    def handle_many(
+        self, requests: Sequence[Union[QueryRequest, ModelRequest]]
+    ) -> List[Union[ValueResponse, ModelCoverResponse]]:
+        """Dispatch a batch of requests, answering queries vectorised.
+
+        Query requests are grouped by the window responsible for their
+        timestamp; each group is answered by one ``process_batch`` call
+        against that window's cover — one cover lookup and one vectorised
+        evaluation per group instead of one of each per request.  Model
+        requests ride along through the scalar path.  Responses come back
+        in request order.
+        """
+        responses: List[Optional[Union[ValueResponse, ModelCoverResponse]]] = [
+            None
+        ] * len(requests)
+        query_positions: List[int] = []
+        for i, request in enumerate(requests):
+            if isinstance(request, QueryRequest):
+                query_positions.append(i)
+            else:
+                responses[i] = self.handle(request)
+        if query_positions:
+            ts = np.array([requests[i].t for i in query_positions])
+            windows = np.array([self.current_window(float(t)) for t in ts])
+            for c in np.unique(windows):
+                members = [
+                    query_positions[k] for k in np.flatnonzero(windows == c)
+                ]
+                reqs = [requests[i] for i in members]
+                cover = self.cover_for(reqs[0].t)
+                proc = ModelCoverProcessor(cover)
+                batch = QueryBatch(
+                    np.array([r.t for r in reqs]),
+                    np.array([r.x for r in reqs]),
+                    np.array([r.y for r in reqs]),
+                )
+                result = proc.process_batch(batch)
+                for k, i in enumerate(members):
+                    value = (
+                        float(result.values[k]) if result.answered[k] else math.nan
+                    )
+                    responses[i] = ValueResponse(t=reqs[k].t, value=value)
+                self._served_values += len(members)
+        return responses  # type: ignore[return-value]
 
     def _handle_query(self, request: QueryRequest) -> ValueResponse:
         cover = self.cover_for(request.t)

@@ -1,0 +1,159 @@
+"""Smoke tests: every ``benchmarks/bench_*.py`` imports and runs.
+
+The perf scripts are not collected by the tier-1 run (they carry the
+full-scale dataset fixture and pytest-benchmark hooks), which historically
+lets them rot silently.  Here every module is imported and one tiny
+parameter cell is executed against the 1-day dataset with the workload
+constants shrunk, through a stub ``benchmark`` fixture — seconds, not
+minutes, but any API drift in the code they exercise fails loudly.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+
+ALL_BENCH_MODULES = sorted(p.stem for p in BENCH_DIR.glob("bench_*.py"))
+
+# ``benchmarks`` is a namespace package rooted at the repo top; make sure
+# the root is importable even when pytest is launched from elsewhere.
+_ROOT = str(BENCH_DIR.parent)
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+
+
+class StubBenchmark:
+    """Duck-typed pytest-benchmark fixture: runs the callable once."""
+
+    def __init__(self):
+        self.group = None
+        self.extra_info = {}
+
+    def __call__(self, fn, *args, **kwargs):
+        return fn(*args, **kwargs)
+
+    def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1):
+        return fn(*args, **(kwargs or {}))
+
+
+def _load(name):
+    return importlib.import_module(f"benchmarks.{name}")
+
+
+def _fixture_value(module, name, *args):
+    """Call a module-level pytest fixture's underlying function."""
+    return getattr(module, name).__wrapped__(*args)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset(small_dataset):
+    """The shared 1-day dataset under the name the bench modules expect."""
+    return small_dataset
+
+
+# One entry per bench module: shrink its workload constants, then run one
+# parameter cell.  Adding a benchmarks/bench_*.py without registering it
+# here fails test_every_module_has_a_smoke_entry.
+def _run_ablation_adaptive_methods(m, ds, bm):
+    m.N_QUERIES = 20
+    m.bench_adaptive_method(bm, ds, tau_n=2.0, name=sorted(m.FITTERS)[0])
+
+
+def _run_ablation_cache_ttl(m, ds, bm):
+    m.N_QUERIES = 10
+    queries = _fixture_value(m, "queries", ds)
+    m.bench_cache_ttl(bm, ds, queries, horizon_s=m.HORIZONS_S[0])
+
+
+def _run_ablation_indexes(m, ds, bm):
+    m.N_QUERIES = 20
+    m.bench_index_kind(bm, ds, radius_m=1000.0, kind="kdtree")
+
+
+def _run_ablation_models(m, ds, bm):
+    m.N_QUERIES = 20
+    m.bench_model_family(bm, ds, tau_n=2.0, family="linear")
+
+
+def _run_ablation_tau(m, ds, bm):
+    m.N_QUERIES = 20
+    m.bench_tau_sweep(bm, ds, tau=2.0)
+
+
+def _run_batch_execution(m, ds, bm):
+    m.bench_heatmap(bm, ds, method="model-cover", path="batched")
+    m.bench_continuous(bm, ds, path="batched")
+
+
+def _run_fig6a_efficiency(m, ds, bm):
+    m.N_QUERIES = 20
+    m.bench_point_queries(bm, ds, radius_m=1000.0, tau_n=2.0, method="adkmn", h=40)
+
+
+def _run_fig6b_accuracy(m, ds, bm):
+    m.N_QUERIES = 20
+    m.bench_nrmse(bm, ds, radius_m=1000.0, tau_n=2.0, h=40)
+
+
+def _run_fig7a_memory(m, ds, bm):
+    m.bench_memory_naive_points(bm, ds)
+
+
+def _run_fig7b_bandwidth(m, ds, bm):
+    server = _fixture_value(m, "server", ds)
+    queries = _fixture_value(m, "queries", ds)[:10]
+    m.bench_baseline_client(bm, server, queries)
+
+
+def _run_fleet_scaling(m, ds, bm):
+    m.QUERIES_PER_MEMBER = 3
+    m.bench_fleet(bm, ds, strategy="baseline", n_members=2)
+
+
+SMOKE_RUNNERS = {
+    "bench_ablation_adaptive_methods": _run_ablation_adaptive_methods,
+    "bench_ablation_cache_ttl": _run_ablation_cache_ttl,
+    "bench_ablation_indexes": _run_ablation_indexes,
+    "bench_ablation_models": _run_ablation_models,
+    "bench_ablation_tau": _run_ablation_tau,
+    "bench_batch_execution": _run_batch_execution,
+    "bench_fig6a_efficiency": _run_fig6a_efficiency,
+    "bench_fig6b_accuracy": _run_fig6b_accuracy,
+    "bench_fig7a_memory": _run_fig7a_memory,
+    "bench_fig7b_bandwidth": _run_fig7b_bandwidth,
+    "bench_fleet_scaling": _run_fleet_scaling,
+}
+
+
+def test_every_module_has_a_smoke_entry():
+    assert set(ALL_BENCH_MODULES) == set(SMOKE_RUNNERS)
+
+
+@pytest.mark.parametrize("name", ALL_BENCH_MODULES)
+def test_bench_module_imports(name):
+    module = _load(name)
+    bench_fns = [n for n in dir(module) if n.startswith("bench_")]
+    assert bench_fns, f"{name} exposes no bench_* functions"
+
+
+@pytest.mark.parametrize("name", sorted(SMOKE_RUNNERS))
+def test_bench_module_runs_tiny_iteration(name, tiny_dataset):
+    module = _load(name)
+    runner = SMOKE_RUNNERS[name]
+    # Runners shrink module workload constants in place; restore them so
+    # a later real benchmark run in the same process sees the originals.
+    original = {
+        attr: getattr(module, attr)
+        for attr in ("N_QUERIES", "QUERIES_PER_MEMBER")
+        if hasattr(module, attr)
+    }
+    try:
+        runner(module, tiny_dataset, StubBenchmark())
+    finally:
+        for attr, value in original.items():
+            setattr(module, attr, value)

@@ -82,3 +82,74 @@ class TestWebModes:
         bounds = BoundingBox(-20_000, -20_000, 26_000, 24_000)
         grid = engine.heatmap_grid(t, bounds, nx=6, ny=6, method="naive")
         assert np.any(np.isnan(grid))  # geo-skew: corners have no data
+
+
+class TestHeatmapDegenerate:
+    """Single-row/column grids centre the probe on the collapsed axis."""
+
+    def test_1x1_probes_box_center(self, engine, small_batch):
+        t = float(small_batch.t[100])
+        bounds = BoundingBox(0, 0, 6000, 4000)
+        grid = engine.heatmap_grid(t, bounds, nx=1, ny=1)
+        assert grid.shape == (1, 1)
+        point = engine.point_query(t, 3000.0, 2000.0)
+        assert grid[0, 0] == pytest.approx(point.value)
+
+    def test_single_row_centers_y(self, engine, small_batch):
+        t = float(small_batch.t[100])
+        bounds = BoundingBox(0, 0, 6000, 4000)
+        grid = engine.heatmap_grid(t, bounds, nx=4, ny=1)
+        assert grid.shape == (1, 4)
+        for i in range(4):
+            x = 0.0 + (i / 3) * 6000.0
+            point = engine.point_query(t, x, 2000.0)
+            assert grid[0, i] == pytest.approx(point.value)
+
+    def test_single_column_centers_x(self, engine, small_batch):
+        t = float(small_batch.t[100])
+        bounds = BoundingBox(0, 0, 6000, 4000)
+        grid = engine.heatmap_grid(t, bounds, nx=1, ny=3)
+        assert grid.shape == (3, 1)
+        for j in range(3):
+            y = 0.0 + (j / 2) * 4000.0
+            point = engine.point_query(t, 3000.0, y)
+            assert grid[j, 0] == pytest.approx(point.value)
+
+    def test_rejects_empty_axes(self, engine, small_batch):
+        t = float(small_batch.t[100])
+        bounds = BoundingBox(0, 0, 6000, 4000)
+        with pytest.raises(ValueError):
+            engine.heatmap_grid(t, bounds, nx=0, ny=3)
+        with pytest.raises(ValueError):
+            engine.heatmap_grid(t, bounds, nx=3, ny=0)
+
+    def test_degenerate_nan_cells_survive_batch_path(self, engine, small_batch):
+        """A 1x1 grid over empty countryside stays NaN for raw methods."""
+        t = float(small_batch.t[100])
+        far = BoundingBox(50_000, 50_000, 50_100, 50_100)
+        for method in ("naive", "kdtree"):
+            grid = engine.heatmap_grid(t, far, nx=1, ny=1, method=method)
+            assert np.isnan(grid[0, 0])
+
+    def test_batch_grid_matches_scalar_loop(self, engine, small_batch):
+        """The batched grid equals the historical per-cell scalar loop,
+        NaN cells included."""
+        from repro.data.tuples import QueryTuple as QT
+
+        t = float(small_batch.t[100])
+        bounds = BoundingBox(-20_000, -20_000, 26_000, 24_000)
+        nx, ny = 5, 4
+        for method in ("naive", "model-cover"):
+            grid = engine.heatmap_grid(t, bounds, nx=nx, ny=ny, method=method)
+            proc = engine.processor(method, engine.window_for_time(t))
+            expected = np.full((ny, nx), np.nan)
+            for j in range(ny):
+                fy = 0.5 if ny == 1 else j / (ny - 1)
+                y = bounds.min_y + fy * bounds.height
+                for i in range(nx):
+                    fx = 0.5 if nx == 1 else i / (nx - 1)
+                    x = bounds.min_x + fx * bounds.width
+                    res = proc.process(QT(t=t, x=x, y=y))
+                    if res.answered:
+                        expected[j, i] = res.value
+            np.testing.assert_allclose(grid, expected, rtol=1e-9, equal_nan=True)

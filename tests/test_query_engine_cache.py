@@ -1,0 +1,144 @@
+"""Regression tests for the engine's bounded LRU processor cache."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import QueryTuple
+from repro.query.engine import DEFAULT_PROCESSOR_CACHE_CAPACITY, QueryEngine
+
+
+def make_engine(small_batch, capacity):
+    return QueryEngine(small_batch, h=40, cache_capacity=capacity)
+
+
+class TestCapacityBound:
+    def test_rejects_non_positive_capacity(self, small_batch):
+        with pytest.raises(ValueError):
+            QueryEngine(small_batch, cache_capacity=0)
+
+    def test_default_capacity(self, small_batch):
+        engine = QueryEngine(small_batch)
+        assert engine.cache_capacity == DEFAULT_PROCESSOR_CACHE_CAPACITY
+
+    def test_cache_never_exceeds_capacity(self, small_batch):
+        engine = make_engine(small_batch, capacity=3)
+        for c in range(10):
+            engine.processor("naive", c)
+            assert len(engine.cached_processor_keys()) <= 3
+        assert engine.cache_stats.evictions == 7
+
+    def test_capacity_one(self, small_batch):
+        engine = make_engine(small_batch, capacity=1)
+        engine.processor("naive", 0)
+        engine.processor("naive", 1)
+        assert engine.cached_processor_keys() == [("naive", 1)]
+
+
+class TestEvictionOrder:
+    def test_least_recently_used_evicted_first(self, small_batch):
+        engine = make_engine(small_batch, capacity=2)
+        engine.processor("naive", 0)
+        engine.processor("naive", 1)
+        engine.processor("naive", 2)  # evicts window 0
+        assert engine.cached_processor_keys() == [("naive", 1), ("naive", 2)]
+
+    def test_hit_refreshes_recency(self, small_batch):
+        engine = make_engine(small_batch, capacity=2)
+        engine.processor("naive", 0)
+        engine.processor("naive", 1)
+        engine.processor("naive", 0)  # 0 becomes most recent
+        engine.processor("naive", 2)  # so 1, not 0, is evicted
+        assert engine.cached_processor_keys() == [("naive", 0), ("naive", 2)]
+
+    def test_methods_have_distinct_slots(self, small_batch):
+        engine = make_engine(small_batch, capacity=2)
+        engine.processor("naive", 0)
+        engine.processor("kdtree", 0)
+        assert engine.cached_processor_keys() == [("naive", 0), ("kdtree", 0)]
+
+
+class TestRematerialisation:
+    def test_evicted_processor_is_rebuilt_identically(self, small_batch):
+        engine = make_engine(small_batch, capacity=1)
+        q = QueryTuple(t=float(small_batch.t[10]), x=2000.0, y=1500.0)
+        first = engine.processor("naive", 0)
+        before = first.process(q)
+        engine.processor("naive", 1)  # evicts window 0
+        rebuilt = engine.processor("naive", 0)
+        assert rebuilt is not first
+        after = rebuilt.process(q)
+        assert after.answered == before.answered
+        assert after.support == before.support
+        if before.answered:
+            assert after.value == pytest.approx(before.value)
+
+    def test_cached_processor_is_same_object_on_hit(self, small_batch):
+        engine = make_engine(small_batch, capacity=4)
+        assert engine.processor("naive", 0) is engine.processor("naive", 0)
+
+
+class TestStats:
+    def test_hit_miss_counters(self, small_batch):
+        engine = make_engine(small_batch, capacity=4)
+        stats = engine.cache_stats
+        assert stats.lookups == 0
+        engine.processor("naive", 0)   # miss
+        engine.processor("naive", 0)   # hit
+        engine.processor("naive", 1)   # miss
+        engine.processor("naive", 0)   # hit
+        assert stats.misses == 2
+        assert stats.hits == 2
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert stats.evictions == 0
+
+    def test_eviction_counter(self, small_batch):
+        engine = make_engine(small_batch, capacity=2)
+        for c in range(4):
+            engine.processor("naive", c)
+        assert engine.cache_stats.evictions == 2
+
+    def test_as_dict_snapshot(self, small_batch):
+        engine = make_engine(small_batch, capacity=2)
+        engine.processor("naive", 0)
+        engine.processor("naive", 0)
+        snap = engine.cache_stats.as_dict()
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["hit_rate"] == pytest.approx(0.5)
+
+    def test_stats_reset(self, small_batch):
+        engine = make_engine(small_batch, capacity=2)
+        engine.processor("naive", 0)
+        engine.cache_stats.reset()
+        assert engine.cache_stats.lookups == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_lookups_stay_bounded(self, small_batch):
+        """Hammer the cache from several threads; the bound and the
+        counters must stay coherent (the documented contract is that
+        lookups/builds are guarded by the cache lock)."""
+        engine = make_engine(small_batch, capacity=3)
+        errors = []
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(40):
+                    engine.processor("naive", int(rng.integers(0, 6)))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(engine.cached_processor_keys()) <= 3
+        stats = engine.cache_stats
+        assert stats.hits + stats.misses == 8 * 40

@@ -91,3 +91,42 @@ class TestRequestHandling:
         server.ingest(small_batch.slice(0, 10))
         response = server.handle(ModelRequest(t=t, x=0.0, y=0.0))
         assert isinstance(response, ModelCoverResponse)
+
+
+class TestBatchedRequestHandling:
+    def test_matches_scalar_handling(self, server, small_batch):
+        """handle_many answers exactly as one handle() call per request,
+        including requests spanning several windows."""
+        requests = [
+            QueryRequest(t=float(small_batch.t[i]), x=2000.0 + i, y=1500.0 - i)
+            for i in (50, 300, 700, 120, 5)
+        ]
+        batched = server.handle_many(requests)
+        scalar = [server.handle(r) for r in requests]
+        assert len(batched) == len(scalar)
+        for got, want in zip(batched, scalar):
+            assert isinstance(got, ValueResponse)
+            assert got.t == want.t
+            assert got.value == pytest.approx(want.value, rel=1e-9)
+
+    def test_mixed_request_types_keep_order(self, server, small_batch):
+        t = float(small_batch.t[100])
+        requests = [
+            QueryRequest(t=t, x=2000.0, y=1500.0),
+            ModelRequest(t=t, x=0.0, y=0.0),
+            QueryRequest(t=t, x=2500.0, y=1200.0),
+        ]
+        responses = server.handle_many(requests)
+        assert isinstance(responses[0], ValueResponse)
+        assert isinstance(responses[1], ModelCoverResponse)
+        assert isinstance(responses[2], ValueResponse)
+
+    def test_served_values_counted(self, server, small_batch):
+        t = float(small_batch.t[100])
+        server.handle_many(
+            [QueryRequest(t=t, x=2000.0 + i, y=1500.0) for i in range(5)]
+        )
+        assert server.served_values == 5
+
+    def test_empty_batch(self, server):
+        assert server.handle_many([]) == []
