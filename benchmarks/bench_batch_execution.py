@@ -21,7 +21,6 @@ import pytest
 from repro.data.lausanne import LausanneConfig, generate_lausanne_dataset
 from repro.data.tuples import QueryTuple
 from repro.eval.timing import time_callable
-from repro.geo.coords import BoundingBox
 from repro.query.base import QueryBatch, process_batch
 from repro.query.engine import QueryEngine
 

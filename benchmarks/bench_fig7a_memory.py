@@ -12,10 +12,8 @@ naive / R-tree / VP-tree.  EXPERIMENTS.md records the measured ratios.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.adkmn import AdKMNConfig, fit_adkmn
-from repro.data.windows import window
 from repro.eval.memory import deep_sizeof_kb
 from repro.index.rtree import RTree
 from repro.index.vptree import VPTree

@@ -7,7 +7,6 @@ evaluation uses one dataset for all experiments.
 
 from __future__ import annotations
 
-import random
 
 import pytest
 

@@ -13,7 +13,6 @@ import numpy as np
 
 from repro.app.android import AndroidSession
 from repro.app.settings import AppSettings
-from repro.client.osha import color_for_level
 from repro.data import generate_lausanne_dataset, LausanneConfig
 from repro.server import EnviroMeterServer
 

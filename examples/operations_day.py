@@ -18,7 +18,6 @@ from repro.core.confidence import ConfidenceCover
 from repro.data import generate_lausanne_dataset, LausanneConfig
 from repro.data.quality import QualityConfig, screen_window
 from repro.data.tuples import TupleBatch
-from repro.data.windows import window
 from repro.server import EnviroMeterServer
 from repro.server.stream import StreamReplayer
 
@@ -63,7 +62,8 @@ def main() -> None:
     print(
         f"\nreplayed {stats.tuples} tuples in {stats.batches} deliveries; "
         f"{stats.covers_built} covers built lazily for "
-        f"{server.served_values} user queries"
+        f"{server.served_values} user queries; "
+        f"{stats.windows_sealed} windows sealed"
     )
 
     # The dashboard at end of day.
@@ -72,7 +72,7 @@ def main() -> None:
 
     # Where should the next sensor go?  The widest-uncertainty region.
     c = server.current_window(now)
-    w = window(server.db.raw_tuples(), c, server.h)
+    w = server.db.window_view(c)  # cached zero-copy view of W_c
     result = fit_adkmn(w, AdKMNConfig(), window_c=c)
     conf = ConfidenceCover(result, w)
     k = conf.worst_region()

@@ -12,7 +12,7 @@ client amortises it, while baseline traffic grows linearly per client.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.client.baseline import BaselineClient
 from repro.client.modelcache import ModelCacheClient

@@ -8,8 +8,8 @@ with per-point markers coloured green→red.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from repro.client.osha import HealthLevel, classify_co2, color_for_level, is_acceptable
 from repro.data.tuples import QueryTuple

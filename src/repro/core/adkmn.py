@@ -21,7 +21,7 @@ diagnostics (per-region errors, iteration count) used by tests and the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np

@@ -8,7 +8,7 @@ and (optionally) persists the serialized blob into a database.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.core.adkmn import AdKMNConfig, AdKMNResult, fit_adkmn
 from repro.core.cover import ModelCover
@@ -55,6 +55,8 @@ class CoverBuilder:
         self._fit = fit
         self.validity_margin_s = validity_margin_s
         self._cache: Dict[int, AdKMNResult] = {}
+        self.fit_count = 0
+        self.cache_hits = 0
 
     def _window(self, batch: TupleBatch, c: int) -> Tuple[TupleBatch, float]:
         """The window's tuples and its validity deadline t_n."""
@@ -68,13 +70,19 @@ class CoverBuilder:
         return spec.select(batch, c), spec.valid_until(c) + self.validity_margin_s
 
     def build(self, batch: TupleBatch, c: int) -> AdKMNResult:
-        """Fit (or return the cached) cover for window ``c``."""
+        """Fit (or return the cached) cover for window ``c``.
+
+        ``fit_count`` / ``cache_hits`` track how often the fitter actually
+        ran versus how often a cached cover was reused — the replay tests
+        use them to prove sealed windows are never refit."""
         if c in self._cache:
+            self.cache_hits += 1
             return self._cache[c]
         w, t_n = self._window(batch, c)
         if not len(w):
             raise ValueError(f"window {c} is empty")
         result = self._fit(w, config=self.config, valid_until=t_n, window_c=c)
+        self.fit_count += 1
         self._cache[c] = result
         return result
 
@@ -101,3 +109,13 @@ class CoverBuilder:
             self._cache.clear()
         else:
             self._cache.pop(c, None)
+
+    def invalidate_many(self, windows: Iterable[int]) -> None:
+        """Drop the cached covers of several windows — the ingest path
+        invalidates exactly the windows a new batch touched."""
+        for c in windows:
+            self._cache.pop(c, None)
+
+    def cached_windows(self) -> Tuple[int, ...]:
+        """Window indices currently held in the cover cache (sorted)."""
+        return tuple(sorted(self._cache))

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.core.adkmn import AdKMNConfig, AdKMNResult, _fit_regions
 from repro.core.cover import ModelCover
-from repro.core.kmeans import kmeans, lloyd
+from repro.core.kmeans import kmeans
 from repro.data.tuples import TupleBatch
 from repro.models.base import model_factory
 from repro.models.errors import approximation_error_pct

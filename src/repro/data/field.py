@@ -20,7 +20,6 @@ neighbourhoods.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Sequence
 

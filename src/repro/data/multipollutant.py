@@ -70,7 +70,7 @@ def generate_pollutant_dataset(
 
     Sensor noise is scaled to the pollutant's measurement scale.
     """
-    pollutant = get_pollutant(key)
+    get_pollutant(key)  # validates the key
     cfg = config or LausanneConfig()
     cfg = replace(cfg, noise_ppm=_PROFILES[key]["noise"])
     return generate_lausanne_dataset(cfg, pollution_field=field_for_pollutant(key, cfg.seed))

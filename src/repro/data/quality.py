@@ -20,7 +20,7 @@ per-check rejection tally, so deployments can monitor sensor health.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np

@@ -11,9 +11,8 @@ describes: no data off-route, no data at night.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.geo.coords import euclidean
 

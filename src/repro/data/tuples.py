@@ -123,6 +123,17 @@ class TupleBatch:
 
     # -- convenience ------------------------------------------------------
 
+    def is_view_of(self, other: "TupleBatch") -> bool:
+        """True when every column of ``self`` shares memory with ``other``
+        — i.e. this batch is a zero-copy view (slice/snapshot) of it.
+        Empty batches own no storage and are never views of anything."""
+        if not len(self):
+            return False
+        return all(
+            np.shares_memory(getattr(self, name), getattr(other, name))
+            for name in ("t", "x", "y", "s")
+        )
+
     def positions(self) -> np.ndarray:
         """``(n, 2)`` array of positions (a copy)."""
         return np.column_stack((self.x, self.y))

@@ -15,7 +15,7 @@ are supported:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, Sequence, Tuple
 
 import numpy as np
 
@@ -45,10 +45,87 @@ def count_windows(batch: TupleBatch, h: int) -> int:
     return (len(batch) + h - 1) // h
 
 
+def sealed_window_count(n_rows: int, h: int) -> int:
+    """Number of *sealed* count-windows in an ``n_rows`` stream.
+
+    A count-window is sealed once it holds its full ``h`` tuples: appends
+    only ever land in later rows, so its contents can never change again.
+    """
+    if h <= 0:
+        raise ValueError("window size h must be positive")
+    if n_rows < 0:
+        raise ValueError("row count must be non-negative")
+    return n_rows // h
+
+
+def windows_for_times(sorted_t: np.ndarray, ts, h: int) -> np.ndarray:
+    """Count-window index responsible for each query timestamp.
+
+    A query at time ``t`` is answered from the window holding the latest
+    tuple not after ``t`` (the lazy-update policy), or window 0 when
+    ``t`` predates the stream.  One vectorized binary search; the single
+    shared implementation behind the server's and the query engine's
+    window assignment.
+    """
+    if h <= 0:
+        raise ValueError("window size h must be positive")
+    pos = np.searchsorted(sorted_t, np.asarray(ts, dtype=np.float64), side="right")
+    return np.maximum(pos - 1, 0) // h
+
+
+def touched_windows(start_row: int, n_rows: int, h: int) -> range:
+    """Count-window indices covered by appended rows ``[start_row,
+    start_row + n_rows)`` — the windows an ingest batch can invalidate."""
+    if h <= 0:
+        raise ValueError("window size h must be positive")
+    if start_row < 0:
+        raise ValueError("start row must be non-negative")
+    if n_rows <= 0:
+        return range(0)
+    return range(start_row // h, (start_row + n_rows - 1) // h + 1)
+
+
 def iter_windows(batch: TupleBatch, h: int) -> Iterator[Tuple[int, TupleBatch]]:
     """Yield ``(c, W_c)`` for every count-based window of ``batch``."""
     for c in range(count_windows(batch, h)):
         yield c, window(batch, c, h)
+
+
+@dataclass(frozen=True)
+class WindowSlices(Sequence):
+    """Zero-copy per-window (count-based) view of a batch.
+
+    ``slices[c]`` is window ``W_c`` as a :class:`TupleBatch` slice sharing
+    the parent batch's storage; ``is_sealed(c)`` tells whether the window
+    already holds its full ``h`` tuples and is therefore immutable.
+    """
+
+    batch: TupleBatch
+    h: int
+
+    def __post_init__(self) -> None:
+        if self.h <= 0:
+            raise ValueError("window size h must be positive")
+
+    def __len__(self) -> int:
+        return count_windows(self.batch, self.h)
+
+    def __getitem__(self, c: int) -> TupleBatch:
+        if not isinstance(c, (int, np.integer)):
+            raise TypeError("window index must be an integer")
+        c = int(c)
+        if c < 0:
+            c += len(self)
+            if c < 0:
+                raise IndexError("window index out of range")
+        return window(self.batch, c, self.h)
+
+    def sealed_count(self) -> int:
+        """Number of leading windows that are full and immutable."""
+        return sealed_window_count(len(self.batch), self.h)
+
+    def is_sealed(self, c: int) -> bool:
+        return 0 <= c < self.sealed_count()
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,7 @@ realistic trajectories instead of hand-drawn polylines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import networkx as nx
 

@@ -7,7 +7,6 @@ construction is deterministic.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Sequence
 
 

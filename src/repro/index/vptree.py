@@ -68,35 +68,65 @@ class VPTree:
         return self._size
 
     def _build(self, items: List[tuple], rng: random.Random) -> Optional[_VPNode]:
+        # Iterative (explicit work stack): degenerate inputs — e.g. one
+        # stationary sensor producing thousands of co-located points —
+        # build an O(N)-deep chain, which must not hit the interpreter's
+        # recursion limit.
         if not items:
             return None
-        vp_pos = rng.randrange(len(items))
-        items[vp_pos], items[-1] = items[-1], items[vp_pos]
-        index, vx, vy = items.pop()
-        node = _VPNode(index, vx, vy)
-        if not items:
-            return node
-        dists = [_dist(x, vx, y, vy) for _, x, y in items]
-        mu = _median(dists)
-        node.mu = mu
-        inside = [it for it, d in zip(items, dists) if d < mu]
-        outside = [it for it, d in zip(items, dists) if d >= mu]
-        # Degenerate case: all points at the same distance -> keep progress
-        # by forcing a split.
-        if not inside and len(outside) == len(items):
-            inside, outside = outside[: len(outside) // 2], outside[len(outside) // 2:]
-        node.inside = self._build(inside, rng)
-        node.outside = self._build(outside, rng)
-        return node
+        root: Optional[_VPNode] = None
+        stack: List[tuple] = [(items, None, False)]
+        while stack:
+            group, parent, is_inside = stack.pop()
+            vp_pos = rng.randrange(len(group))
+            group[vp_pos], group[-1] = group[-1], group[vp_pos]
+            index, vx, vy = group.pop()
+            node = _VPNode(index, vx, vy)
+            if parent is None:
+                root = node
+            elif is_inside:
+                parent.inside = node
+            else:
+                parent.outside = node
+            if not group:
+                continue
+            dists = [_dist(x, vx, y, vy) for _, x, y in group]
+            mu = _median(dists)
+            inside = [it for it, d in zip(group, dists) if d < mu]
+            # Degenerate case: the median equals the minimum distance, so
+            # the inside ball is empty.  Raise mu to the next distinct
+            # distance to keep progress *and* the split invariants
+            # (inside: d < mu, outside: d >= mu) that radius pruning
+            # relies on — arbitrarily moving points inside without
+            # raising mu loses matches for duplicate/equidistant points.
+            # When every remaining point is equidistant no
+            # invariant-preserving split exists and the node degrades to
+            # a chain, which stays correct.
+            if not inside:
+                larger = [d for d in dists if d > mu]
+                if larger:
+                    mu = min(larger)
+                    inside = [it for it, d in zip(group, dists) if d < mu]
+            node.mu = mu
+            outside = [it for it, d in zip(group, dists) if d >= mu]
+            if inside:
+                stack.append((inside, node, True))
+            if outside:
+                stack.append((outside, node, False))
+        return root
 
     @property
     def height(self) -> int:
-        def depth(node: Optional[_VPNode]) -> int:
-            if node is None:
-                return 0
-            return 1 + max(depth(node.inside), depth(node.outside))
-
-        return depth(self._root)
+        depth = 0
+        stack = [(self._root, 1)] if self._root else []
+        while stack:
+            node, d = stack.pop()
+            depth = max(depth, d)
+            if node.inside is not None:
+                stack.append((node.inside, d + 1))
+            if node.outside is not None:
+                stack.append((node.outside, d + 1))
+        return depth
 
     def query_radius(self, x: float, y: float, radius: float) -> List[int]:
         """Indices of all points within ``radius`` of ``(x, y)``."""

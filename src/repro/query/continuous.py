@@ -30,8 +30,8 @@ def uniform_query_tuples(
     if count < 1:
         raise ValueError("count must be at least 1")
     out: List[QueryTuple] = []
-    for l in range(count):
-        t = t_start + l * interval_s
+    for step in range(count):
+        t = t_start + step * interval_s
         x, y = trajectory(t)
         out.append(QueryTuple(t=t, x=x, y=y))
     return out

@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.adkmn import AdKMNConfig
 from repro.core.builder import CoverBuilder
 from repro.data.tuples import QueryTuple, TupleBatch
-from repro.data.windows import window
+from repro.data.windows import window, windows_for_times
 from repro.geo.coords import BoundingBox
 
 if TYPE_CHECKING:  # runtime import is deferred: repro.eval pulls in the
@@ -132,6 +132,19 @@ class QueryEngine:
     def executor(self) -> BatchExecutor:
         return self._executor
 
+    def close(self) -> None:
+        """Release the parallel-execution worker pool.
+
+        Idempotent.  The engine stays usable for scalar/batched queries
+        afterwards; parallel paths lazily recreate the pool on demand."""
+        self._executor.shutdown()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def cached_processor_keys(self) -> List[tuple]:
         """Cache keys in eviction order (least recently used first)."""
         with self._cache_lock:
@@ -146,15 +159,11 @@ class QueryEngine:
         Continuous queries at time t are answered from the most recent
         complete window — the server's lazy-update policy.
         """
-        pos = int(np.searchsorted(self._batch.t, t, side="right"))
-        if pos == 0:
-            return 0
-        return max(0, (pos - 1) // self.h)
+        return int(windows_for_times(self._batch.t, (t,), self.h)[0])
 
     def windows_for_times(self, ts: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`window_for_time` over an array of timestamps."""
-        pos = np.searchsorted(self._batch.t, np.asarray(ts), side="right")
-        return np.where(pos == 0, 0, np.maximum(0, (pos - 1) // self.h))
+        return windows_for_times(self._batch.t, ts, self.h)
 
     def processor(self, method: str, c: int) -> PointQueryProcessor:
         """A processor of the given method over window ``c``.

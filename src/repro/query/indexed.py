@@ -11,7 +11,7 @@ method") and so do our tests.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Type
+from typing import Callable, Dict, List
 
 import numpy as np
 

@@ -23,6 +23,7 @@ from repro.core.adkmn import AdKMNConfig
 from repro.core.builder import CoverBuilder
 from repro.core.cover import ModelCover
 from repro.data.tuples import QueryTuple, TupleBatch
+from repro.data.windows import windows_for_times
 from repro.network.messages import (
     ModelCoverResponse,
     ModelRequest,
@@ -48,7 +49,18 @@ class EnviroMeterServer:
         served cover is declared valid (its ``t_n``).  The default of four
         hours matches the paper's largest evaluation window; the cache-TTL
         ablation sweeps it."""
-        self.db = database or Database.for_enviro_meter()
+        self.db = database or Database.for_enviro_meter(partition_h=h)
+        if self.db.partition_h is None:
+            # e.g. a database loaded from a pre-partitioning (v1) file:
+            # adopt the server's windowing so stale-cover invalidation
+            # tracks the same windows the builder fits.
+            self.db.set_partition_h(h)
+        elif self.db.partition_h != h:
+            raise ValueError(
+                f"database partition_h={self.db.partition_h} does not match "
+                f"server h={h}: stale-cover invalidation would track the "
+                f"wrong windows"
+            )
         self.h = h
         self.validity_horizon_s = validity_horizon_s
         self._builder = CoverBuilder(
@@ -61,11 +73,15 @@ class EnviroMeterServer:
     # -- ingestion ----------------------------------------------------------
 
     def ingest(self, batch: TupleBatch) -> int:
-        """Append community-sensed tuples; invalidates the cover cache for
-        windows the new data may extend."""
+        """Append community-sensed tuples.
+
+        Incremental: the cached stream snapshot is refreshed in place
+        (zero-copy — the new snapshot extends the old one's storage), and
+        only the cover caches of the windows the new tuples actually
+        touched are invalidated.  Sealed windows keep their covers."""
         n = self.db.ingest_tuples(batch)
-        self._stream = None  # refresh snapshot lazily
-        self._builder.invalidate()
+        self._stream = self.db.raw_tuples()
+        self._builder.invalidate_many(self.db.last_touched_windows)
         return n
 
     def _tuples(self) -> TupleBatch:
@@ -75,15 +91,16 @@ class EnviroMeterServer:
 
     # -- cover maintenance ----------------------------------------------------
 
-    def current_window(self, t: float) -> int:
-        """Latest complete-or-current window at time ``t``."""
+    def windows_for(self, ts: Sequence[float]) -> np.ndarray:
+        """Window index per query timestamp, in one vectorized search."""
         batch = self._tuples()
         if not len(batch):
             raise RuntimeError("server has no data")
-        pos = int(np.searchsorted(batch.t, t, side="right"))
-        if pos == 0:
-            return 0
-        return max(0, (pos - 1) // self.h)
+        return windows_for_times(batch.t, ts, self.h)
+
+    def current_window(self, t: float) -> int:
+        """Latest complete-or-current window at time ``t``."""
+        return int(self.windows_for((t,))[0])
 
     def cover_for(self, t: float) -> ModelCover:
         """The model cover responsible for time ``t`` (fitted lazily and
@@ -132,7 +149,7 @@ class EnviroMeterServer:
                 responses[i] = self.handle(request)
         if query_positions:
             ts = np.array([requests[i].t for i in query_positions])
-            windows = np.array([self.current_window(float(t)) for t in ts])
+            windows = self.windows_for(ts)
             for c in np.unique(windows):
                 members = [
                     query_positions[k] for k in np.flatnonzero(windows == c)
@@ -176,3 +193,8 @@ class EnviroMeterServer:
     @property
     def served_covers(self) -> int:
         return self._served_covers
+
+    @property
+    def builder_fit_count(self) -> int:
+        """How many times the cover fitter actually ran (cache misses)."""
+        return self._builder.fit_count

@@ -16,6 +16,7 @@ from typing import Callable, Iterator, Optional, Tuple
 import numpy as np
 
 from repro.data.tuples import TupleBatch
+from repro.network.messages import QueryRequest
 from repro.server.server import EnviroMeterServer
 
 ProgressCallback = Callable[[float, int], None]
@@ -29,6 +30,8 @@ class ReplayStats:
     batches: int = 0
     tuples: int = 0
     covers_built: int = 0
+    covers_fitted: int = 0
+    windows_sealed: int = 0
     final_time: float = 0.0
 
 
@@ -88,12 +91,13 @@ class StreamReplayer:
             stats.tuples += len(piece)
             stats.final_time = now
             if query_every_s is not None and now >= next_query:
-                from repro.network.messages import QueryRequest
-
                 x, y = query_position
                 self.server.handle(QueryRequest(t=float(piece.t[-1]), x=x, y=y))
                 next_query = now + query_every_s
             if on_progress is not None:
                 on_progress(now, stats.tuples)
         stats.covers_built = len(self.server.db.table("model_cover"))
+        stats.covers_fitted = self.server.builder_fit_count
+        if self.server.db.partition_h is not None:
+            stats.windows_sealed = len(self.server.db.sealed_window_ids())
         return stats

@@ -4,7 +4,9 @@ The EnviroMeter architecture (Figure 1) stores sensed data in a database
 with two tables: ``raw_tuples`` (the sensed measurements) and
 ``model_cover`` (the serialized models per window).  This package is that
 database: an embedded, append-only, columnar store with typed schemas,
-window scans, and binary persistence — no external DB dependency.
+window-partitioned zero-copy scans, and binary persistence — no external
+DB dependency.  See ``README.md`` in this package for the partitioned
+layout and the sealed-window immutability contract.
 """
 
 from repro.storage.engine import Database

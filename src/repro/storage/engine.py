@@ -4,24 +4,54 @@ EnviroMeter-specific accessors (``raw_tuples`` and ``model_cover``).
 The server (:mod:`repro.server`) owns one :class:`Database`; the query
 processors read tuple windows out of it and the cover builder writes
 serialized covers back into it, mirroring Figure 1 of the paper.
+
+The ``raw_tuples`` table is *window-partitioned*: with a ``partition_h``
+configured, the stream is split into count-based windows ``W_c`` of
+``partition_h`` tuples.  Windows behind the write head are *sealed* —
+append-only storage guarantees their rows can never change — and the
+database caches one immutable zero-copy :class:`TupleBatch` view per
+sealed window, so repeated window reads cost a dict lookup rather than a
+re-slice (and never a copy).  ``model_cover`` writes maintain a
+per-window latest-cover index, making :meth:`cover_blob_for_window` an
+O(1) point lookup instead of a full column scan.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
 from repro.data.tuples import TupleBatch
+from repro.data.windows import (
+    WindowSlices,
+    sealed_window_count,
+    touched_windows,
+    window,
+)
 from repro.storage.schema import MODEL_COVER_SCHEMA, RAW_TUPLES_SCHEMA, Schema
 from repro.storage.table import Table
 
 
 class Database:
-    """An embedded database instance."""
+    """An embedded database instance.
 
-    def __init__(self) -> None:
+    ``partition_h`` is the count-based window size used to partition the
+    ``raw_tuples`` table (``None`` for databases that don't store a tuple
+    stream).
+    """
+
+    def __init__(self, partition_h: Optional[int] = None) -> None:
+        if partition_h is not None and partition_h <= 0:
+            raise ValueError("partition_h must be positive")
         self._tables: Dict[str, Table] = {}
+        self._partition_h = partition_h
+        # window_c -> row id of the *newest* cover stored for that window.
+        self._cover_index: Dict[int, int] = {}
+        # window c -> cached immutable zero-copy view of the sealed window.
+        self._sealed_windows: Dict[int, TupleBatch] = {}
+        self._raw_cache: Optional[TupleBatch] = None
+        self._last_touched: range = range(0)
 
     # -- generic table management -------------------------------------------
 
@@ -48,55 +78,203 @@ class Database:
         if name not in self._tables:
             raise KeyError(f"no table named {name!r}")
         del self._tables[name]
+        if name == "model_cover":
+            self._cover_index.clear()
+        elif name == "raw_tuples":
+            self._sealed_windows.clear()
+            self._raw_cache = None
+            self._last_touched = range(0)
 
     # -- EnviroMeter-specific schema ------------------------------------------
 
     @classmethod
-    def for_enviro_meter(cls) -> "Database":
-        """Database pre-created with the Figure 1 tables."""
-        db = cls()
+    def for_enviro_meter(cls, partition_h: int = 240) -> "Database":
+        """Database pre-created with the Figure 1 tables, with the raw
+        tuple stream partitioned into windows of ``partition_h`` tuples."""
+        db = cls(partition_h=partition_h)
         db.create_table("raw_tuples", RAW_TUPLES_SCHEMA)
         db.create_table("model_cover", MODEL_COVER_SCHEMA)
         return db
 
+    @property
+    def partition_h(self) -> Optional[int]:
+        return self._partition_h
+
+    def set_partition_h(self, partition_h: int) -> None:
+        """Adopt a window partitioning on an unpartitioned database.
+
+        Only allowed while no partitioning is set (changing an existing
+        one would silently re-interpret the sealed-window cache and the
+        cover index under different window boundaries)."""
+        if partition_h <= 0:
+            raise ValueError("partition_h must be positive")
+        if self._partition_h is not None and self._partition_h != partition_h:
+            raise ValueError(
+                f"database is already partitioned with h={self._partition_h}"
+            )
+        self._partition_h = partition_h
+        if self._cover_index and self.has_table("raw_tuples"):
+            # Covers indexed while unpartitioned (a pre-v2 load) may have
+            # been fitted on partial window data; under the newly adopted
+            # boundaries, keep only those whose windows are already
+            # sealed — the rest refit safely on next demand.
+            sealed = sealed_window_count(self.raw_count(), partition_h)
+            self._cover_index = {
+                c: rid for c, rid in self._cover_index.items() if c < sealed
+            }
+
     def ingest_tuples(self, batch: TupleBatch) -> int:
-        """Append a batch of raw measurements to ``raw_tuples``."""
+        """Append a batch of raw measurements to ``raw_tuples``.
+
+        One vectorized fill per column; sealed-window views stay valid
+        (appends land past them), only the full-stream snapshot refreshes.
+        A cover stored for a window that was still *open* is dropped from
+        the latest-cover index when the window gains tuples — it was
+        fitted on partial data and must be refit on next demand.  Sealed
+        windows can't gain tuples, so their covers are never touched.
+        """
         table = self.table("raw_tuples")
-        return table.insert_columns(t=batch.t, x=batch.x, y=batch.y, s=batch.s)
+        start = len(table)
+        n = table.insert_columns(t=batch.t, x=batch.x, y=batch.y, s=batch.s)
+        if n and self._partition_h is not None:
+            self._last_touched = touched_windows(start, n, self._partition_h)
+            for c in self._last_touched:
+                self._cover_index.pop(c, None)
+        else:
+            self._last_touched = range(0)
+        return n
+
+    @property
+    def last_touched_windows(self) -> range:
+        """Windows touched by the most recent :meth:`ingest_tuples` call —
+        the single source the server uses to invalidate its cover caches
+        (empty for unpartitioned databases)."""
+        return self._last_touched
+
+    def raw_count(self) -> int:
+        """Number of raw tuples stored."""
+        return len(self.table("raw_tuples"))
 
     def raw_tuples(self) -> TupleBatch:
-        """Snapshot of all stored raw tuples as a columnar batch."""
+        """Snapshot of all stored raw tuples as a columnar batch.
+
+        Zero-copy: the batch wraps read-only views of the live column
+        buffers, so the cost is O(1) regardless of history length."""
         table = self.table("raw_tuples")
-        cols = table.scan()
-        return TupleBatch(cols["t"], cols["x"], cols["y"], cols["s"])
+        cached = self._raw_cache
+        if cached is None or len(cached) != len(table):
+            cols = table.scan()
+            fresh = TupleBatch(cols["t"], cols["x"], cols["y"], cols["s"])
+            if self._sealed_windows and (
+                cached is None
+                or (
+                    len(cached)
+                    and len(fresh)
+                    and not np.shares_memory(fresh.t, cached.t)
+                )
+            ):
+                # A growth reallocation superseded the column buffers:
+                # drop every cached view stranded on an old generation so
+                # the store doesn't pin it (they re-slice lazily, with
+                # identical contents, on next access).
+                self._sealed_windows = {
+                    c: v
+                    for c, v in self._sealed_windows.items()
+                    if np.shares_memory(v.t, fresh.t)
+                }
+            self._raw_cache = fresh
+        return self._raw_cache
+
+    # -- window partitioning --------------------------------------------------
+
+    def _require_partition(self) -> int:
+        if self._partition_h is None:
+            raise RuntimeError("database has no window partitioning configured")
+        return self._partition_h
+
+    def sealed_window_ids(self) -> range:
+        """Indices of the sealed (full, immutable) raw-tuple windows."""
+        return range(sealed_window_count(self.raw_count(), self._require_partition()))
+
+    def is_sealed(self, c: int) -> bool:
+        return c in self.sealed_window_ids()
+
+    def window_view(self, c: int) -> TupleBatch:
+        """Zero-copy view of raw-tuple window ``W_c``.
+
+        Sealed windows are cached: repeated calls return the *same*
+        immutable :class:`TupleBatch` object, until a column-buffer
+        growth reallocation supersedes the view's backing storage — then
+        a fresh (content-identical) view of the live buffer replaces it,
+        so the cache never pins old buffer generations.  The open tail
+        window is re-sliced per call since it is still growing."""
+        h = self._require_partition()
+        batch = self.raw_tuples()
+        cached = self._sealed_windows.get(c)
+        if cached is not None and np.shares_memory(cached.t, batch.t):
+            return cached
+        view = window(batch, c, h)
+        if len(view) == h:  # full -> sealed: no append can ever change it
+            self._sealed_windows[c] = view
+        return view
+
+    def window_views(self) -> WindowSlices:
+        """All current windows as a zero-copy sequence view."""
+        return WindowSlices(self.raw_tuples(), self._require_partition())
+
+    # -- model covers ---------------------------------------------------------
 
     def store_cover_blob(self, window_c: int, valid_until: float, blob: bytes) -> int:
         """Persist one window's serialized model cover."""
-        return self.table("model_cover").insert((window_c, valid_until, blob))
+        rid = self.table("model_cover").insert((window_c, valid_until, blob))
+        self._cover_index[int(window_c)] = rid
+        return rid
 
     def latest_cover_blob(self) -> Optional[tuple]:
-        """Most recently stored ``(window_c, valid_until, blob)`` or None."""
-        table = self.table("model_cover")
-        if not len(table):
+        """Most recently stored *still-valid* ``(window_c, valid_until,
+        blob)`` or None.  Reads through the cover index, so covers whose
+        windows grew after they were fitted are not served."""
+        if not self._cover_index:
             return None
-        window_c = table.column("window_c")
-        valid_until = table.column("valid_until")
-        blobs = table.column("cover_blob")
-        i = len(table) - 1
-        return int(window_c[i]), float(valid_until[i]), blobs[i]
+        rid = max(self._cover_index.values())
+        window_c, valid_until, blob = self.table("model_cover").row(rid)
+        return int(window_c), float(valid_until), blob
 
     def cover_blob_for_window(self, window_c: int) -> Optional[tuple]:
-        """Latest stored cover for a specific window, or None."""
-        table = self.table("model_cover")
-        if not len(table):
+        """Latest stored cover for a specific window, or None.
+
+        O(1): a point lookup through the per-window latest-cover index."""
+        rid = self._cover_index.get(int(window_c))
+        if rid is None:
             return None
-        windows = table.column("window_c")
-        matches = np.flatnonzero(windows == window_c)
-        if not len(matches):
-            return None
-        i = int(matches[-1])
-        return (
-            int(windows[i]),
-            float(table.column("valid_until")[i]),
-            table.column("cover_blob")[i],
-        )
+        stored_c, valid_until, blob = self.table("model_cover").row(rid)
+        return int(stored_c), float(valid_until), blob
+
+    def cover_index(self) -> Dict[int, int]:
+        """Copy of the ``window_c -> newest row id`` cover index."""
+        return dict(self._cover_index)
+
+    def _rebuild_cover_index(self) -> None:
+        """Recompute the cover index from the ``model_cover`` table — the
+        pre-v2 load path in :mod:`repro.storage.persist`, where no saved
+        index exists (always an unpartitioned database; open-window
+        covers are filtered later if :meth:`set_partition_h` adopts a
+        partitioning)."""
+        self._cover_index.clear()
+        if not self.has_table("model_cover"):
+            return
+        for rid, c in enumerate(self.table("model_cover").column("window_c")):
+            self._cover_index[int(c)] = rid
+
+    def _restore_partition_state(
+        self, partition_h: Optional[int], cover_index: Mapping[int, int]
+    ) -> None:
+        """Adopt persisted partition metadata (see :mod:`repro.storage.persist`)."""
+        if partition_h is not None and partition_h <= 0:
+            raise ValueError("partition_h must be positive")
+        self._partition_h = partition_h
+        n_rows = len(self.table("model_cover")) if self.has_table("model_cover") else 0
+        for c, rid in cover_index.items():
+            if not 0 <= rid < n_rows:
+                raise ValueError(f"cover index row id {rid} out of range")
+        self._cover_index = {int(c): int(rid) for c, rid in cover_index.items()}

@@ -1,10 +1,17 @@
 """Binary persistence for the embedded database.
 
-A simple length-prefixed container format (magic, version, table count,
-then per table: name, schema, column payloads).  Numeric columns are
-stored as raw little-endian arrays; byte columns as length-prefixed blobs.
-The format is self-describing enough to round-trip any schema built from
-:class:`~repro.storage.schema.ColumnType`.
+A simple length-prefixed container format (magic, version, partition
+metadata, table count, then per table: name, schema, column payloads).
+Numeric columns are stored as raw little-endian arrays; byte columns as
+length-prefixed blobs.  The format is self-describing enough to
+round-trip any schema built from :class:`~repro.storage.schema.ColumnType`.
+
+Version 2 adds the window-partitioned layout: the ``raw_tuples``
+partition size (window boundaries are derived as multiples of it) and
+the per-window latest-cover index, so a reloaded database answers
+``cover_blob_for_window`` and ``window_view`` exactly as the saved one
+did.  Version 1 files still load; their cover index is rebuilt by one
+scan of ``model_cover``.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from repro.storage.engine import Database
 from repro.storage.schema import Column, ColumnType, Schema
 
 _MAGIC = b"EMDB"
-_VERSION = 1
+_VERSION = 2
 
 _CTYPE_CODES = {ColumnType.FLOAT64: 0, ColumnType.INT64: 1, ColumnType.BYTES: 2}
 _CODE_CTYPES = {v: k for k, v in _CTYPE_CODES.items()}
@@ -51,6 +58,13 @@ def save_database(db: Database, path: Union[str, Path]) -> None:
     buf = io.BytesIO()
     buf.write(_MAGIC)
     buf.write(struct.pack("<I", _VERSION))
+    # Partition metadata: window size (0 = unpartitioned) and the
+    # per-window latest-cover index.
+    buf.write(struct.pack("<Q", db.partition_h or 0))
+    cover_index = db.cover_index()
+    buf.write(struct.pack("<I", len(cover_index)))
+    for window_c in sorted(cover_index):
+        buf.write(struct.pack("<qQ", window_c, cover_index[window_c]))
     names = db.table_names()
     buf.write(struct.pack("<I", len(names)))
     for name in names:
@@ -80,8 +94,17 @@ def load_database(path: Union[str, Path]) -> Database:
         if _read_exact(f, 4) != _MAGIC:
             raise ValueError(f"{path}: not an EnviroMeter database file")
         (version,) = struct.unpack("<I", _read_exact(f, 4))
-        if version != _VERSION:
+        if version not in (1, _VERSION):
             raise ValueError(f"{path}: unsupported format version {version}")
+        partition_h = None
+        cover_index: dict = {}
+        if version >= 2:
+            (h,) = struct.unpack("<Q", _read_exact(f, 8))
+            partition_h = int(h) or None
+            (n_entries,) = struct.unpack("<I", _read_exact(f, 4))
+            for _ in range(n_entries):
+                window_c, rid = struct.unpack("<qQ", _read_exact(f, 16))
+                cover_index[int(window_c)] = int(rid)
         (n_tables,) = struct.unpack("<I", _read_exact(f, 4))
         db = Database()
         for _ in range(n_tables):
@@ -106,7 +129,15 @@ def load_database(path: Union[str, Path]) -> Database:
                 else:
                     raw = _read_exact(f, 8 * n_rows)
                     columns[col.name] = np.frombuffer(raw, dtype=_NUMPY_DTYPES[col.ctype])
-            # Reassemble rows in insertion order.
-            for i in range(n_rows):
-                table.insert(tuple(columns[c.name][i] for c in schema.columns))
+            if schema.has_bytes:
+                # Reassemble rows in insertion order (blob tables are small).
+                for i in range(n_rows):
+                    table.insert(tuple(columns[c.name][i] for c in schema.columns))
+            elif n_rows:
+                # Numeric-only tables load as one vectorized fill per column.
+                table.insert_columns(**columns)
+        if version >= 2:
+            db._restore_partition_state(partition_h, cover_index)
+        else:
+            db._rebuild_cover_index()
         return db

@@ -55,6 +55,11 @@ class Schema:
     def names(self) -> Tuple[str, ...]:
         return tuple(c.name for c in self.columns)
 
+    @property
+    def has_bytes(self) -> bool:
+        """True when any column stores raw ``bytes`` (no bulk fast path)."""
+        return any(c.ctype is ColumnType.BYTES for c in self.columns)
+
     def column(self, name: str) -> Column:
         for c in self.columns:
             if c.name == name:

@@ -1,13 +1,20 @@
 """Append-only columnar tables.
 
-Numeric columns live in chunked numpy arrays; byte columns in Python
-lists.  Appends are O(1) amortised; reads return immutable snapshots so a
-long-running query never sees a half-appended row.
+Numeric columns live in one amortised-doubling numpy buffer per column;
+byte columns in Python lists.  Appends are O(1) amortised, bulk appends
+are single vectorized slice fills, and reads return immutable *views* of
+the filled prefix — a snapshot is O(1) and never copies, and a
+long-running query never sees a half-appended row because writes only
+ever touch positions past the snapshot's length.
+
+Failed writes are atomic: ``insert`` and ``insert_columns`` validate the
+whole row / column set up front, so a rejected write leaves every column
+untouched (see ``README.md`` in this package).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -17,58 +24,113 @@ _CHUNK = 8_192
 
 
 class _NumericColumn:
-    """Growable float64/int64 column stored as a list of full chunks plus
-    one partially-filled tail chunk."""
+    """Growable float64/int64 column backed by one doubling buffer.
 
-    __slots__ = ("dtype", "_chunks", "_tail", "_tail_len")
+    The buffer is only ever written at positions ``>= len(self)``, so the
+    read-only prefix views handed out by :meth:`snapshot` stay stable as
+    the column grows; a reallocation on growth leaves earlier snapshots
+    pointing at the old buffer.
+    """
+
+    __slots__ = ("dtype", "_buf", "_len", "_view")
 
     def __init__(self, dtype: np.dtype) -> None:
         self.dtype = dtype
-        self._chunks: List[np.ndarray] = []
-        self._tail = np.empty(_CHUNK, dtype=dtype)
-        self._tail_len = 0
+        self._buf = np.empty(_CHUNK, dtype=dtype)
+        self._len = 0
+        self._view: Optional[np.ndarray] = None
+
+    def _reserve(self, extra: int) -> None:
+        need = self._len + extra
+        cap = len(self._buf)
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        buf = np.empty(cap, dtype=self.dtype)
+        buf[: self._len] = self._buf[: self._len]
+        self._buf = buf
+        self._view = None
+
+    def prepare(self, value: Any) -> Any:
+        """Validate/convert one value without mutating the column."""
+        return self.dtype.type(value)
+
+    def append_prepared(self, value: Any) -> None:
+        self._reserve(1)
+        self._buf[self._len] = value
+        self._len += 1
+        self._view = None
 
     def append(self, value: float) -> None:
-        self._tail[self._tail_len] = value
-        self._tail_len += 1
-        if self._tail_len == _CHUNK:
-            self._chunks.append(self._tail)
-            self._tail = np.empty(_CHUNK, dtype=self.dtype)
-            self._tail_len = 0
+        self.append_prepared(self.prepare(value))
+
+    def prepare_bulk(self, values: Any) -> np.ndarray:
+        """Validate/convert an array for :meth:`extend` without mutating."""
+        arr = np.asarray(values, dtype=self.dtype)
+        if arr.ndim != 1:
+            raise ValueError(f"column data must be one-dimensional, got {arr.ndim}-d")
+        return arr
 
     def extend(self, values: np.ndarray) -> None:
-        for v in np.asarray(values, dtype=self.dtype):
-            self.append(v)
+        """Vectorized bulk append: one slice assignment, no Python loop."""
+        arr = self.prepare_bulk(values)
+        k = len(arr)
+        if not k:
+            return
+        self._reserve(k)
+        self._buf[self._len : self._len + k] = arr
+        self._len += k
+        self._view = None
 
     def __len__(self) -> int:
-        return len(self._chunks) * _CHUNK + self._tail_len
+        return self._len
+
+    def get(self, i: int) -> Any:
+        """One value by position — O(1), no snapshot materialisation."""
+        return self._buf[i]
 
     def snapshot(self) -> np.ndarray:
-        """Immutable copy of the whole column."""
-        parts = self._chunks + [self._tail[: self._tail_len]]
-        out = np.concatenate(parts) if parts else np.empty(0, dtype=self.dtype)
-        out.flags.writeable = False
-        return out
+        """Immutable zero-copy view of the whole column (cached)."""
+        view = self._view
+        if view is None:
+            view = self._buf[: self._len]
+            view.flags.writeable = False
+            self._view = view
+        return view
 
 
 class _BytesColumn:
     """Growable column of ``bytes`` values."""
 
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_snap")
 
     def __init__(self) -> None:
         self._values: List[bytes] = []
+        self._snap: Optional[Tuple[bytes, ...]] = None
 
-    def append(self, value: bytes) -> None:
+    def prepare(self, value: Any) -> bytes:
         if not isinstance(value, (bytes, bytearray)):
             raise TypeError(f"expected bytes, got {type(value).__name__}")
-        self._values.append(bytes(value))
+        return bytes(value)
+
+    def append_prepared(self, value: bytes) -> None:
+        self._values.append(value)
+        self._snap = None
+
+    def append(self, value: bytes) -> None:
+        self.append_prepared(self.prepare(value))
 
     def __len__(self) -> int:
         return len(self._values)
 
+    def get(self, i: int) -> bytes:
+        return self._values[i]
+
     def snapshot(self) -> Tuple[bytes, ...]:
-        return tuple(self._values)
+        if self._snap is None:
+            self._snap = tuple(self._values)
+        return self._snap
 
 
 _DTYPES = {
@@ -96,13 +158,21 @@ class Table:
     # -- writes -------------------------------------------------------------
 
     def insert(self, row: Sequence[Any]) -> int:
-        """Append one row (values in schema order); returns its row id."""
+        """Append one row (values in schema order); returns its row id.
+
+        The whole row is validated before any column is touched, so a
+        rejected row leaves the table unchanged.
+        """
         if len(row) != len(self.schema):
             raise ValueError(
                 f"{self.name}: row has {len(row)} values, schema has {len(self.schema)}"
             )
-        for col, value in zip(self.schema.columns, row):
-            self._columns[col.name].append(value)
+        prepared = [
+            self._columns[col.name].prepare(value)
+            for col, value in zip(self.schema.columns, row)
+        ]
+        for col, value in zip(self.schema.columns, prepared):
+            self._columns[col.name].append_prepared(value)
         rid = self._row_count
         self._row_count += 1
         return rid
@@ -119,21 +189,26 @@ class Table:
         """Bulk-append numeric column data given as keyword arrays.
 
         All schema columns must be provided and be the same length.  Only
-        valid for tables without BYTES columns.
+        valid for tables without BYTES columns.  Validation (schema match,
+        column types, dtype conversion, lengths) happens before any column
+        is extended, so a failed bulk insert leaves the table unchanged.
         """
         if set(columns) != set(self.schema.names):
             raise ValueError(
                 f"{self.name}: expected columns {self.schema.names}, got {tuple(columns)}"
             )
-        arrays = {k: np.asarray(v) for k, v in columns.items()}
+        if self.schema.has_bytes:
+            bad = next(c.name for c in self.schema.columns if c.ctype is ColumnType.BYTES)
+            raise TypeError(f"{self.name}.{bad}: bulk insert not supported for BYTES")
+        arrays = {
+            col.name: self._columns[col.name].prepare_bulk(columns[col.name])
+            for col in self.schema.columns
+        }
         lengths = {len(a) for a in arrays.values()}
         if len(lengths) != 1:
             raise ValueError(f"{self.name}: column arrays have differing lengths")
         for col in self.schema.columns:
-            store = self._columns[col.name]
-            if isinstance(store, _BytesColumn):
-                raise TypeError(f"{self.name}.{col.name}: bulk insert not supported for BYTES")
-            store.extend(arrays[col.name])
+            self._columns[col.name].extend(arrays[col.name])
         (n,) = lengths
         self._row_count += n
         return n
@@ -144,17 +219,17 @@ class Table:
         return self._row_count
 
     def column(self, name: str) -> Any:
-        """Immutable snapshot of one column (ndarray or tuple of bytes)."""
+        """Immutable snapshot of one column (ndarray view or tuple of bytes)."""
         self.schema.column(name)  # raises KeyError for unknown names
         return self._columns[name].snapshot()
 
     def scan(self) -> Dict[str, Any]:
-        """Snapshot of all columns, keyed by name."""
+        """Snapshot of all columns, keyed by name.  O(#columns): numeric
+        snapshots are zero-copy views, never a concatenation of history."""
         return {name: self.column(name) for name in self.schema.names}
 
     def row(self, rid: int) -> Tuple[Any, ...]:
-        """One row by id.  O(#columns) snapshots — intended for point
-        lookups in small tables like ``model_cover``, not bulk scans."""
+        """One row by id — O(#columns) point reads, no snapshots."""
         if not 0 <= rid < self._row_count:
             raise IndexError(f"{self.name}: row id {rid} out of range")
-        return tuple(self._columns[name].snapshot()[rid] for name in self.schema.names)
+        return tuple(self._columns[name].get(rid) for name in self.schema.names)

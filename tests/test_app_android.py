@@ -78,7 +78,6 @@ class TestSettingsAndTraffic:
         assert session.traffic.sent_messages == 1  # one model request
 
     def test_switching_strategy_recreates_client(self, session, server, small_batch):
-        t0 = float(small_batch.t[300])
         session.update_position(2000.0, 1500.0)
         session.current_reading()
         session.apply_settings(session.settings.with_model_cache(False))

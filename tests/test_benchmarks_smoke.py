@@ -115,6 +115,12 @@ def _run_fleet_scaling(m, ds, bm):
     m.bench_fleet(bm, ds, strategy="baseline", n_members=2)
 
 
+def _run_ingest(m, ds, bm):
+    m.bench_bulk_append(bm, ds, path="vectorized")
+    m.bench_bulk_append(bm, ds, path="seed")
+    m.bench_ingest_query_steady_state(bm, ds)
+
+
 SMOKE_RUNNERS = {
     "bench_ablation_adaptive_methods": _run_ablation_adaptive_methods,
     "bench_ablation_cache_ttl": _run_ablation_cache_ttl,
@@ -127,6 +133,7 @@ SMOKE_RUNNERS = {
     "bench_fig7a_memory": _run_fig7a_memory,
     "bench_fig7b_bandwidth": _run_fig7b_bandwidth,
     "bench_fleet_scaling": _run_fleet_scaling,
+    "bench_ingest": _run_ingest,
 }
 
 

@@ -1,6 +1,5 @@
 """Tests for repro.core.builder."""
 
-import numpy as np
 import pytest
 
 from repro.core.builder import CoverBuilder

@@ -1,6 +1,5 @@
 """Tests for repro.data.routes."""
 
-import math
 
 import pytest
 

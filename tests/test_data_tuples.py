@@ -111,3 +111,18 @@ class TestTupleBatchOps:
         merged = self.batch.concat(self.batch.slice(0, 1))
         assert len(merged) == 5
         assert merged.t[-1] == 0.0
+
+
+class TestIsViewOf:
+    def test_slice_is_view(self):
+        batch = TupleBatch([1.0, 2.0, 3.0], [0.0] * 3, [0.0] * 3, [4.0] * 3)
+        assert batch.slice(0, 2).is_view_of(batch)
+
+    def test_copy_is_not_view(self):
+        batch = TupleBatch([1.0, 2.0], [0.0] * 2, [0.0] * 2, [4.0] * 2)
+        other = TupleBatch.from_rows(batch.rows())
+        assert not other.is_view_of(batch)
+
+    def test_empty_is_not_view(self):
+        batch = TupleBatch([1.0], [0.0], [0.0], [4.0])
+        assert not batch.slice(0, 0).is_view_of(batch)

@@ -4,7 +4,15 @@ import numpy as np
 import pytest
 
 from repro.data.tuples import TupleBatch
-from repro.data.windows import WindowSpec, count_windows, iter_windows, window
+from repro.data.windows import (
+    WindowSlices,
+    WindowSpec,
+    count_windows,
+    iter_windows,
+    sealed_window_count,
+    touched_windows,
+    window,
+)
 
 
 def make_batch(n, dt=60.0):
@@ -92,3 +100,62 @@ class TestWindowSpec:
 
     def test_iter_nonempty_empty_batch(self):
         assert list(WindowSpec(10.0).iter_nonempty(TupleBatch.empty())) == []
+
+
+class TestPartitionHelpers:
+    def test_sealed_window_count(self):
+        assert sealed_window_count(0, 4) == 0
+        assert sealed_window_count(7, 4) == 1
+        assert sealed_window_count(8, 4) == 2
+
+    def test_sealed_window_count_validation(self):
+        with pytest.raises(ValueError):
+            sealed_window_count(10, 0)
+        with pytest.raises(ValueError):
+            sealed_window_count(-1, 4)
+
+    def test_touched_windows(self):
+        assert list(touched_windows(0, 4, 4)) == [0]
+        assert list(touched_windows(3, 2, 4)) == [0, 1]
+        assert list(touched_windows(8, 9, 4)) == [2, 3, 4]
+        assert list(touched_windows(5, 0, 4)) == []
+
+    def test_touched_windows_validation(self):
+        with pytest.raises(ValueError):
+            touched_windows(-1, 2, 4)
+        with pytest.raises(ValueError):
+            touched_windows(0, 2, 0)
+
+
+class TestWindowSlices:
+    def test_len_and_getitem(self):
+        batch = make_batch(10)
+        slices = WindowSlices(batch, 4)
+        assert len(slices) == 3
+        assert slices[0].t.tolist() == batch.t[:4].tolist()
+        assert len(slices[2]) == 2
+        assert len(slices[-1]) == 2  # negative indexing
+
+    def test_zero_copy(self):
+        batch = make_batch(10)
+        assert WindowSlices(batch, 4)[1].is_view_of(batch)
+
+    def test_sealed(self):
+        slices = WindowSlices(make_batch(10), 4)
+        assert slices.sealed_count() == 2
+        assert slices.is_sealed(1)
+        assert not slices.is_sealed(2)
+
+    def test_iterates_as_sequence(self):
+        slices = WindowSlices(make_batch(8), 4)
+        assert [len(w) for w in slices] == [4, 4]
+
+    def test_invalid_h(self):
+        with pytest.raises(ValueError):
+            WindowSlices(make_batch(4), 0)
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            WindowSlices(make_batch(4), 4)[3]
+        with pytest.raises(IndexError):
+            WindowSlices(make_batch(10), 4)[-5]

@@ -42,7 +42,7 @@ class TestSeriesChart:
             width=30,
             height=8,
         )
-        body = [l for l in chart.split("\n") if "|" in l]
+        body = [line for line in chart.split("\n") if "|" in line]
         assert len(body) == 8
 
     def test_markers_and_legend(self):

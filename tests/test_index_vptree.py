@@ -81,3 +81,15 @@ class TestRadiusQuery:
     def test_boundary_inclusive(self):
         tree = VPTree([0.0, 3.0], [0.0, 4.0])
         assert sorted(tree.query_radius(0, 0, 5.0)) == [0, 1]
+
+
+class TestDegenerateInputs:
+    def test_thousands_of_duplicate_points(self):
+        """A stationary sensor's co-located points build an O(N)-deep
+        chain; construction and queries must survive it (no recursion)."""
+        n = 3000
+        tree = VPTree([1.0] * n, [2.0] * n)
+        assert tree.count_nodes() == n
+        assert tree.height == n  # the degenerate chain, built iteratively
+        assert sorted(tree.query_radius(1.0, 2.0, 0.0)) == list(range(n))
+        assert tree.query_radius(5.0, 5.0, 1.0) == []

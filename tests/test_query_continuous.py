@@ -24,14 +24,18 @@ class FakeProcessor:
 
 class TestUniformQueryTuples:
     def test_uniform_interval(self):
-        traj = lambda t: (t, 2 * t)
+        def traj(t):
+            return (t, 2 * t)
+
         qs = uniform_query_tuples(traj, 100.0, 60.0, 5)
         assert len(qs) == 5
         gaps = {qs[i + 1].t - qs[i].t for i in range(4)}
         assert gaps == {60.0}  # |t_{l+1} - t_l| is always the same
 
     def test_positions_follow_trajectory(self):
-        traj = lambda t: (t, -t)
+        def traj(t):
+            return (t, -t)
+
         qs = uniform_query_tuples(traj, 0.0, 10.0, 3)
         assert qs[2].x == 20.0
         assert qs[2].y == -20.0

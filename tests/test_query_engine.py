@@ -1,6 +1,5 @@
 """Tests for repro.query.engine."""
 
-import math
 
 import numpy as np
 import pytest
@@ -153,3 +152,31 @@ class TestHeatmapDegenerate:
                     if res.answered:
                         expected[j, i] = res.value
             np.testing.assert_allclose(grid, expected, rtol=1e-9, equal_nan=True)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_engine_stays_usable(self, small_batch):
+        engine = QueryEngine(small_batch, h=240, radius_m=1000.0)
+        t = float(small_batch.t[100])
+        engine.executor._ensure_pool()
+        assert engine.executor._pool is not None
+        engine.close()
+        assert engine.executor._pool is None  # live pool actually torn down
+        engine.close()  # idempotent
+        proc = engine.processor("model-cover", engine.window_for_time(t))
+        assert proc is not None
+        engine.executor._ensure_pool()  # parallel paths recreate on demand
+        assert engine.executor._pool is not None
+        engine.close()
+
+    def test_context_manager_shuts_pool_down(self, small_batch):
+        with QueryEngine(small_batch, h=240, radius_m=1000.0) as engine:
+            engine.executor._ensure_pool()
+            assert engine.executor._pool is not None
+        assert engine.executor._pool is None
+
+    def test_windows_for_times_matches_scalar(self, engine, small_batch):
+        ts = [float(small_batch.t[i]) for i in (0, 100, 2000)]
+        ts.append(float(small_batch.t[0]) - 5.0)
+        vec = engine.windows_for_times(ts)
+        assert vec.tolist() == [engine.window_for_time(t) for t in ts]

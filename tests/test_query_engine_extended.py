@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro.app.webapp import WebInterface
-from repro.data.tuples import QueryTuple
 from repro.geo.coords import BoundingBox
 from repro.query.engine import QueryEngine
 

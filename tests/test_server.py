@@ -130,3 +130,109 @@ class TestBatchedRequestHandling:
 
     def test_empty_batch(self, server):
         assert server.handle_many([]) == []
+
+
+class TestVectorizedWindowAssignment:
+    def test_windows_for_matches_scalar(self, server, small_batch):
+        ts = [float(small_batch.t[i]) for i in (0, 5, 300, 700, 1200)]
+        ts.append(float(small_batch.t[0]) - 1.0)  # before the stream
+        vec = server.windows_for(ts)
+        assert vec.tolist() == [server.current_window(t) for t in ts]
+
+    def test_windows_for_empty_server(self):
+        with pytest.raises(RuntimeError):
+            EnviroMeterServer().windows_for([0.0])
+
+
+class TestIncrementalSnapshot:
+    def test_snapshot_reused_across_ingests(self, small_batch):
+        """After N small ingests a query never rebuilds history: the
+        stream snapshot is a zero-copy view and sealed windows are served
+        from the cached views."""
+        server = EnviroMeterServer(h=240)
+        step = 100
+        for start in range(0, 1200, step):
+            server.ingest(small_batch.slice(start, start + step))
+        sealed_before = [server.db.window_view(c) for c in server.db.sealed_window_ids()]
+        snap = server._tuples()
+        assert snap.is_view_of(server.db.raw_tuples())
+
+        server.ingest(small_batch.slice(1200, 1300))
+        # Sealed windows: identical cached objects, no re-slicing/copying.
+        for c, view in enumerate(sealed_before):
+            assert server.db.window_view(c) is view
+        # The refreshed snapshot shares storage with the old one (the
+        # ingest extended it in place rather than rebuilding).
+        assert server._tuples().is_view_of(snap)
+
+    def test_query_after_many_ingests_never_concatenates(
+        self, small_batch, monkeypatch
+    ):
+        server = EnviroMeterServer(h=240)
+        for start in range(0, 1200, 60):
+            server.ingest(small_batch.slice(start, start + 60))
+        t = float(small_batch.t[100])
+        server.handle(QueryRequest(t=t, x=2000.0, y=1500.0))  # fit once
+        monkeypatch.setattr(
+            np, "concatenate", lambda *a, **k: pytest.fail("full-history copy")
+        )
+        server.ingest(small_batch.slice(1200, 1260))
+        response = server.handle(QueryRequest(t=t, x=2000.0, y=1500.0))
+        assert not math.isnan(response.value)
+
+    def test_untouched_window_cover_cache_survives_ingest(self, small_batch):
+        server = EnviroMeterServer(h=240)
+        server.ingest(small_batch.slice(0, 1200))
+        t = float(small_batch.t[100])
+        server.handle(QueryRequest(t=t, x=2000.0, y=1500.0))
+        fits = server.builder_fit_count
+        assert server._builder.cached_windows() == (0,)
+        server.ingest(small_batch.slice(1200, 1300))  # touches window 5 only
+        assert server._builder.cached_windows() == (0,)
+        server.handle(QueryRequest(t=t, x=2000.0, y=1500.0))
+        assert server.builder_fit_count == fits
+
+
+class TestInterleavedIngestConvergence:
+    def test_premature_cover_refit_once_window_fills(self, small_batch):
+        """A cover fitted while its window was still filling must be refit
+        after more of the window's tuples arrive — interleaved ingest and
+        query converges to the one-shot server's answer."""
+        t = float(small_batch.t[100])
+        request = QueryRequest(t=t, x=2000.0, y=1500.0)
+
+        one_shot = EnviroMeterServer(h=240)
+        one_shot.ingest(small_batch.slice(0, 480))
+        want = one_shot.handle(request)
+
+        interleaved = EnviroMeterServer(h=240)
+        interleaved.ingest(small_batch.slice(0, 100))
+        premature = interleaved.handle(request)  # window 0 only partial
+        interleaved.ingest(small_batch.slice(100, 480))
+        got = interleaved.handle(request)
+        assert got.value == pytest.approx(want.value, abs=0.0)
+        assert interleaved.builder_fit_count == 2  # partial fit + one refit
+        assert premature.value != want.value  # the stale answer it replaced
+
+
+class TestDatabasePartitionValidation:
+    def test_mismatched_partition_rejected(self):
+        from repro.storage.engine import Database
+
+        with pytest.raises(ValueError, match="partition_h"):
+            EnviroMeterServer(h=40, database=Database.for_enviro_meter())
+
+    def test_unpartitioned_database_adopts_server_h(self, small_batch):
+        from repro.storage.engine import Database
+
+        db = Database()
+        db.create_table(
+            "raw_tuples", Database.for_enviro_meter().table("raw_tuples").schema
+        )
+        db.create_table(
+            "model_cover", Database.for_enviro_meter().table("model_cover").schema
+        )
+        server = EnviroMeterServer(h=240, database=db)
+        assert db.partition_h == 240
+        server.ingest(small_batch.slice(0, 300))
+        assert list(db.sealed_window_ids()) == [0]

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data.tuples import TupleBatch
+from repro.network.messages import QueryRequest
 from repro.server.server import EnviroMeterServer
 from repro.server.stream import StreamReplayer
 
@@ -64,6 +65,12 @@ class TestRun:
         stats = StreamReplayer(server, batch_interval_s=3600.0).run(small_batch)
         assert stats.covers_built == 0  # lazy: nothing asked, nothing built
 
+    def test_sealed_window_stats(self, small_batch):
+        server = EnviroMeterServer(h=240)
+        stats = StreamReplayer(server, batch_interval_s=3600.0).run(small_batch)
+        assert stats.windows_sealed == len(small_batch) // 240
+        assert stats.covers_fitted == 0  # no queries -> no fits
+
     def test_progress_callback(self, small_batch):
         server = EnviroMeterServer(h=240)
         seen = []
@@ -72,3 +79,55 @@ class TestRun:
         )
         assert seen
         assert seen[-1][1] == len(small_batch)
+
+
+class TestRepeatedIngestEquivalence:
+    """Many small ingest batches must behave exactly like one big ingest:
+    identical stored covers (byte for byte), identical query answers, and
+    no refitting of windows that were already sealed."""
+
+    def _query_times(self, batch, n=6):
+        span = len(batch) - 1
+        return [float(batch.t[i * span // (n - 1)]) for i in range(n)]
+
+    def test_covers_and_answers_byte_identical(self, small_batch):
+        one_shot = EnviroMeterServer(h=240)
+        one_shot.ingest(small_batch)
+        replayed = EnviroMeterServer(h=240)
+        StreamReplayer(replayed, batch_interval_s=600.0).run(small_batch)
+        assert len(replayed.db.raw_tuples()) == len(small_batch)
+
+        requests = [
+            QueryRequest(t=t, x=2500.0, y=1800.0)
+            for t in self._query_times(small_batch)
+        ]
+        answers_a = [one_shot.handle(r) for r in requests]
+        answers_b = [replayed.handle(r) for r in requests]
+        for a, b in zip(answers_a, answers_b):
+            assert a.t == b.t
+            assert a.value == pytest.approx(b.value, abs=0.0)
+
+        table_a = one_shot.db.table("model_cover")
+        table_b = replayed.db.table("model_cover")
+        assert len(table_a) == len(table_b) > 0
+        assert table_a.column("cover_blob") == table_b.column("cover_blob")
+        assert np.array_equal(
+            table_a.column("window_c"), table_b.column("window_c")
+        )
+
+    def test_sealed_windows_never_refit(self, small_batch):
+        server = EnviroMeterServer(h=240)
+        StreamReplayer(server, batch_interval_s=600.0).run(small_batch)
+        times = self._query_times(small_batch)
+        for t in times:
+            server.handle(QueryRequest(t=t, x=2500.0, y=1800.0))
+        distinct = {server.current_window(t) for t in times}
+        assert server.builder_fit_count == len(distinct)
+        # Asking again (and ingesting more data past the sealed windows)
+        # must not trigger a single further fit for them.
+        fits = server.builder_fit_count
+        tail = small_batch.slice(len(small_batch) - 10, len(small_batch))
+        server.ingest(tail)
+        for t in times[:-1]:  # all sealed windows
+            server.handle(QueryRequest(t=t, x=2500.0, y=1800.0))
+        assert server.builder_fit_count == fits

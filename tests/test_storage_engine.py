@@ -87,3 +87,178 @@ class TestCoverBlobs:
         db = Database.for_enviro_meter()
         db.store_cover_blob(1, 100.0, b"x")
         assert db.cover_blob_for_window(2) is None
+
+    def test_index_tracks_newest_per_window(self):
+        db = Database.for_enviro_meter()
+        db.store_cover_blob(0, 10.0, b"a")
+        db.store_cover_blob(1, 20.0, b"b")
+        db.store_cover_blob(0, 30.0, b"c")
+        assert db.cover_index() == {0: 2, 1: 1}
+
+    def test_drop_model_cover_clears_index(self):
+        db = Database.for_enviro_meter()
+        db.store_cover_blob(0, 10.0, b"a")
+        db.drop_table("model_cover")
+        assert db.cover_index() == {}
+
+    def test_rebuild_cover_index(self):
+        db = Database.for_enviro_meter()
+        db._partition_h = None  # the pre-v2 load shape
+        db.table("model_cover").insert((4, 10.0, b"direct"))
+        assert db.cover_blob_for_window(4) is None  # bypassed the index
+        db._rebuild_cover_index()
+        assert db.cover_blob_for_window(4) == (4, 10.0, b"direct")
+
+    def test_adopting_partition_drops_open_window_covers(self):
+        """set_partition_h on a pre-v2 load must not keep covers whose
+        windows can still grow — they may reflect partial window data."""
+        db = Database.for_enviro_meter()
+        db._partition_h = None
+        db.ingest_tuples(TupleBatch([1.0] * 6, [0.0] * 6, [0.0] * 6, [400.0] * 6))
+        db.table("model_cover").insert((0, 10.0, b"sealed"))
+        db.table("model_cover").insert((1, 20.0, b"open"))
+        db._rebuild_cover_index()
+        db.set_partition_h(4)  # 6 rows: window 0 sealed, window 1 open
+        assert db.cover_blob_for_window(0) == (0, 10.0, b"sealed")
+        assert db.cover_blob_for_window(1) is None
+
+
+def _stream(n, t0=0.0):
+    t = t0 + np.arange(n, dtype=float)
+    return TupleBatch(t, t + 0.5, t + 0.25, np.full(n, 400.0))
+
+
+class TestWindowPartitioning:
+    def test_invalid_partition(self):
+        with pytest.raises(ValueError):
+            Database(partition_h=0)
+
+    def test_unpartitioned_rejects_window_reads(self):
+        db = Database()
+        db.create_table("raw_tuples", Database.for_enviro_meter().table("raw_tuples").schema)
+        with pytest.raises(RuntimeError):
+            db.window_view(0)
+
+    def test_window_view_contents(self):
+        db = Database.for_enviro_meter(partition_h=4)
+        db.ingest_tuples(_stream(10))
+        assert np.array_equal(db.window_view(1).t, np.arange(4.0, 8.0))
+        assert len(db.window_view(2)) == 2  # open tail window
+
+    def test_sealed_views_are_cached_and_zero_copy(self):
+        db = Database.for_enviro_meter(partition_h=4)
+        db.ingest_tuples(_stream(6))
+        w0 = db.window_view(0)
+        db.ingest_tuples(_stream(6, t0=6.0))
+        assert db.window_view(0) is w0  # sealed: identical cached object
+        assert w0.is_view_of(db.raw_tuples())
+
+    def test_open_window_reflects_appends(self):
+        db = Database.for_enviro_meter(partition_h=4)
+        db.ingest_tuples(_stream(6))
+        assert len(db.window_view(1)) == 2
+        db.ingest_tuples(_stream(2, t0=6.0))
+        assert len(db.window_view(1)) == 4
+        assert db.is_sealed(1)
+
+    def test_sealed_window_ids(self):
+        db = Database.for_enviro_meter(partition_h=4)
+        db.ingest_tuples(_stream(9))
+        assert list(db.sealed_window_ids()) == [0, 1]
+        assert not db.is_sealed(2)
+
+    def test_window_views_sequence(self):
+        db = Database.for_enviro_meter(partition_h=4)
+        db.ingest_tuples(_stream(9))
+        views = db.window_views()
+        assert len(views) == 3
+        assert views.sealed_count() == 2
+        assert np.array_equal(views[0].t, np.arange(4.0))
+
+    def test_latest_cover_skips_invalidated_covers(self):
+        """latest_cover_blob must not serve a cover the stale-cover
+        invalidation dropped from the index."""
+        db = Database.for_enviro_meter(partition_h=4)
+        db.ingest_tuples(_stream(6))
+        db.store_cover_blob(0, 10.0, b"sealed")
+        db.store_cover_blob(1, 20.0, b"premature")
+        db.ingest_tuples(_stream(3, t0=6.0))  # window 1 grows -> dropped
+        assert db.latest_cover_blob() == (0, 10.0, b"sealed")
+
+    def test_latest_cover_none_when_all_invalidated(self):
+        db = Database.for_enviro_meter(partition_h=4)
+        db.ingest_tuples(_stream(2))
+        db.store_cover_blob(0, 10.0, b"premature")
+        db.ingest_tuples(_stream(2, t0=2.0))
+        assert db.latest_cover_blob() is None
+
+    def test_last_touched_windows(self):
+        db = Database.for_enviro_meter(partition_h=4)
+        db.ingest_tuples(_stream(6))
+        assert list(db.last_touched_windows) == [0, 1]
+        db.ingest_tuples(_stream(3, t0=6.0))
+        assert list(db.last_touched_windows) == [1, 2]
+        db.ingest_tuples(TupleBatch.empty())
+        assert list(db.last_touched_windows) == []
+
+    def test_realloc_sweeps_all_stranded_views(self):
+        """Views cached for windows that are never re-read must not pin
+        superseded buffer generations: the snapshot rebuild sweeps them."""
+        db = Database.for_enviro_meter(partition_h=4)
+        db.ingest_tuples(_stream(8))
+        db.window_view(0)
+        db.window_view(1)
+        db.ingest_tuples(_stream(20_000, t0=8.0))  # forces reallocation
+        fresh = db.raw_tuples()
+        assert db._sealed_windows == {}  # stranded views swept, not kept
+        assert db.window_view(0).is_view_of(fresh)  # re-sliced on demand
+
+    def test_open_window_cover_dropped_when_window_grows(self):
+        """A cover fitted from a partial open window must not be served
+        once the window gains tuples."""
+        db = Database.for_enviro_meter(partition_h=4)
+        db.ingest_tuples(_stream(6))  # window 1 open with 2 tuples
+        db.store_cover_blob(0, 10.0, b"sealed")
+        db.store_cover_blob(1, 20.0, b"premature")
+        db.ingest_tuples(_stream(3, t0=6.0))  # window 1 seals, 2 opens
+        assert db.cover_blob_for_window(1) is None  # stale cover dropped
+        assert db.cover_blob_for_window(0) == (0, 10.0, b"sealed")
+
+    def test_set_partition_h(self):
+        db = Database()
+        db.set_partition_h(4)
+        assert db.partition_h == 4
+        db.set_partition_h(4)  # idempotent
+        with pytest.raises(ValueError):
+            db.set_partition_h(8)
+        with pytest.raises(ValueError):
+            Database().set_partition_h(0)
+
+    def test_sealed_cache_refreshed_after_buffer_growth(self):
+        """A growth reallocation must not leave the cache pinning the
+        superseded buffer generation."""
+        db = Database.for_enviro_meter(partition_h=4)
+        db.ingest_tuples(_stream(8))
+        before = db.window_view(0)
+        db.ingest_tuples(_stream(20_000, t0=8.0))  # forces reallocations
+        after = db.window_view(0)
+        assert after is not before  # refreshed onto the live buffer
+        assert after.is_view_of(db.raw_tuples())
+        assert np.array_equal(after.t, before.t)  # contents unchanged
+        assert db.window_view(0) is after  # identity stable again
+
+    def test_numpy_window_indices_accepted(self):
+        db = Database.for_enviro_meter(partition_h=4)
+        db.ingest_tuples(_stream(10))
+        views = db.window_views()
+        c = np.int64(1)
+        assert np.array_equal(views[c].t, db.window_view(int(c)).t)
+
+    def test_snapshot_is_cached_and_never_concatenates(self, monkeypatch):
+        db = Database.for_enviro_meter(partition_h=4)
+        for i in range(50):
+            db.ingest_tuples(_stream(3, t0=3.0 * i))
+        monkeypatch.setattr(np, "concatenate", lambda *a, **k: pytest.fail("copied"))
+        snap = db.raw_tuples()
+        assert len(snap) == 150
+        assert db.raw_tuples() is snap  # cached until the next ingest

@@ -46,6 +46,53 @@ class TestRoundTrip:
         assert loaded.row(1) == (2, -1.0, b"")
 
 
+class TestPartitionedRoundTrip:
+    def _partitioned_db(self):
+        db = Database.for_enviro_meter(partition_h=4)
+        t = np.arange(10, dtype=float)
+        db.ingest_tuples(TupleBatch(t, t + 0.5, t + 0.25, np.full(10, 400.0)))
+        db.store_cover_blob(0, 10.0, b"w0-old")
+        db.store_cover_blob(1, 20.0, b"w1")
+        db.store_cover_blob(0, 30.0, b"w0-new")
+        return db
+
+    def test_partition_h_preserved(self, tmp_path):
+        db = self._partitioned_db()
+        path = tmp_path / "part.emdb"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.partition_h == 4
+
+    def test_window_boundaries_preserved(self, tmp_path):
+        db = self._partitioned_db()
+        path = tmp_path / "part.emdb"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert list(loaded.sealed_window_ids()) == list(db.sealed_window_ids())
+        for c in range(3):
+            assert np.array_equal(loaded.window_view(c).t, db.window_view(c).t)
+
+    def test_latest_cover_index_preserved(self, tmp_path):
+        db = self._partitioned_db()
+        path = tmp_path / "part.emdb"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.cover_index() == db.cover_index()
+        assert loaded.cover_blob_for_window(0) == (0, 30.0, b"w0-new")
+        assert loaded.cover_blob_for_window(1) == (1, 20.0, b"w1")
+        assert loaded.cover_blob_for_window(2) is None
+
+    def test_unpartitioned_database_round_trips(self, tmp_path):
+        db = Database()
+        db.create_table("misc", Schema.of(("v", ColumnType.FLOAT64)))
+        db.table("misc").insert((1.5,))
+        path = tmp_path / "plain.emdb"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.partition_h is None
+        assert loaded.table("misc").row(0) == (1.5,)
+
+
 class TestCorruption:
     def test_bad_magic(self, tmp_path):
         path = tmp_path / "junk.emdb"

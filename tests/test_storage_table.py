@@ -110,3 +110,80 @@ class TestBulkInsert:
         table = blob_table()
         with pytest.raises(TypeError):
             table.insert_columns(id=np.ones(1), data=np.ones(1))
+
+    def test_bytes_rejection_leaves_table_unchanged(self):
+        """Regression: the seed extended earlier columns before noticing a
+        BYTES column, corrupting the table on a failed bulk insert."""
+        table = blob_table()
+        with pytest.raises(TypeError):
+            table.insert_columns(id=np.arange(3), data=np.ones(3))
+        assert len(table) == 0
+        assert len(table.column("id")) == 0
+        assert table.column("data") == ()
+
+    def test_bad_dtype_leaves_table_unchanged(self):
+        table = numeric_table()
+        with pytest.raises(ValueError):
+            table.insert_columns(t=np.ones(2), n=np.array(["a", "b"]))
+        assert len(table) == 0
+        assert len(table.column("t")) == 0
+
+    def test_vectorized_extend_matches_append(self):
+        bulk, scalar = numeric_table(), numeric_table()
+        t = np.linspace(0.0, 1.0, 10_000)
+        n = np.arange(10_000, dtype=np.int64)
+        bulk.insert_columns(t=t, n=n)
+        scalar.insert_many(zip(t, n))
+        assert np.array_equal(bulk.column("t"), scalar.column("t"))
+        assert np.array_equal(bulk.column("n"), scalar.column("n"))
+
+
+class TestAtomicRowInsert:
+    def test_bad_bytes_value_leaves_table_unchanged(self):
+        """A row rejected mid-validation must not leave earlier columns
+        extended."""
+        table = blob_table()
+        with pytest.raises(TypeError):
+            table.insert((1, "not-bytes"))
+        assert len(table) == 0
+        assert len(table.column("id")) == 0
+
+    def test_bad_numeric_value_leaves_table_unchanged(self):
+        table = blob_table()
+        with pytest.raises((TypeError, ValueError)):
+            table.insert((object(), b"ok"))
+        assert table.column("data") == ()
+
+
+class TestZeroCopySnapshots:
+    def test_snapshot_is_cached_view(self):
+        table = numeric_table()
+        table.insert_columns(t=np.ones(100), n=np.arange(100))
+        assert table.column("t") is table.column("t")
+
+    def test_snapshot_never_concatenates(self, monkeypatch):
+        table = numeric_table()
+        for start in range(0, 20_000, 500):
+            table.insert_columns(
+                t=np.arange(start, start + 500, dtype=float),
+                n=np.arange(start, start + 500),
+            )
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("snapshot must not concatenate history")
+
+        monkeypatch.setattr(np, "concatenate", boom)
+        snap = table.column("t")
+        assert len(snap) == 20_000
+        assert snap[8192] == 8192.0
+
+    def test_snapshot_survives_buffer_growth(self):
+        table = numeric_table()
+        table.insert_columns(t=np.zeros(10), n=np.zeros(10, dtype=np.int64))
+        snap = table.column("t")
+        # Force several reallocation-doublings past the initial capacity.
+        table.insert_columns(
+            t=np.ones(100_000), n=np.ones(100_000, dtype=np.int64)
+        )
+        assert len(snap) == 10
+        assert np.all(snap == 0.0)
