@@ -1,0 +1,152 @@
+"""Region-sharded scatter-gather throughput versus a single shard.
+
+Not a paper figure — this measures the reproduction's sharding layer
+(``repro/query/README.md``): heatmap grids and continuous streams
+answered by a :class:`~repro.query.sharded.ShardedQueryEngine` over 1,
+2 and 4 region shards.  The 1-shard configuration is the baseline (it
+runs the identical scatter/merge machinery, so the comparison isolates
+what sharding buys: each shard scans only its region's slice of the
+window, and only for the probes whose query disk can reach its region).
+Answers are byte-identical across shard counts, so the speedup is free
+of any accuracy trade.
+
+Run standalone for the headline numbers on the 1-day Lausanne fixture::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py
+
+which also checks the acceptance bar: the 4-shard heatmap grid must be
+at least 2x the 1-shard throughput.  ``--smoke`` shrinks the workload
+for CI (and skips the bar — a loaded CI box is not a benchmark rig).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.data.lausanne import LausanneConfig, generate_lausanne_dataset
+from repro.data.tuples import TupleBatch
+from repro.eval.timing import time_callable
+from repro.geo.region import RegionGrid
+from repro.query.sharded import ShardedQueryEngine
+from repro.storage.shards import ShardRouter
+
+SHARD_COUNTS = (1, 2, 4)
+GRID_NX, GRID_NY = 64, 48
+RADIUS_M = 500.0
+INGEST_BATCH = 1_500
+REPEATS = 3
+ACCEPT_SPEEDUP = 2.0
+
+
+def day_fixture():
+    """The deterministic 1-day Lausanne dataset (~5.9 K tuples)."""
+    return generate_lausanne_dataset(LausanneConfig(days=1, target_tuples=0, seed=7))
+
+
+def sharded_engine(
+    dataset, n_shards: int, radius_m: float = RADIUS_M, h: int | None = None
+) -> ShardedQueryEngine:
+    """Router + engine over ``n_shards`` regions, fed in ingest batches.
+
+    ``h`` defaults to the stream length: the heatmap experiment renders
+    from the full day's window so the scan cost (what sharding prunes)
+    is the dominant term, as it is at city scale.
+    """
+    tuples: TupleBatch = dataset.tuples
+    grid = RegionGrid.for_shard_count(dataset.covered_bbox(), n_shards)
+    router = ShardRouter(grid, h=h or len(tuples))
+    for start in range(0, len(tuples), INGEST_BATCH):
+        router.ingest(tuples.slice(start, min(start + INGEST_BATCH, len(tuples))))
+    return ShardedQueryEngine(router, radius_m=radius_m, max_workers=1)
+
+
+def heatmap_time(
+    engine: ShardedQueryEngine, dataset, nx=GRID_NX, ny=GRID_NY, repeats=REPEATS
+) -> float:
+    """Seconds per full heatmap grid (cache warmed)."""
+    t = float(dataset.tuples.t[-1])
+    bounds = dataset.covered_bbox()
+    engine.heatmap_grid(t, bounds, nx=nx, ny=ny)  # warm planner/index caches
+    return time_callable(
+        lambda: engine.heatmap_grid(t, bounds, nx=nx, ny=ny), repeats=repeats
+    )
+
+
+def heatmap_grids(dataset, shard_counts=SHARD_COUNTS, nx=GRID_NX, ny=GRID_NY):
+    """One grid per shard count — the byte-identity check the bar rides on."""
+    t = float(dataset.tuples.t[-1])
+    bounds = dataset.covered_bbox()
+    return [
+        sharded_engine(dataset, n).heatmap_grid(t, bounds, nx=nx, ny=ny)
+        for n in shard_counts
+    ]
+
+
+# -- pytest-benchmark entry points -----------------------------------------
+
+
+@pytest.fixture(scope="module")
+def day_dataset():
+    return day_fixture()
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def bench_sharded_heatmap(benchmark, day_dataset, n_shards):
+    engine = sharded_engine(day_dataset, n_shards)
+    t = float(day_dataset.tuples.t[-1])
+    bounds = day_dataset.covered_bbox()
+    engine.heatmap_grid(t, bounds, nx=GRID_NX, ny=GRID_NY)
+    benchmark.group = f"sharded heatmap {GRID_NX}x{GRID_NY} r={RADIUS_M:.0f}m"
+    benchmark.extra_info["n_shards"] = n_shards
+    benchmark(lambda: engine.heatmap_grid(t, bounds, nx=GRID_NX, ny=GRID_NY))
+
+
+# -- standalone report ------------------------------------------------------
+
+
+def main(smoke: bool = False) -> int:
+    dataset = day_fixture()
+    nx, ny = (24, 18) if smoke else (GRID_NX, GRID_NY)
+    repeats = 1 if smoke else REPEATS
+    print(
+        f"1-day Lausanne fixture: {len(dataset.tuples)} tuples"
+        f"{' (smoke)' if smoke else ''}"
+    )
+
+    grids = heatmap_grids(dataset, nx=nx, ny=ny)
+    identical = all(
+        np.array_equal(grids[0], g, equal_nan=True) for g in grids[1:]
+    )
+    print(
+        f"\nbyte-identity across shard counts {SHARD_COUNTS}: "
+        f"{'OK' if identical else 'BROKEN'}"
+    )
+
+    print(f"\nheatmap grid {nx}x{ny}, radius {RADIUS_M:.0f} m, day-long window:")
+    print(f"  {'shards':<8} {'time':>10} {'grids/s':>9} {'speedup':>9}")
+    times = {}
+    for n in SHARD_COUNTS:
+        engine = sharded_engine(dataset, n)
+        times[n] = heatmap_time(engine, dataset, nx=nx, ny=ny, repeats=repeats)
+        print(
+            f"  {n:<8} {times[n] * 1e3:>8.1f}ms {1.0 / times[n]:>9.2f}"
+            f" {times[1] / times[n]:>8.2f}x"
+        )
+
+    speedup = times[1] / times[4]
+    if smoke:
+        print(f"\n4-shard speedup {speedup:.2f}x (smoke mode: bar not enforced)")
+        return 0 if identical else 1
+    ok = identical and speedup >= ACCEPT_SPEEDUP
+    print(
+        f"\nacceptance (byte-identical answers and 4-shard heatmap >= "
+        f"{ACCEPT_SPEEDUP:.0f}x 1-shard): {'PASS' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(smoke="--smoke" in sys.argv[1:]))

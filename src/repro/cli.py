@@ -12,7 +12,9 @@ Examples::
     python -m repro.cli figures --quick
     python -m repro.cli dataset --days 2 --out lausanne.csv
     python -m repro.cli heatmap --hour 8.5 --out city.ppm
+    python -m repro.cli heatmap --hour 8.5 --shards 4
     python -m repro.cli serve --days 1
+    python -m repro.cli serve --days 1 --shards 4
 """
 
 from __future__ import annotations
@@ -74,7 +76,7 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 def _cmd_heatmap(args: argparse.Namespace) -> int:
     import numpy as np
 
-    from repro.app.heatmap import render_ascii, render_ppm
+    from repro.app.heatmap import Heatmap, render_ascii, render_ppm
     from repro.app.webapp import WebInterface
     from repro.data.lausanne import LausanneConfig, generate_lausanne_dataset
     from repro.geo.coords import BoundingBox
@@ -83,16 +85,35 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
     ds = generate_lausanne_dataset(
         LausanneConfig(days=args.days, seed=args.seed, target_tuples=0)
     )
-    engine = QueryEngine(ds.tuples, h=500, max_workers=args.workers)
-    web = WebInterface(engine)
     anchor = args.hour * 3600.0
     pos = min(int(np.searchsorted(ds.tuples.t, anchor)), len(ds.tuples) - 1)
     t = float(ds.tuples.t[pos])
     bounds = BoundingBox(0.0, 0.0, 6000.0, 4000.0)
-    if args.model_grid:
-        heatmap = web.model_grid(t, bounds, nx=args.width, ny=args.height)
+    if args.shards > 1:
+        from repro.geo.region import RegionGrid
+        from repro.query.sharded import ShardedQueryEngine
+        from repro.storage.shards import ShardRouter
+
+        router = ShardRouter(
+            RegionGrid.for_shard_count(ds.covered_bbox(), args.shards), h=500
+        )
+        router.ingest(ds.tuples)
+        sharded = ShardedQueryEngine(router, max_workers=args.workers)
+        grid = sharded.heatmap_grid(
+            t,
+            bounds,
+            nx=args.width,
+            ny=args.height,
+            method="model-cover" if args.model_grid else "naive",
+        )
+        heatmap = Heatmap(grid=grid, bounds=bounds)
     else:
-        heatmap = web.heatmap(t, bounds, nx=args.width, ny=args.height)
+        engine = QueryEngine(ds.tuples, h=500, max_workers=args.workers)
+        web = WebInterface(engine)
+        if args.model_grid:
+            heatmap = web.model_grid(t, bounds, nx=args.width, ny=args.height)
+        else:
+            heatmap = web.heatmap(t, bounds, nx=args.width, ny=args.height)
     if args.out:
         render_ppm(heatmap, args.out)
         print(f"wrote {args.out}")
@@ -103,13 +124,19 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.data.lausanne import LausanneConfig, generate_lausanne_dataset
-    from repro.server.server import EnviroMeterServer
+    from repro.server.server import EnviroMeterServer, ShardedEnviroMeterServer
     from repro.server.stream import StreamReplayer
 
     ds = generate_lausanne_dataset(
         LausanneConfig(days=args.days, seed=args.seed, target_tuples=0)
     )
-    server = EnviroMeterServer(h=args.h)
+    if args.shards > 1:
+        from repro.geo.region import RegionGrid
+
+        grid = RegionGrid.for_shard_count(ds.covered_bbox(), args.shards)
+        server = ShardedEnviroMeterServer(grid, h=args.h)
+    else:
+        server = EnviroMeterServer(h=args.h)
     replayer = StreamReplayer(server, batch_interval_s=args.batch_interval)
     stats = replayer.run(ds.tuples, query_every_s=args.query_every)
     print(
@@ -117,6 +144,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"server built {stats.covers_built} cover(s), "
         f"served {server.served_values} value(s)"
     )
+    if args.shards > 1:
+        counts = ", ".join(str(c) for c in server.shard_raw_counts())
+        print(f"shards ({args.shards}): per-shard tuple counts [{counts}]")
     return 0
 
 
@@ -165,6 +195,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="thread-pool size for batched query groups (default: CPU count)",
     )
+    p.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="region-shard the store and render via scatter-gather. Note "
+        "the estimator changes: sharded rendering computes the exact "
+        "radius-average grid (NaN where no tuple is in radius) — or the "
+        "per-cell owning-model grid with --model-grid — instead of the "
+        "unsharded default's centroid-splat demo rendering",
+    )
     p.add_argument("--out", default=None, help="PPM output path (default: ASCII to stdout)")
     p.set_defaults(func=_cmd_heatmap)
 
@@ -174,6 +214,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--h", type=int, default=240, help="window size in tuples")
     p.add_argument("--batch-interval", type=float, default=600.0)
     p.add_argument("--query-every", type=float, default=3600.0)
+    p.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="one region-sharded server per grid cell (ingest routes to "
+        "the owning shard only)",
+    )
     p.set_defaults(func=_cmd_serve)
     return parser
 

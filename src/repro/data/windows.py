@@ -85,6 +85,25 @@ def touched_windows(start_row: int, n_rows: int, h: int) -> range:
     return range(start_row // h, (start_row + n_rows - 1) // h + 1)
 
 
+def window_boundaries_in(start_row: int, n_rows: int, h: int) -> range:
+    """Global row positions of count-window boundaries crossed by an
+    append of ``n_rows`` rows at ``start_row`` — the multiples of ``h`` in
+    ``(start_row, start_row + n_rows]``.
+
+    These are the points where a shard router must record per-shard cut
+    offsets: every boundary ``b`` separates window ``b // h - 1`` from
+    window ``b // h`` in the *global* stream order.
+    """
+    if h <= 0:
+        raise ValueError("window size h must be positive")
+    if start_row < 0:
+        raise ValueError("start row must be non-negative")
+    if n_rows < 0:
+        raise ValueError("row count must be non-negative")
+    first = (start_row // h + 1) * h
+    return range(first, start_row + n_rows + 1, h)
+
+
 def iter_windows(batch: TupleBatch, h: int) -> Iterator[Tuple[int, TupleBatch]]:
     """Yield ``(c, W_c)`` for every count-based window of ``batch``."""
     for c in range(count_windows(batch, h)):

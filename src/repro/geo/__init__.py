@@ -14,7 +14,7 @@ from repro.geo.coords import (
     euclidean,
     haversine_m,
 )
-from repro.geo.region import Region, SubRegion
+from repro.geo.region import Region, RegionGrid, SubRegion
 from repro.geo.streetgraph import StreetGraph, StreetPath, lausanne_street_graph
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "euclidean",
     "haversine_m",
     "Region",
+    "RegionGrid",
     "SubRegion",
     "StreetGraph",
     "StreetPath",

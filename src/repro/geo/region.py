@@ -9,8 +9,11 @@ and owns the indices of the tuples assigned to it.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
+
+import numpy as np
 
 from repro.geo.coords import BoundingBox, euclidean
 
@@ -43,6 +46,122 @@ class SubRegion:
 
     def distance_to(self, x: float, y: float) -> float:
         return euclidean(self.centroid[0], self.centroid[1], x, y)
+
+
+@dataclass(frozen=True)
+class RegionGrid:
+    """A fixed ``nx x ny`` grid of regions tiling the sensed region ``R``.
+
+    This is the *sharding* partition (as opposed to the Voronoi partition
+    of :class:`SubRegion`, which the model cover induces per window): every
+    point of the plane is owned by exactly one cell, so a tuple stream can
+    be split into disjoint per-region shards.  Points outside ``bounds``
+    are owned by the nearest edge cell — edge cells own unbounded slabs —
+    which keeps ownership total without a catch-all shard.
+
+    Cells are numbered row-major: cell ``(i, j)`` (column ``i``, row
+    ``j``) has index ``j * nx + i``.
+    """
+
+    bounds: BoundingBox
+    nx: int
+    ny: int
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise ValueError("grid must have at least one cell per axis")
+        if self.bounds.width <= 0 or self.bounds.height <= 0:
+            raise ValueError("region grid needs a non-degenerate bounding box")
+
+    @classmethod
+    def for_shard_count(cls, bounds: BoundingBox, n: int) -> "RegionGrid":
+        """The most square ``nx x ny`` factorisation of ``n`` cells.
+
+        Prefers wider-than-tall when ``bounds`` is wider than tall (and
+        vice versa) so cells stay as close to square as the factorisation
+        allows; a prime ``n`` degrades to a ``1 x n`` strip.
+        """
+        if n < 1:
+            raise ValueError("need at least one shard")
+        a = int(math.isqrt(n))
+        while n % a:
+            a -= 1
+        b = n // a  # a <= b
+        if bounds.width >= bounds.height:
+            return cls(bounds, nx=b, ny=a)
+        return cls(bounds, nx=a, ny=b)
+
+    @property
+    def n_regions(self) -> int:
+        return self.nx * self.ny
+
+    def region(self, k: int) -> Region:
+        """Cell ``k`` as a :class:`Region` (its finite core rectangle)."""
+        if not 0 <= k < self.n_regions:
+            raise ValueError(f"no region {k} in a {self.nx}x{self.ny} grid")
+        i, j = k % self.nx, k // self.nx
+        w = self.bounds.width / self.nx
+        h = self.bounds.height / self.ny
+        return Region(
+            name=f"cell-{i},{j}",
+            bounds=BoundingBox(
+                self.bounds.min_x + i * w,
+                self.bounds.min_y + j * h,
+                self.bounds.min_x + (i + 1) * w,
+                self.bounds.min_y + (j + 1) * h,
+            ),
+        )
+
+    def _cells_x(self, xs: np.ndarray) -> np.ndarray:
+        fx = (np.asarray(xs, dtype=np.float64) - self.bounds.min_x) / self.bounds.width
+        return np.clip(np.floor(fx * self.nx).astype(np.int64), 0, self.nx - 1)
+
+    def _cells_y(self, ys: np.ndarray) -> np.ndarray:
+        fy = (np.asarray(ys, dtype=np.float64) - self.bounds.min_y) / self.bounds.height
+        return np.clip(np.floor(fy * self.ny).astype(np.int64), 0, self.ny - 1)
+
+    def shards_of(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Owning cell index per position (vectorised, total)."""
+        return self._cells_y(ys) * self.nx + self._cells_x(xs)
+
+    def shard_of(self, x: float, y: float) -> int:
+        """Owning cell index of one position."""
+        return int(self.shards_of(np.array([x]), np.array([y]))[0])
+
+    def disk_cell_ranges(
+        self, xs: np.ndarray, ys: np.ndarray, radius: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-query cell index ranges ``(i_lo, i_hi, j_lo, j_hi)`` that a
+        radius-``radius`` disk can draw owned tuples from.
+
+        Ownership cells are monotone in each coordinate, so any tuple
+        within the disk around ``(x, y)`` is owned by a cell inside the
+        index rectangle of the disk's bounding square.  The rectangle is a
+        (slightly conservative) superset near cell corners — harmless for
+        scatter-gather, since a shard with no in-radius tuples contributes
+        an empty partial.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        return (
+            self._cells_x(xs - radius),
+            self._cells_x(xs + radius),
+            self._cells_y(ys - radius),
+            self._cells_y(ys + radius),
+        )
+
+    def shards_overlapping_disk(self, x: float, y: float, radius: float) -> List[int]:
+        """Cell indices a disk query must be scattered to (superset-safe)."""
+        i_lo, i_hi, j_lo, j_hi = self.disk_cell_ranges(
+            np.array([x]), np.array([y]), radius
+        )
+        return [
+            int(j * self.nx + i)
+            for j in range(int(j_lo[0]), int(j_hi[0]) + 1)
+            for i in range(int(i_lo[0]), int(i_hi[0]) + 1)
+        ]
 
 
 def nearest_subregion(subregions: Sequence[SubRegion], x: float, y: float) -> int:

@@ -135,20 +135,33 @@ class VPTree:
         out: List[int] = []
         if self._root is None:
             return out
+        r2 = radius * radius
         stack = [self._root]
         while stack:
             node = stack.pop()
-            d = _dist(node.x, x, node.y, y)
-            if d <= radius:
+            dx = node.x - x
+            dy = node.y - y
+            d2 = dx * dx + dy * dy
+            # The inclusion test compares *squared* distances, exactly the
+            # float expression the naive scan and every other index use: a
+            # boundary tuple whose d2 sits one ulp off r2 must get the
+            # same verdict from every method (the sharded gather's
+            # byte-identity contract rides on it).
+            if d2 <= r2:
                 out.append(node.index)
+            d = math.sqrt(d2)
             # Triangle-inequality pruning:
             #   the inside ball holds points with dist(vp, p) < mu, so it can
             #   contain a match only if d - radius < mu;
             #   the outside shell holds dist(vp, p) >= mu, so only if
             #   d + radius >= mu.
-            if node.inside is not None and d - radius < node.mu:
+            # The relative slack absorbs sqrt/summation rounding so a
+            # subtree holding an exact-boundary hit is never skipped —
+            # pruning may only ever be conservative.
+            slack = 1e-9 * (d + radius) + 1e-12
+            if node.inside is not None and d - radius < node.mu + slack:
                 stack.append(node.inside)
-            if node.outside is not None and d + radius >= node.mu:
+            if node.outside is not None and d + radius >= node.mu - slack:
                 stack.append(node.outside)
         return out
 

@@ -34,8 +34,11 @@ from repro.query.indexed import IndexedProcessor
 from repro.query.modelcover import ModelCoverProcessor
 from repro.query.naive import NaiveProcessor
 from repro.query.planner import PlanEstimate, QueryPlanner, QueryProfile
+from repro.query.sharded import SHARDED_METHODS, ShardedQueryEngine
 
 __all__ = [
+    "SHARDED_METHODS",
+    "ShardedQueryEngine",
     "BatchExecutor",
     "BatchResult",
     "PointQueryProcessor",

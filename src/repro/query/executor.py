@@ -38,6 +38,7 @@ from repro.data.tuples import QueryTuple
 from repro.query.base import BatchResult, QueryBatch
 
 T = TypeVar("T")
+R = TypeVar("R")
 
 
 @dataclass(frozen=True)
@@ -145,7 +146,7 @@ class BatchExecutor:
                 self._pool.shutdown(wait=True)
                 self._pool = None
 
-    def map(self, fn: Callable[[T], BatchResult], tasks: Sequence[T]) -> List[BatchResult]:
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
         """``[fn(t) for t in tasks]``, in order, possibly in parallel.
 
         Falls back to a plain loop for a single task or a single worker —

@@ -65,6 +65,10 @@ class IndexedProcessor:
         return self._index
 
     @property
+    def window(self) -> TupleBatch:
+        return self._window
+
+    @property
     def radius_m(self) -> float:
         return self._radius
 

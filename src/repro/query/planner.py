@@ -83,14 +83,21 @@ class QueryPlanner:
         self._estimated_o: Optional[int] = None
         self._processors: Dict[str, PointQueryProcessor] = {}
 
-    def _expected_models(self) -> int:
-        """Estimate O without running the full fit: one cheap fit, cached."""
+    def _expected_models(self) -> Optional[int]:
+        """Estimate O with one fit, cached; None when the window can't be
+        fitted (the planner must then never offer model-cover — choosing a
+        plan whose processor cannot be constructed is the one unforgivable
+        planner bug)."""
         if self._estimated_o is None:
-            result = fit_adkmn(self._window, self._config)
-            self._estimated_o = result.cover.size
-            # Cache the fitted processor: estimation already paid for it.
-            self._processors["model-cover"] = ModelCoverProcessor(result.cover)
-        return self._estimated_o
+            try:
+                result = fit_adkmn(self._window, self._config)
+            except (ValueError, FloatingPointError):
+                self._estimated_o = -1
+            else:
+                self._estimated_o = result.cover.size
+                # Cache the fitted processor: estimation already paid for it.
+                self._processors["model-cover"] = ModelCoverProcessor(result.cover)
+        return None if self._estimated_o < 0 else self._estimated_o
 
     def estimates(self, profile: QueryProfile) -> Dict[str, PlanEstimate]:
         """Per-method cost estimates for a workload profile."""
@@ -110,11 +117,19 @@ class QueryPlanner:
             per_query = hit_fraction * h + math.log2(max(h, 2)) + prep / amortise
             out[kind] = PlanEstimate(kind, per_query, prep)
         if not profile.needs_exact_average:
-            o = self._expected_models()
             prep = _PREP_UNITS["model-cover"] * h
-            out["model-cover"] = PlanEstimate(
-                "model-cover", float(o) + prep / amortise, prep
-            )
+            # Short workloads can never amortise the fit: the preparation
+            # share alone (prep / amortise >= naive's full-scan cost h
+            # whenever amortise <= the per-tuple fit units) already loses
+            # to naive, so don't pay an expensive Ad-KMN fit just to price
+            # a plan that is out of the running -- the expected_queries=1
+            # edge case that used to fit a cover for nothing.
+            if prep / amortise < float(h):
+                o = self._expected_models()
+                if o is not None:
+                    out["model-cover"] = PlanEstimate(
+                        "model-cover", float(o) + prep / amortise, prep
+                    )
         return out
 
     def choose(self, profile: QueryProfile) -> PlanEstimate:

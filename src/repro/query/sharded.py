@@ -1,0 +1,467 @@
+"""Region-sharded scatter-gather query execution.
+
+:class:`ShardedQueryEngine` answers the same three request shapes as the
+single-node :class:`~repro.query.engine.QueryEngine` — point queries,
+continuous streams, heatmap grids — against a
+:class:`~repro.storage.shards.ShardRouter` holding one database per
+geographic region.
+
+**Exact methods** (``naive`` and the index kinds) are radius averages
+over the global window, which is a cross-shard operation: a query disk
+near a region border draws tuples from several shards.  The engine
+scatters each query to every shard whose ownership region the disk can
+reach (:meth:`RegionGrid.disk_cell_ranges`), each shard reports its
+*hits* — ``(query, global stream position, sensor value)`` triples
+within radius — and the gather step merges them **exactly**: hits are
+ordered by ``(query, stream position)`` (one int64 radix sort) and each
+query's values are summed with one segmented reduction.  Every tuple is
+owned by exactly one shard and keeps its global stream position, so the
+ordered hit sequence — and hence every summed byte — depends only on
+the query and the stream, never on how the regions carved it up: answers
+are byte-identical for every shard count, including the 1-shard
+configuration (``tests/test_engine_equivalence.py`` enforces this).
+
+**Model-cover** answers come from the *owning* shard's cover, fitted on
+that shard's slice of the window: a regional model, deliberately
+shard-local (per-region models are the scaling story — fitting stays
+per-shard and invalidation never crosses regions).  Its answers therefore
+legitimately depend on the partition; when the owning shard has no tuples
+in the window (so no cover can be fitted), the engine **falls back** to
+the exact scatter-gather average, which is again partition-invariant.
+
+**Planner integration**: ``method="auto"`` consults the cost-based
+:class:`~repro.query.planner.QueryPlanner` once per ``(shard, window)``,
+over that shard's own slice statistics.  Exact scans pick naive-vs-index
+per scanning shard; when the engine's profile tolerates model answers,
+the owning shard may answer with its cover instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.adkmn import AdKMNConfig, fit_adkmn
+from repro.data.tuples import QueryTuple, TupleBatch
+from repro.geo.coords import BoundingBox
+from repro.query.base import BatchResult, QueryBatch, QueryResult
+from repro.query.executor import BatchExecutor
+from repro.query.indexed import IndexedProcessor, available_index_kinds
+from repro.query.modelcover import ModelCoverProcessor
+from repro.query.planner import QueryPlanner, QueryProfile
+from repro.storage.shards import ShardRouter
+
+SHARDED_METHODS = ("naive",) + available_index_kinds() + ("model-cover", "auto")
+
+_MAX_CHUNK_CELLS = 8_000_000  # same footprint cap as the naive batch scan
+
+# Exact hit partials: parallel (query position, global stream position,
+# sensor value) arrays — the unit shards return and the gather step merges.
+HitPartial = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def scan_hits(
+    window: TupleBatch, gids: np.ndarray, queries: QueryBatch, radius_m: float
+) -> HitPartial:
+    """All ``(query, stream position, value)`` hit triples of a radius scan.
+
+    The vectorised twin of the naive scan that keeps the individual hits
+    instead of averaging them — exact merging needs them.  ``gids`` are
+    the window rows' global stream positions, aligned with ``window``.
+    Chunked like :meth:`NaiveProcessor.process_batch` to bound the
+    distance-matrix footprint.
+    """
+    m, n = len(queries), len(window)
+    if not m or not n:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0)
+    wx, wy, ws = window.x, window.y, window.s
+    r2 = radius_m * radius_m
+    chunk = max(1, _MAX_CHUNK_CELLS // n)
+    probe_parts: List[np.ndarray] = []
+    gid_parts: List[np.ndarray] = []
+    value_parts: List[np.ndarray] = []
+    for start in range(0, m, chunk):
+        stop = min(start + chunk, m)
+        qx = queries.x[start:stop, None]
+        qy = queries.y[start:stop, None]
+        inside = (wx[None, :] - qx) ** 2 + (wy[None, :] - qy) ** 2 <= r2
+        qi, ti = np.nonzero(inside)
+        probe_parts.append(qi + start)
+        gid_parts.append(gids[ti])
+        value_parts.append(ws[ti])
+    return (
+        np.concatenate(probe_parts),
+        np.concatenate(gid_parts),
+        np.concatenate(value_parts),
+    )
+
+
+def index_hits(
+    processor: IndexedProcessor, gids: np.ndarray, queries: QueryBatch
+) -> HitPartial:
+    """Hit triples via an index — identical hit set to :func:`scan_hits`."""
+    s = processor.window.s
+    probe_parts: List[np.ndarray] = []
+    gid_parts: List[np.ndarray] = []
+    value_parts: List[np.ndarray] = []
+    for i, hits in enumerate(processor.query_radius_bulk(queries.x, queries.y)):
+        if hits:
+            idx = np.asarray(hits, dtype=np.intp)
+            probe_parts.append(np.full(len(idx), i, dtype=np.int64))
+            gid_parts.append(gids[idx])
+            value_parts.append(s[idx])
+    if not probe_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0)
+    return (
+        np.concatenate(probe_parts),
+        np.concatenate(gid_parts),
+        np.concatenate(value_parts),
+    )
+
+
+def merge_hit_partials(
+    n_queries: int,
+    n_stream_rows: int,
+    partials: Sequence[HitPartial],
+    queries: QueryBatch,
+) -> BatchResult:
+    """Exact partition-independent gather of per-shard hit partials.
+
+    Hits are put in canonical ``(query, stream position)`` order — a
+    single int64 radix sort of the composite key — and each query's
+    values are summed with one segmented ``np.add.reduceat``.  A tuple is
+    owned by exactly one shard and its stream position never changes, so
+    the canonical sequence per query is *the stream order itself*: every
+    output byte is independent of the region partition, and the 1-shard
+    and N-shard configurations agree exactly.
+    """
+    values = np.full(n_queries, np.nan)
+    support = np.zeros(n_queries, dtype=np.int64)
+    live = [p for p in partials if len(p[0])]
+    if live:
+        probe = np.concatenate([p for p, _, _ in live])
+        gid = np.concatenate([g for _, g, _ in live])
+        vals = np.concatenate([v for _, _, v in live])
+        stride = np.int64(max(n_stream_rows, 1))
+        order = np.argsort(probe.astype(np.int64) * stride + gid, kind="stable")
+        probe = probe[order]
+        vals = vals[order]
+        seg_starts = np.concatenate(
+            ([0], np.flatnonzero(np.diff(probe) != 0) + 1)
+        )
+        sums = np.add.reduceat(vals, seg_starts)
+        hit_queries = probe[seg_starts]
+        counts = np.bincount(probe, minlength=n_queries)
+        support = counts.astype(np.int64)
+        values[hit_queries] = sums / counts[hit_queries]
+    return BatchResult(queries, values, support, answered=support > 0)
+
+
+class ShardedQueryEngine:
+    """Scatter-gather query engine over a region-sharded tuple store.
+
+    ``profile`` parameterises the per-shard planner used by
+    ``method="auto"`` (its ``needs_exact_average`` decides whether auto
+    may serve model answers); ``max_workers`` caps the thread pool the
+    per-shard tasks fan out on.
+    """
+
+    DEFAULT_CACHE_CAPACITY = 128
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        radius_m: float = 1000.0,
+        config: Optional[AdKMNConfig] = None,
+        profile: Optional[QueryProfile] = None,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if radius_m < 0:
+            raise ValueError("radius must be non-negative")
+        if cache_capacity < 1:
+            raise ValueError("cache_capacity must be at least 1")
+        self.router = router
+        self.radius_m = radius_m
+        self.config = config or AdKMNConfig()
+        self.profile = profile or QueryProfile(radius_m=radius_m)
+        self._executor = BatchExecutor(max_workers=max_workers)
+        # One bounded LRU for index processors, cover processors and
+        # planner verdicts, keyed per (shard, window, ...).  Every key is
+        # stamped with the shard slice's length: the store is append-only,
+        # so a longer slice of the *open* global window is a different
+        # key, and entries built on a partial window are never served
+        # after further ingest (they simply age out of the LRU).
+        self._cache: "OrderedDict[tuple, object]" = OrderedDict()
+        self._cache_capacity = cache_capacity
+        self._cache_lock = threading.RLock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self.router.n_shards
+
+    @property
+    def executor(self) -> BatchExecutor:
+        return self._executor
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; recreated on demand)."""
+        self._executor.shutdown()
+
+    def __enter__(self) -> "ShardedQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- shared caches -----------------------------------------------------
+
+    def _cached(self, key: tuple, build):
+        """Bounded-LRU lookup-or-build.
+
+        The build runs *outside* the lock so concurrent shard tasks can
+        materialise distinct processors in parallel (a lost insert race
+        just discards the duplicate — builds only read immutable window
+        slices, so duplicates are equivalent).
+        """
+        with self._cache_lock:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                return self._cache[key]
+        return self._cache_insert(key, build())
+
+    def _cache_insert(self, key: tuple, value):
+        with self._cache_lock:
+            if key in self._cache:  # another thread won the build race
+                self._cache.move_to_end(key)
+                return self._cache[key]
+            self._cache[key] = value
+            while len(self._cache) > self._cache_capacity:
+                self._cache.popitem(last=False)
+            return value
+
+    def _index_processor(
+        self, s: int, c: int, kind: str, sub: TupleBatch
+    ) -> IndexedProcessor:
+        """Index over the given shard slice of window ``c`` (cached)."""
+        return self._cached(
+            ("index", s, c, kind, len(sub)),
+            lambda: IndexedProcessor(sub, kind=kind, radius_m=self.radius_m),
+        )
+
+    def _cover_processor(
+        self, s: int, c: int, sub: TupleBatch
+    ) -> ModelCoverProcessor:
+        def build() -> ModelCoverProcessor:
+            result = fit_adkmn(sub, self.config, window_c=c)
+            return ModelCoverProcessor(result.cover)
+
+        return self._cached(("cover", s, c, len(sub)), build)
+
+    def _planned_method(
+        self, s: int, c: int, exact: bool, sub: TupleBatch
+    ) -> str:
+        """The planner's per-shard method choice for window ``c``.
+
+        ``exact=True`` restricts the plan to raw-data methods (scatter
+        scans must merge exactly); planning happens once per (shard,
+        window slice, exactness) and is cached alongside the processors.
+        """
+
+        def build() -> str:
+            profile = QueryProfile(
+                expected_queries=self.profile.expected_queries,
+                needs_exact_average=exact or self.profile.needs_exact_average,
+                radius_m=self.radius_m,
+            )
+            planner = QueryPlanner(sub, config=self.config)
+            method = planner.choose(profile).method
+            if method == "model-cover":
+                # Pricing the model-cover plan already paid for the fit;
+                # seed the cover cache so the execution path does not run
+                # the same Ad-KMN fit on the same slice a second time.
+                self._cache_insert(
+                    ("cover", s, c, len(sub)), planner.processor_for(profile)
+                )
+            return method
+
+        return self._cached(("plan", s, c, exact, len(sub)), build)
+
+    # -- scatter-gather core -----------------------------------------------
+
+    def _shard_hit_tasks(
+        self, c: int, positions: np.ndarray, queries: QueryBatch, method: str
+    ) -> List:
+        """One thunk per shard that must scan for this window's queries.
+
+        ``positions`` maps the window group's local query indices back to
+        stream positions; each thunk returns a :data:`HitPartial` in
+        stream positions, ready for the global merge.
+        """
+        grid = self.router.grid
+        i_lo, i_hi, j_lo, j_hi = grid.disk_cell_ranges(
+            queries.x, queries.y, self.radius_m
+        )
+        tasks = []
+        for s in range(self.n_shards):
+            sub = self.router.shard_window(s, c)
+            if not len(sub):
+                continue
+            i, j = s % grid.nx, s // grid.nx
+            mask = (i_lo <= i) & (i <= i_hi) & (j_lo <= j) & (j <= j_hi)
+            if not mask.any():
+                continue
+            local = np.flatnonzero(mask)
+            shard_queries = queries.take(local)
+            shard_positions = positions[local]
+            gids = self.router.shard_window_gids(s, c)
+
+            def run(
+                s=s, sub=sub, gids=gids, shard_queries=shard_queries,
+                shard_positions=shard_positions,
+            ) -> HitPartial:
+                kind = method
+                if kind == "auto":
+                    kind = self._planned_method(s, c, exact=True, sub=sub)
+                if kind == "naive":
+                    probe, gid, vals = scan_hits(
+                        sub, gids, shard_queries, self.radius_m
+                    )
+                else:
+                    proc = self._index_processor(s, c, kind, sub)
+                    probe, gid, vals = index_hits(proc, gids, shard_queries)
+                return shard_positions[probe], gid, vals
+
+            tasks.append(run)
+        return tasks
+
+    def _exact_batch(self, batch: QueryBatch, method: str) -> BatchResult:
+        """Scatter-gather an exact radius-average batch across shards."""
+        windows = self.router.windows_for_times(batch.t)
+        tasks: List = []
+        for c in np.unique(windows):
+            positions = np.flatnonzero(windows == c)
+            tasks.extend(
+                self._shard_hit_tasks(
+                    int(c), positions, batch.take(positions), method
+                )
+            )
+        partials = self._executor.map(lambda run: run(), tasks)
+        return merge_hit_partials(
+            len(batch), self.router.global_count(), partials, batch
+        )
+
+    def _model_cover_batch(self, batch: QueryBatch, allow_plan: bool) -> BatchResult:
+        """Owner-shard cover evaluation with exact fallback.
+
+        Queries whose owning shard has no tuples in the responsible
+        window (or, with ``allow_plan``, whose owner's planner prefers a
+        raw-data method) are answered by the exact scatter-gather path
+        instead — the "model-cover fallback".
+        """
+        n = len(batch)
+        values = np.full(n, np.nan)
+        support = np.zeros(n, dtype=np.int64)
+        answered = np.zeros(n, dtype=bool)
+        windows = self.router.windows_for_times(batch.t)
+        owners = self.router.grid.shards_of(batch.x, batch.y)
+        fallback: List[np.ndarray] = []
+        for c in np.unique(windows):
+            in_window = windows == c
+            for s in np.unique(owners[in_window]):
+                positions = np.flatnonzero(in_window & (owners == s))
+                s, c = int(s), int(c)
+                sub = self.router.shard_window(s, c)
+                if not len(sub):
+                    fallback.append(positions)
+                    continue
+                if (
+                    allow_plan
+                    and self._planned_method(s, c, exact=False, sub=sub)
+                    != "model-cover"
+                ):
+                    fallback.append(positions)
+                    continue
+                proc = self._cover_processor(s, c, sub)
+                res = proc.process_batch(batch.take(positions))
+                values[positions] = res.values
+                support[positions] = res.support
+                answered[positions] = res.answered
+        if fallback:
+            positions = np.concatenate(fallback)
+            # From the auto path, keep the fallback on the per-shard
+            # planner (exact mode) — identical answers, planned scans.
+            exact_method = "auto" if allow_plan else "naive"
+            res = self._exact_batch(batch.take(positions), exact_method)
+            values[positions] = res.values
+            support[positions] = res.support
+            answered[positions] = res.answered
+        return BatchResult(batch, values, support, answered)
+
+    # -- the three web-interface modes -------------------------------------
+
+    def continuous_query_batch(
+        self,
+        queries: Sequence[QueryTuple] | QueryBatch,
+        method: str = "naive",
+    ) -> BatchResult:
+        """Columnar continuous-query mode, results in stream order."""
+        if method not in SHARDED_METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; known: {SHARDED_METHODS}"
+            )
+        batch = (
+            queries
+            if isinstance(queries, QueryBatch)
+            else QueryBatch.from_queries(queries)
+        )
+        if not len(batch):
+            return BatchResult(
+                batch, np.empty(0), np.empty(0, dtype=np.int64)
+            )
+        if method == "model-cover":
+            return self._model_cover_batch(batch, allow_plan=False)
+        if method == "auto" and not self.profile.needs_exact_average:
+            return self._model_cover_batch(batch, allow_plan=True)
+        return self._exact_batch(batch, method)
+
+    def continuous_query(
+        self,
+        queries: Sequence[QueryTuple],
+        method: str = "naive",
+    ) -> List[QueryResult]:
+        return self.continuous_query_batch(queries, method=method).results()
+
+    def point_query(
+        self, t: float, x: float, y: float, method: str = "naive"
+    ) -> QueryResult:
+        batch = QueryBatch(
+            np.array([t]), np.array([x]), np.array([y])
+        )
+        return self.continuous_query_batch(batch, method=method).result(0)
+
+    def heatmap_grid(
+        self,
+        t: float,
+        bounds: BoundingBox,
+        nx: int = 40,
+        ny: int = 30,
+        method: str = "naive",
+    ) -> np.ndarray:
+        """Heatmap mode: an ``(ny, nx)`` grid scattered across shards.
+
+        Each shard only scans the cells whose disks can reach its region
+        — the pruning that turns region sharding into a heatmap
+        throughput win — and partial tiles merge exactly.
+        """
+        probes = QueryBatch.from_grid(
+            t, bounds.min_x, bounds.min_y, bounds.width, bounds.height, nx, ny
+        )
+        return self.continuous_query_batch(probes, method=method).grid(ny, nx)

@@ -1,5 +1,5 @@
 """The EnviroMeter server (Figure 1/3 server region)."""
 
-from repro.server.server import EnviroMeterServer
+from repro.server.server import EnviroMeterServer, ShardedEnviroMeterServer
 
-__all__ = ["EnviroMeterServer"]
+__all__ = ["EnviroMeterServer", "ShardedEnviroMeterServer"]

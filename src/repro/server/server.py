@@ -24,6 +24,8 @@ from repro.core.builder import CoverBuilder
 from repro.core.cover import ModelCover
 from repro.data.tuples import QueryTuple, TupleBatch
 from repro.data.windows import windows_for_times
+from repro.geo.coords import euclidean
+from repro.geo.region import RegionGrid
 from repro.network.messages import (
     ModelCoverResponse,
     ModelRequest,
@@ -198,3 +200,161 @@ class EnviroMeterServer:
     def builder_fit_count(self) -> int:
         """How many times the cover fitter actually ran (cache misses)."""
         return self._builder.fit_count
+
+    # -- replay-stats interface (shared with the sharded server) -------------
+
+    @property
+    def covers_stored(self) -> int:
+        """Rows in the ``model_cover`` table."""
+        return len(self.db.table("model_cover"))
+
+    @property
+    def sealed_windows_total(self) -> int:
+        """Sealed raw-tuple windows in the database."""
+        if self.db.partition_h is None:
+            return 0
+        return len(self.db.sealed_window_ids())
+
+    def has_data(self) -> bool:
+        return self.db.raw_count() > 0
+
+
+class ShardedEnviroMeterServer:
+    """A fleet of per-region EnviroMeter servers behind one front door.
+
+    One :class:`EnviroMeterServer` (own database, own cover builder) per
+    cell of a :class:`~repro.geo.region.RegionGrid`.  Ingest routes every
+    tuple to its owning shard only, so an ingest batch invalidates cover
+    caches on exactly the shards (and windows) it touched — the other
+    regions' covers, caches and sealed windows are untouched, which is
+    what keeps city-scale ingest from stampeding every region's builder.
+
+    Requests carry a position, so dispatch is a grid lookup: the owning
+    shard answers from its regional covers.  A query landing in a region
+    with no data yet falls over to the nearest shard that has some (by
+    region-centre distance) — a cold region should degrade to its
+    neighbour's model, not to an error.
+    """
+
+    def __init__(
+        self,
+        grid: "RegionGrid",
+        h: int = 240,
+        config: Optional[AdKMNConfig] = None,
+        validity_horizon_s: float = 4.0 * 3600.0,
+    ) -> None:
+        self.grid = grid
+        self.h = h
+        self.shards = [
+            EnviroMeterServer(
+                h=h, config=config, validity_horizon_s=validity_horizon_s
+            )
+            for _ in range(grid.n_regions)
+        ]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    # -- ingestion ----------------------------------------------------------
+
+    def ingest(self, batch: TupleBatch) -> int:
+        """Route a batch's tuples to their owning shards (order-preserving
+        within each shard) and ingest each sub-batch exactly once."""
+        if not len(batch):
+            return 0
+        owners = self.grid.shards_of(batch.x, batch.y)
+        total = 0
+        for s in np.unique(owners):
+            total += self.shards[int(s)].ingest(batch.select_mask(owners == s))
+        return total
+
+    # -- request dispatch ----------------------------------------------------
+
+    def _shard_index_for(self, x: float, y: float) -> int:
+        owner = self.grid.shard_of(x, y)
+        if self.shards[owner].has_data():
+            return owner
+        candidates = [
+            s for s, server in enumerate(self.shards) if server.has_data()
+        ]
+        if not candidates:
+            raise RuntimeError("sharded server has no data")
+        return min(
+            candidates,
+            key=lambda s: euclidean(*self.grid.region(s).bounds.center, x, y),
+        )
+
+    def _shard_for(self, x: float, y: float) -> EnviroMeterServer:
+        return self.shards[self._shard_index_for(x, y)]
+
+    def handle(
+        self, request: Union[QueryRequest, ModelRequest]
+    ) -> Union[ValueResponse, ModelCoverResponse]:
+        """Dispatch one request to the shard owning its position."""
+        if not isinstance(request, (QueryRequest, ModelRequest)):
+            raise TypeError(f"server cannot handle {type(request).__name__}")
+        return self._shard_for(request.x, request.y).handle(request)
+
+    def handle_many(
+        self, requests: Sequence[Union[QueryRequest, ModelRequest]]
+    ) -> List[Union[ValueResponse, ModelCoverResponse]]:
+        """Batch dispatch: group by owning shard, answer each group
+        through the shard's vectorised ``handle_many``, scatter back in
+        request order.  Ownership is resolved once for the whole batch
+        (one vectorised grid lookup); only requests landing on a cold
+        shard pay the per-request nearest-populated fallback."""
+        responses: List[Optional[Union[ValueResponse, ModelCoverResponse]]] = [
+            None
+        ] * len(requests)
+        if not requests:
+            return []
+        for request in requests:
+            if not isinstance(request, (QueryRequest, ModelRequest)):
+                raise TypeError(f"server cannot handle {type(request).__name__}")
+        owners = self.grid.shards_of(
+            np.array([r.x for r in requests]), np.array([r.y for r in requests])
+        )
+        groups: dict = {}
+        for s in np.unique(owners):
+            members = [int(i) for i in np.flatnonzero(owners == s)]
+            if self.shards[int(s)].has_data():
+                groups.setdefault(int(s), []).extend(members)
+            else:
+                for i in members:  # cold region: nearest populated shard
+                    target = self._shard_index_for(requests[i].x, requests[i].y)
+                    groups.setdefault(target, []).append(i)
+        for s, members in groups.items():
+            answers = self.shards[s].handle_many([requests[i] for i in members])
+            for i, answer in zip(members, answers):
+                responses[i] = answer
+        return responses  # type: ignore[return-value]
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def served_values(self) -> int:
+        return sum(s.served_values for s in self.shards)
+
+    @property
+    def served_covers(self) -> int:
+        return sum(s.served_covers for s in self.shards)
+
+    @property
+    def builder_fit_count(self) -> int:
+        return sum(s.builder_fit_count for s in self.shards)
+
+    @property
+    def covers_stored(self) -> int:
+        return sum(s.covers_stored for s in self.shards)
+
+    @property
+    def sealed_windows_total(self) -> int:
+        return sum(s.sealed_windows_total for s in self.shards)
+
+    def has_data(self) -> bool:
+        return any(s.has_data() for s in self.shards)
+
+    def shard_raw_counts(self) -> List[int]:
+        """Raw-tuple count per shard database."""
+        return [s.db.raw_count() for s in self.shards]

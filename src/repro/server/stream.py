@@ -11,13 +11,13 @@ ingest/lazy-refit path a live deployment follows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional, Tuple
+from typing import Callable, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.data.tuples import TupleBatch
 from repro.network.messages import QueryRequest
-from repro.server.server import EnviroMeterServer
+from repro.server.server import EnviroMeterServer, ShardedEnviroMeterServer
 
 ProgressCallback = Callable[[float, int], None]
 """Called after each delivered batch with (virtual time, total ingested)."""
@@ -40,7 +40,7 @@ class StreamReplayer:
 
     def __init__(
         self,
-        server: EnviroMeterServer,
+        server: Union[EnviroMeterServer, ShardedEnviroMeterServer],
         batch_interval_s: float = 600.0,
     ) -> None:
         if batch_interval_s <= 0:
@@ -96,8 +96,7 @@ class StreamReplayer:
                 next_query = now + query_every_s
             if on_progress is not None:
                 on_progress(now, stats.tuples)
-        stats.covers_built = len(self.server.db.table("model_cover"))
+        stats.covers_built = self.server.covers_stored
         stats.covers_fitted = self.server.builder_fit_count
-        if self.server.db.partition_h is not None:
-            stats.windows_sealed = len(self.server.db.sealed_window_ids())
+        stats.windows_sealed = self.server.sealed_windows_total
         return stats

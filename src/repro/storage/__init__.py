@@ -12,10 +12,13 @@ layout and the sealed-window immutability contract.
 from repro.storage.engine import Database
 from repro.storage.persist import load_database, save_database
 from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.shards import ShardRouter, single_shard_router
 from repro.storage.table import Table
 
 __all__ = [
     "Database",
+    "ShardRouter",
+    "single_shard_router",
     "load_database",
     "save_database",
     "Column",

@@ -1,0 +1,225 @@
+"""Region-sharded storage: one window-partitioned database per region.
+
+The single-node :class:`~repro.storage.engine.Database` owns every tuple;
+at platform scale (millions of app users over one city) that one store is
+the bottleneck for both ingest and queries.  The :class:`ShardRouter`
+splits the stream by *geographic region* — a
+:class:`~repro.geo.region.RegionGrid` over the sensed area — so each
+shard's database holds only its region's tuples and ingest touches (and
+invalidates) exactly one shard per tuple.
+
+Sharding must not change query answers.  The query layer's unit of
+eligibility is the *global* count-window ``W_c`` (the first ``h`` tuples
+of the stream, the next ``h``, ...), which region-split streams do not
+reproduce on their own.  The router therefore records, at every global
+window boundary it ingests across, the per-shard row offset — the number
+of that shard's tuples among the first ``c * h`` global tuples.  The
+slice of shard ``s`` between two recorded offsets is exactly the part of
+``W_c`` that shard owns, so the union of :meth:`shard_window` slices over
+all shards is exactly the global window's tuple multiset, whatever the
+shard count.  That alignment is what lets the sharded query engine
+(:mod:`repro.query.sharded`) return answers byte-identical across shard
+counts.
+
+Global window-for-time resolution needs no merged stream either: with a
+time-sorted global stream, the number of global tuples at or before time
+``t`` is the sum of per-shard ``searchsorted`` positions, because routing
+preserves per-shard time order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.tuples import TupleBatch
+from repro.data.windows import window_boundaries_in
+from repro.geo.coords import BoundingBox
+from repro.geo.region import RegionGrid
+from repro.storage.engine import Database
+
+
+class ShardRouter:
+    """Routes an append-only tuple stream across per-region databases.
+
+    ``h`` is the *global* count-window size the query layer aligns to;
+    each shard's own database is window-partitioned with the same ``h``
+    (shard-local windows, used by per-shard servers for cover storage and
+    sealed-window caching — deliberately distinct from the global cuts).
+
+    The global stream must be delivered in time order (the append-only
+    sensing contract the rest of the system already assumes); per-shard
+    streams then stay time-sorted too.
+    """
+
+    def __init__(self, grid: RegionGrid, h: int = 240) -> None:
+        if h <= 0:
+            raise ValueError("window size h must be positive")
+        self.grid = grid
+        self.h = h
+        self._dbs = [
+            Database.for_enviro_meter(partition_h=h) for _ in range(grid.n_regions)
+        ]
+        self._global_rows = 0
+        # _cuts[s][c] = number of shard-s tuples among the first c*h global
+        # rows; one entry per *started* global window, starting with the
+        # trivial cut at window 0.
+        self._cuts: List[List[int]] = [[0] for _ in range(grid.n_regions)]
+        # Per-shard global stream positions (gids), appended per ingest and
+        # concatenated lazily.  The gid is the partition-invariant identity
+        # the exact gather path orders hits by.
+        self._gid_parts: List[List[np.ndarray]] = [[] for _ in range(grid.n_regions)]
+        self._gid_cache: List[Optional[np.ndarray]] = [None] * grid.n_regions
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self.grid.n_regions
+
+    def database(self, s: int) -> Database:
+        return self._dbs[s]
+
+    @property
+    def databases(self) -> Sequence[Database]:
+        return tuple(self._dbs)
+
+    def global_count(self) -> int:
+        """Total tuples ingested across all shards."""
+        return self._global_rows
+
+    def shard_counts(self) -> List[int]:
+        """Per-shard tuple counts (sums to :meth:`global_count`)."""
+        return [db.raw_count() for db in self._dbs]
+
+    # -- ingest ------------------------------------------------------------
+
+    def route(self, batch: TupleBatch) -> np.ndarray:
+        """Owning shard index per tuple of ``batch`` (no ingestion)."""
+        return self.grid.shards_of(batch.x, batch.y)
+
+    def ingest(self, batch: TupleBatch) -> List[int]:
+        """Append a batch, routing each tuple to its owning shard.
+
+        Returns the number of tuples delivered per shard.  Order within a
+        shard follows global stream order, and the per-shard cut offsets
+        for every global window boundary the batch crosses are recorded
+        before the counters advance.
+        """
+        n = len(batch)
+        delivered = [0] * self.n_shards
+        if not n:
+            return delivered
+        owners = self.route(batch)
+        start = self._global_rows
+        boundaries = window_boundaries_in(start, n, self.h)
+        prior = [db.raw_count() for db in self._dbs]
+        gids = np.arange(start, start + n, dtype=np.int64)
+        for s in np.unique(owners):
+            s = int(s)
+            member = owners == s
+            delivered[s] = self._dbs[s].ingest_tuples(batch.select_mask(member))
+            self._gid_parts[s].append(gids[member])
+            self._gid_cache[s] = None
+        if len(boundaries):
+            # positions_s[k] = batch-local row of shard s's k-th tuple; the
+            # number of shard-s tuples before global boundary b is then a
+            # binary search over it — one vectorised call per shard for
+            # all boundaries the batch crosses.
+            local_b = np.asarray(boundaries, dtype=np.int64) - start
+            for s in range(self.n_shards):
+                if not delivered[s]:  # absent from the batch: cuts are flat
+                    self._cuts[s].extend([prior[s]] * len(local_b))
+                    continue
+                positions = np.flatnonzero(owners == s)
+                cuts = prior[s] + np.searchsorted(positions, local_b)
+                self._cuts[s].extend(int(cut) for cut in cuts)
+        self._global_rows += n
+        return delivered
+
+    # -- global window alignment -------------------------------------------
+
+    def global_window_count(self) -> int:
+        """Number of started global count-windows."""
+        return (self._global_rows + self.h - 1) // self.h
+
+    def _window_bounds(self, s: int, c: int, n_rows: int) -> tuple:
+        """Shard-local ``(start, stop)`` of global window ``W_c`` in a
+        shard column of ``n_rows`` rows (validates ``c``)."""
+        if c < 0:
+            raise ValueError("window index c must be non-negative")
+        if c >= self.global_window_count():
+            raise IndexError(
+                f"global window {c} (h={self.h}) starts past the stream end"
+            )
+        cuts = self._cuts[s]
+        stop = cuts[c + 1] if c + 1 < len(cuts) else n_rows
+        return cuts[c], stop
+
+    def shard_window(self, s: int, c: int) -> TupleBatch:
+        """Shard ``s``'s slice of the *global* window ``W_c`` (zero-copy).
+
+        Raises ``IndexError`` when ``c`` is past the last started global
+        window, mirroring :func:`repro.data.windows.window`.
+        """
+        batch = self._dbs[s].raw_tuples()
+        start, stop = self._window_bounds(s, c, len(batch))
+        return batch.slice(start, stop)
+
+    def shard_windows(self, c: int) -> List[TupleBatch]:
+        """Every shard's slice of global window ``W_c`` (index = shard)."""
+        return [self.shard_window(s, c) for s in range(self.n_shards)]
+
+    def shard_gids(self, s: int) -> np.ndarray:
+        """Global stream positions of shard ``s``'s tuples, in shard order.
+
+        Strictly increasing: routing preserves global order per shard."""
+        cached = self._gid_cache[s]
+        if cached is None:
+            parts = self._gid_parts[s]
+            cached = (
+                np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            )
+            self._gid_cache[s] = cached
+        return cached
+
+    def shard_window_gids(self, s: int, c: int) -> np.ndarray:
+        """Global ids aligned with :meth:`shard_window`'s rows."""
+        gids = self.shard_gids(s)
+        start, stop = self._window_bounds(s, c, len(gids))
+        return gids[start:stop]
+
+    def windows_for_times(self, ts) -> np.ndarray:
+        """Global window index responsible for each query timestamp.
+
+        Identical to :func:`repro.data.windows.windows_for_times` over the
+        merged global stream: the rank of ``t`` in the global time order
+        is the sum of its per-shard ranks.
+        """
+        ts = np.asarray(ts, dtype=np.float64)
+        if not self._global_rows:
+            raise RuntimeError("router has no data")
+        pos = np.zeros(ts.shape, dtype=np.int64)
+        for db in self._dbs:
+            t_col = db.raw_tuples().t
+            if len(t_col):
+                pos += np.searchsorted(t_col, ts, side="right")
+        return np.maximum(pos - 1, 0) // self.h
+
+    def window_for_time(self, t: float) -> int:
+        return int(self.windows_for_times((t,))[0])
+
+    def cuts(self, s: int) -> List[int]:
+        """Copy of shard ``s``'s recorded global-boundary cut offsets."""
+        return list(self._cuts[s])
+
+
+def single_shard_router(
+    h: int = 240, bounds: Optional[BoundingBox] = None
+) -> ShardRouter:
+    """A 1-shard router — the degenerate configuration every multi-shard
+    answer must be byte-identical to.  ``bounds`` defaults to a unit box;
+    with one cell, ownership is total regardless of the box."""
+    box = bounds or BoundingBox(0.0, 0.0, 1.0, 1.0)
+    return ShardRouter(RegionGrid(box, nx=1, ny=1), h=h)

@@ -121,6 +121,11 @@ def _run_ingest(m, ds, bm):
     m.bench_ingest_query_steady_state(bm, ds)
 
 
+def _run_sharded(m, ds, bm):
+    m.GRID_NX, m.GRID_NY = 12, 9
+    m.bench_sharded_heatmap(bm, ds, n_shards=2)
+
+
 SMOKE_RUNNERS = {
     "bench_ablation_adaptive_methods": _run_ablation_adaptive_methods,
     "bench_ablation_cache_ttl": _run_ablation_cache_ttl,
@@ -134,6 +139,7 @@ SMOKE_RUNNERS = {
     "bench_fig7b_bandwidth": _run_fig7b_bandwidth,
     "bench_fleet_scaling": _run_fleet_scaling,
     "bench_ingest": _run_ingest,
+    "bench_sharded": _run_sharded,
 }
 
 
@@ -156,7 +162,7 @@ def test_bench_module_runs_tiny_iteration(name, tiny_dataset):
     # a later real benchmark run in the same process sees the originals.
     original = {
         attr: getattr(module, attr)
-        for attr in ("N_QUERIES", "QUERIES_PER_MEMBER")
+        for attr in ("N_QUERIES", "QUERIES_PER_MEMBER", "GRID_NX", "GRID_NY")
         if hasattr(module, attr)
     }
     try:

@@ -52,3 +52,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "replayed" in out
         assert "cover(s)" in out
+
+    def test_serve_sharded(self, capsys):
+        rc = main(
+            ["serve", "--days", "1", "--query-every", "14400", "--shards", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        assert "per-shard tuple counts" in out
+
+    def test_heatmap_sharded_ascii(self, capsys):
+        rc = main(
+            [
+                "heatmap", "--hour", "9.0",
+                "--width", "18", "--height", "6", "--shards", "4",
+            ]
+        )
+        assert rc == 0
+        lines = capsys.readouterr().out.rstrip("\n").split("\n")
+        assert len(lines) == 6
+        assert all(len(line) == 18 for line in lines)
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--shards", "0"])

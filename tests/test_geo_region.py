@@ -1,9 +1,12 @@
 """Tests for repro.geo.region."""
 
+import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.geo.coords import BoundingBox
-from repro.geo.region import Region, SubRegion, nearest_subregion
+from repro.geo.region import Region, RegionGrid, SubRegion, nearest_subregion
 
 
 class TestRegion:
@@ -41,3 +44,80 @@ class TestNearestSubregion:
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             nearest_subregion([], 0, 0)
+
+
+class TestRegionGrid:
+    BOUNDS = BoundingBox(0.0, 0.0, 6000.0, 4000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegionGrid(self.BOUNDS, nx=0, ny=1)
+        with pytest.raises(ValueError):
+            RegionGrid(BoundingBox(0.0, 0.0, 0.0, 4000.0), nx=1, ny=1)
+        with pytest.raises(ValueError):
+            RegionGrid.for_shard_count(self.BOUNDS, 0)
+
+    def test_for_shard_count_factorises_squarely(self):
+        grid = RegionGrid.for_shard_count(self.BOUNDS, 4)
+        assert (grid.nx, grid.ny) == (2, 2)
+        grid = RegionGrid.for_shard_count(self.BOUNDS, 6)
+        assert (grid.nx, grid.ny) == (3, 2)  # wider box -> wider grid
+        tall = BoundingBox(0.0, 0.0, 4000.0, 6000.0)
+        assert (RegionGrid.for_shard_count(tall, 6).nx,
+                RegionGrid.for_shard_count(tall, 6).ny) == (2, 3)
+        prime = RegionGrid.for_shard_count(self.BOUNDS, 5)
+        assert prime.n_regions == 5 and prime.ny == 1
+
+    def test_regions_tile_the_bounds(self):
+        grid = RegionGrid(self.BOUNDS, nx=3, ny=2)
+        assert grid.n_regions == 6
+        total_area = sum(grid.region(k).bounds.area for k in range(6))
+        assert total_area == pytest.approx(self.BOUNDS.area)
+        with pytest.raises(ValueError):
+            grid.region(6)
+
+    def test_ownership_is_total_and_clamped(self):
+        grid = RegionGrid(self.BOUNDS, nx=2, ny=2)
+        # Interior points land in their cell.
+        assert grid.shard_of(100.0, 100.0) == 0
+        assert grid.shard_of(5900.0, 100.0) == 1
+        assert grid.shard_of(100.0, 3900.0) == 2
+        assert grid.shard_of(5900.0, 3900.0) == 3
+        # Out-of-bounds points are owned by the nearest edge cell.
+        assert grid.shard_of(-1e6, -1e6) == 0
+        assert grid.shard_of(1e6, 1e6) == 3
+        assert grid.shard_of(3000.0, -500.0) in (0, 1)
+
+    def test_scalar_and_vector_ownership_agree(self):
+        grid = RegionGrid(self.BOUNDS, nx=3, ny=2)
+        rng = np.random.default_rng(3)
+        xs = rng.uniform(-2000.0, 8000.0, 200)
+        ys = rng.uniform(-2000.0, 6000.0, 200)
+        vector = grid.shards_of(xs, ys)
+        for x, y, s in zip(xs, ys, vector):
+            assert grid.shard_of(float(x), float(y)) == int(s)
+
+    @given(
+        x=st.floats(min_value=-20_000, max_value=20_000, allow_nan=False),
+        y=st.floats(min_value=-20_000, max_value=20_000, allow_nan=False),
+        r=st.floats(min_value=0.0, max_value=5_000.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_disk_scatter_set_covers_all_possible_owners(self, x, y, r, seed):
+        """Any point within the disk is owned by a cell in the scatter
+        set — the correctness contract of disk-range pruning."""
+        grid = RegionGrid(self.BOUNDS, nx=3, ny=2)
+        scatter = set(grid.shards_overlapping_disk(x, y, r))
+        assert scatter  # never empty: ownership is total
+        rng = np.random.default_rng(seed)
+        angles = rng.uniform(0.0, 2.0 * np.pi, 64)
+        radii = r * np.sqrt(rng.uniform(0.0, 1.0, 64))
+        px = x + radii * np.cos(angles)
+        py = y + radii * np.sin(angles)
+        owners = set(int(s) for s in grid.shards_of(px, py))
+        assert owners <= scatter
+
+    def test_disk_ranges_reject_negative_radius(self):
+        grid = RegionGrid(self.BOUNDS, nx=2, ny=2)
+        with pytest.raises(ValueError):
+            grid.disk_cell_ranges(np.array([0.0]), np.array([0.0]), -1.0)

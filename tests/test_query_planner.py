@@ -1,5 +1,6 @@
 """Tests for repro.query.planner."""
 
+import numpy as np
 import pytest
 
 from repro.data.tuples import QueryTuple, TupleBatch
@@ -77,3 +78,85 @@ class TestPlanning:
             estimates["model-cover"].per_query_cost
             < estimates["naive"].per_query_cost
         )
+
+
+class TestCostModelEdgeCases:
+    """Regression tests: the planner must never pay for — or pick — a
+    plan whose processor cannot be constructed or amortised."""
+
+    def test_single_query_never_runs_the_fit(self, daytime_window, monkeypatch):
+        """expected_queries=1 can never amortise an Ad-KMN fit, so the
+        planner must not run one just to price the model-cover plan (it
+        used to fit a full cover and throw the estimate away)."""
+        import repro.query.planner as planner_mod
+
+        def exploding_fit(*args, **kwargs):
+            raise AssertionError("fit_adkmn must not run for a 1-query profile")
+
+        monkeypatch.setattr(planner_mod, "fit_adkmn", exploding_fit)
+        planner = QueryPlanner(daytime_window)
+        estimates = planner.estimates(QueryProfile(expected_queries=1))
+        assert "model-cover" not in estimates
+        assert planner.choose(QueryProfile(expected_queries=1)).method == "naive"
+
+    def test_fit_failure_excludes_model_cover(self, daytime_window, monkeypatch):
+        """A window the fitter rejects yields estimates without
+        model-cover, and choose() still returns a constructible plan."""
+        import repro.query.planner as planner_mod
+
+        def failing_fit(*args, **kwargs):
+            raise ValueError("degenerate window")
+
+        monkeypatch.setattr(planner_mod, "fit_adkmn", failing_fit)
+        planner = QueryPlanner(daytime_window)
+        profile = QueryProfile(expected_queries=100_000)
+        estimates = planner.estimates(profile)
+        assert "model-cover" not in estimates
+        plan = planner.choose(profile)
+        assert plan.method in ("naive", "rtree", "vptree")
+        proc = planner.processor_for(profile)
+        q = QueryTuple(
+            t=float(daytime_window.t[0]),
+            x=float(daytime_window.x[0]),
+            y=float(daytime_window.y[0]),
+        )
+        assert proc.process(q).answered
+
+    def test_zero_tuple_window_rejected_up_front(self):
+        """An empty window has no constructible processor at all: the
+        planner refuses at construction, before any cost maths runs."""
+        with pytest.raises(ValueError, match="empty window"):
+            QueryPlanner(TupleBatch.empty())
+
+    def test_single_tuple_window_plans_constructible_processor(self):
+        window = TupleBatch(
+            np.array([10.0]), np.array([100.0]), np.array([200.0]), np.array([450.0])
+        )
+        planner = QueryPlanner(window)
+        for expected_queries in (1, 10, 100_000):
+            profile = QueryProfile(expected_queries=expected_queries)
+            proc = planner.processor_for(profile)
+            result = proc.process(QueryTuple(t=10.0, x=100.0, y=200.0))
+            assert result.answered
+
+    def test_degenerate_extent_window_plans(self):
+        """All tuples at one position: the hit-fraction area clamp must
+        keep the cost model finite and the chosen plan constructible."""
+        n = 20
+        window = TupleBatch(
+            np.arange(n, dtype=float),
+            np.full(n, 123.0),
+            np.full(n, 456.0),
+            np.linspace(400.0, 500.0, n),
+        )
+        planner = QueryPlanner(window)
+        for est in planner.estimates(QueryProfile()).values():
+            assert np.isfinite(est.per_query_cost)
+        proc = planner.processor_for(QueryProfile(expected_queries=1))
+        assert proc.process(QueryTuple(t=0.0, x=123.0, y=456.0)).answered
+
+    def test_choose_for_single_query_still_covers_raw_methods(self, daytime_window):
+        estimates = QueryPlanner(daytime_window).estimates(
+            QueryProfile(expected_queries=1)
+        )
+        assert set(estimates) == {"naive", "rtree", "vptree"}

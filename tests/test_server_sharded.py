@@ -1,0 +1,156 @@
+"""Tests for repro.server.server.ShardedEnviroMeterServer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import BoundingBox
+from repro.geo.region import RegionGrid
+from repro.network.messages import (
+    ModelCoverResponse,
+    ModelRequest,
+    QueryRequest,
+    ValueResponse,
+)
+from repro.server.server import EnviroMeterServer, ShardedEnviroMeterServer
+from repro.server.stream import StreamReplayer
+
+BOUNDS = BoundingBox(0.0, 0.0, 6000.0, 4000.0)
+
+
+@pytest.fixture()
+def sharded(small_batch):
+    server = ShardedEnviroMeterServer(RegionGrid(BOUNDS, nx=2, ny=2), h=240)
+    server.ingest(small_batch)
+    return server
+
+
+@pytest.fixture()
+def t_mid(small_batch):
+    return float(small_batch.t[500])
+
+
+class TestIngestRouting:
+    def test_routes_to_owner_only(self, small_batch):
+        server = ShardedEnviroMeterServer(RegionGrid(BOUNDS, nx=2, ny=2), h=240)
+        n = server.ingest(small_batch)
+        assert n == len(small_batch)
+        owners = server.grid.shards_of(small_batch.x, small_batch.y)
+        counts = server.shard_raw_counts()
+        for s in range(4):
+            assert counts[s] == int(np.sum(owners == s))
+
+    def test_invalidation_stays_on_owning_shard(self, small_batch, t_mid):
+        """Fitting covers on one region then ingesting into another must
+        not invalidate (or refit) the first region's covers."""
+        server = ShardedEnviroMeterServer(RegionGrid(BOUNDS, nx=2, ny=1), h=240)
+        west = small_batch.select_mask(small_batch.x < 3000.0)
+        east = small_batch.select_mask(small_batch.x >= 3000.0)
+        assert len(west) and len(east)
+        server.ingest(west)
+        server.handle(QueryRequest(t=float(west.t[-1]), x=1500.0, y=2000.0))
+        west_fits = server.shards[0].builder_fit_count
+        assert west_fits >= 1
+        server.ingest(east)  # touches only the east shard
+        server.handle(QueryRequest(t=float(west.t[-1]), x=1500.0, y=2000.0))
+        assert server.shards[0].builder_fit_count == west_fits
+
+    def test_empty_batch(self, sharded, small_batch):
+        from repro.data.tuples import TupleBatch
+
+        assert sharded.ingest(TupleBatch.empty()) == 0
+
+
+class TestDispatch:
+    def test_query_answered_by_owner(self, sharded, t_mid):
+        owner = sharded.grid.shard_of(2500.0, 1800.0)
+        before = sharded.shards[owner].served_values
+        response = sharded.handle(QueryRequest(t=t_mid, x=2500.0, y=1800.0))
+        assert isinstance(response, ValueResponse)
+        assert sharded.shards[owner].served_values == before + 1
+        assert sharded.served_values >= 1
+
+    def test_matches_equivalent_region_server(self, small_batch, t_mid):
+        """The owning shard's answer equals a standalone server fed only
+        that region's tuples — sharding is region-local by construction."""
+        sharded = ShardedEnviroMeterServer(RegionGrid(BOUNDS, nx=2, ny=1), h=240)
+        sharded.ingest(small_batch)
+        west_only = EnviroMeterServer(h=240)
+        west_only.ingest(small_batch.select_mask(small_batch.x < 3000.0))
+        q = QueryRequest(t=t_mid, x=1500.0, y=2000.0)
+        assert sharded.grid.shard_of(q.x, q.y) == 0
+        ours = sharded.handle(q)
+        ref = west_only.handle(q)
+        if math.isnan(ref.value):
+            assert math.isnan(ours.value)
+        else:
+            assert ours.value == pytest.approx(ref.value, rel=1e-12)
+
+    def test_model_request_served_from_owner(self, sharded, t_mid):
+        response = sharded.handle(ModelRequest(t=t_mid, x=2500.0, y=1800.0))
+        assert isinstance(response, ModelCoverResponse)
+        assert sharded.served_covers == 1
+        cover = response.cover()
+        assert cover.size >= 1
+
+    def test_unknown_request_rejected(self, sharded):
+        with pytest.raises(TypeError):
+            sharded.handle(object())
+        with pytest.raises(TypeError):
+            sharded.handle_many([object()])
+
+    def test_handle_many_preserves_order(self, sharded, t_mid):
+        requests = [
+            QueryRequest(t=t_mid, x=500.0 + 600.0 * i, y=300.0 + 400.0 * i)
+            for i in range(8)
+        ] + [ModelRequest(t=t_mid, x=2500.0, y=1800.0)]
+        responses = sharded.handle_many(requests)
+        assert len(responses) == len(requests)
+        for req, resp in zip(requests[:-1], responses[:-1]):
+            assert isinstance(resp, ValueResponse)
+            assert resp.t == req.t
+        assert isinstance(responses[-1], ModelCoverResponse)
+
+    def test_handle_many_matches_handle(self, sharded, t_mid):
+        requests = [
+            QueryRequest(t=t_mid, x=900.0 * i + 200.0, y=350.0 * i + 150.0)
+            for i in range(6)
+        ]
+        batched = sharded.handle_many(requests)
+        for req, resp in zip(requests, batched):
+            single = sharded.handle(req)
+            if math.isnan(single.value):
+                assert math.isnan(resp.value)
+            else:
+                assert resp.value == pytest.approx(single.value, rel=1e-12)
+
+
+class TestColdRegions:
+    def test_cold_region_falls_over_to_nearest(self, small_batch, t_mid):
+        """A query owned by a data-less region is answered by the nearest
+        populated shard instead of erroring."""
+        grid = RegionGrid(BOUNDS, nx=2, ny=1)
+        server = ShardedEnviroMeterServer(grid, h=240)
+        server.ingest(small_batch.select_mask(small_batch.x < 3000.0))
+        assert not server.shards[1].has_data()
+        response = server.handle(QueryRequest(t=t_mid, x=5500.0, y=2000.0))
+        assert isinstance(response, ValueResponse)
+
+    def test_no_data_anywhere_raises(self):
+        server = ShardedEnviroMeterServer(RegionGrid(BOUNDS, nx=2, ny=2), h=240)
+        with pytest.raises(RuntimeError):
+            server.handle(QueryRequest(t=0.0, x=100.0, y=100.0))
+
+
+class TestReplay:
+    def test_stream_replayer_drives_sharded_server(self, small_batch):
+        server = ShardedEnviroMeterServer(RegionGrid(BOUNDS, nx=2, ny=2), h=240)
+        replayer = StreamReplayer(server, batch_interval_s=3600.0)
+        stats = replayer.run(small_batch, query_every_s=4 * 3600.0)
+        assert stats.tuples == len(small_batch)
+        assert stats.covers_built >= 1
+        assert stats.covers_built == server.covers_stored
+        assert stats.covers_fitted == server.builder_fit_count
+        assert stats.windows_sealed == server.sealed_windows_total
+        assert server.served_values >= 1
