@@ -3,11 +3,20 @@
 The full-scale 176 K-tuple *lausanne-data* is generated once per session;
 every figure benchmark evaluates against it, exactly as the paper's
 evaluation uses one dataset for all experiments.
+
+Randomness: benchmarks must be reproducible run-to-run (CI smoke results
+are diffed), so none of them may seed or read global RNG state.  Each
+benchmark derives its own :class:`numpy.random.Generator` — via the
+``bench_rng`` fixture (seeded from the test's node id) or
+:func:`rng_for` (seeded from an explicit label in standalone ``main``
+runs) — and threads it through its workload builders.
 """
 
 from __future__ import annotations
 
+import zlib
 
+import numpy as np
 import pytest
 
 from repro.data.lausanne import LausanneDataset
@@ -18,6 +27,22 @@ from repro.eval.experiments import (
     _query_workload,
     experiment_dataset,
 )
+
+
+def rng_for(label: str) -> np.random.Generator:
+    """A per-benchmark seeded generator, derived from a stable label.
+
+    The label (a test node id, or an explicit string in standalone
+    runs) is hashed to the seed, so every benchmark gets its own
+    deterministic stream, independent of execution order and of any
+    global seeding."""
+    return np.random.default_rng(zlib.crc32(label.encode("utf-8")))
+
+
+@pytest.fixture()
+def bench_rng(request) -> np.random.Generator:
+    """Per-benchmark seeded ``numpy.random.Generator`` (node-id keyed)."""
+    return rng_for(request.node.nodeid)
 
 
 @pytest.fixture(scope="session")

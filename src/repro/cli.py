@@ -134,20 +134,102 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.geo.region import RegionGrid
 
         grid = RegionGrid.for_shard_count(ds.covered_bbox(), args.shards)
-        server = ShardedEnviroMeterServer(grid, h=args.h)
+        inner = ShardedEnviroMeterServer(grid, h=args.h)
     else:
-        server = EnviroMeterServer(h=args.h)
-    replayer = StreamReplayer(server, batch_interval_s=args.batch_interval)
-    stats = replayer.run(ds.tuples, query_every_s=args.query_every)
+        inner = EnviroMeterServer(h=args.h)
+    if args.serve_workers is not None:
+        stats, chunks_served = _serve_concurrently(inner, ds, args)
+        served = inner.served_values
+    else:
+        replayer = StreamReplayer(inner, batch_interval_s=args.batch_interval)
+        stats = replayer.run(ds.tuples, query_every_s=args.query_every)
+        served = inner.served_values
     print(
         f"replayed {stats.tuples} tuples in {stats.batches} batches; "
         f"server built {stats.covers_built} cover(s), "
-        f"served {server.served_values} value(s)"
+        f"served {served} value(s)"
     )
+    if args.serve_workers is not None:
+        print(
+            f"concurrent front end: {args.serve_workers} worker(s) answered "
+            f"{chunks_served} query batch(es) during ingest; "
+            f"final epoch {stats.final_epoch}"
+        )
     if args.shards > 1:
-        counts = ", ".join(str(c) for c in server.shard_raw_counts())
+        counts = ", ".join(str(c) for c in inner.shard_raw_counts())
         print(f"shards ({args.shards}): per-shard tuple counts [{counts}]")
+        inner.close()  # reclaim the parallel-ingest worker pool
     return 0
+
+
+def _serve_concurrently(inner, ds, args):
+    """Replay on a writer thread while the pool serves query bursts.
+
+    The writer replays the stream exactly as the serial path does; the
+    main thread, meanwhile, fans batches of point queries (spread over
+    the sensed area, stamped with the replay's virtual clock) across the
+    :class:`ConcurrentEnviroMeterServer` worker pool — queries answered
+    *while ingest proceeds*, which is what ``--serve-workers`` promises.
+    Returns (replay stats, number of query batches served).
+    """
+    import threading
+
+    import numpy as np
+
+    from repro.network.messages import QueryRequest
+    from repro.server.server import ConcurrentEnviroMeterServer
+    from repro.server.stream import StreamReplayer
+
+    bbox = ds.covered_bbox()
+    xs = np.linspace(bbox.min_x + 0.1 * bbox.width, bbox.max_x - 0.1 * bbox.width, 8)
+    ys = np.linspace(bbox.min_y + 0.1 * bbox.height, bbox.max_y - 0.1 * bbox.height, 8)
+    clock = {"now": None}
+    done = threading.Event()
+    outcome: list = []
+
+    front = ConcurrentEnviroMeterServer(inner, max_workers=args.serve_workers)
+    replayer = StreamReplayer(front, batch_interval_s=args.batch_interval)
+
+    def writer():
+        try:
+            outcome.append(
+                replayer.run(
+                    ds.tuples,
+                    on_progress=lambda now, _total: clock.__setitem__("now", now),
+                )
+            )
+        finally:
+            done.set()
+
+    def burst(now: float) -> None:
+        chunk = [
+            QueryRequest(t=float(now), x=float(x), y=float(y))
+            for x in xs
+            for y in ys
+        ]
+        front.handle_many(chunk)
+
+    chunks_served = 0
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        while not done.wait(timeout=0.005):
+            now = clock["now"]
+            if now is None or not front.has_data():
+                continue
+            burst(now)
+            chunks_served += 1
+        # Small replays can finish before the first burst lands; always
+        # close with one pool-served batch against the final state.
+        if clock["now"] is not None:
+            burst(clock["now"])
+            chunks_served += 1
+    finally:
+        thread.join()
+        front.close()
+    if not outcome:  # pragma: no cover - writer failed before returning
+        raise RuntimeError("stream replay failed")
+    return outcome[0], chunks_served
 
 
 def _positive_int(text: str) -> int:
@@ -220,6 +302,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="one region-sharded server per grid cell (ingest routes to "
         "the owning shard only)",
+    )
+    p.add_argument(
+        "--serve-workers",
+        type=_positive_int,
+        default=None,
+        help="serve queries from a thread pool of this size while ingest "
+        "proceeds (snapshot-isolated concurrent serving layer)",
     )
     p.set_defaults(func=_cmd_serve)
     return parser

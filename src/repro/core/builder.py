@@ -54,7 +54,13 @@ class CoverBuilder:
         self.config = config or AdKMNConfig()
         self._fit = fit
         self.validity_margin_s = validity_margin_s
-        self._cache: Dict[int, AdKMNResult] = {}
+        # Two-level: window c -> content stamp -> result.  Callers that
+        # track window content epochs (the concurrent serving path) pass
+        # a stamp so a cover fitted on an older prefix of a still-open
+        # window is never served for a newer one; stamp-less callers get
+        # the historical per-window cache (stamp None).  The outer level
+        # keeps per-window invalidation O(1) on the ingest path.
+        self._cache: Dict[int, Dict[Optional[int], AdKMNResult]] = {}
         self.fit_count = 0
         self.cache_hits = 0
 
@@ -69,22 +75,34 @@ class CoverBuilder:
         spec = WindowSpec(self.h)
         return spec.select(batch, c), spec.valid_until(c) + self.validity_margin_s
 
-    def build(self, batch: TupleBatch, c: int) -> AdKMNResult:
+    def build(
+        self, batch: TupleBatch, c: int, stamp: Optional[int] = None
+    ) -> AdKMNResult:
         """Fit (or return the cached) cover for window ``c``.
 
-        ``fit_count`` / ``cache_hits`` track how often the fitter actually
-        ran versus how often a cached cover was reused — the replay tests
-        use them to prove sealed windows are never refit."""
-        if c in self._cache:
+        ``stamp`` is an optional content epoch identifying the window's
+        data (see :meth:`repro.storage.engine.StorageSnapshot.window_epoch`);
+        a cached cover is only reused for the same stamp, so two epochs of
+        a growing open window never share a fit.  ``fit_count`` /
+        ``cache_hits`` track how often the fitter actually ran versus how
+        often a cached cover was reused — the replay tests use them to
+        prove sealed windows are never refit."""
+        by_stamp = self._cache.get(c)
+        if by_stamp is not None and stamp in by_stamp:
             self.cache_hits += 1
-            return self._cache[c]
+            return by_stamp[stamp]
         w, t_n = self._window(batch, c)
         if not len(w):
             raise ValueError(f"window {c} is empty")
         result = self._fit(w, config=self.config, valid_until=t_n, window_c=c)
         self.fit_count += 1
-        self._cache[c] = result
+        self._cache.setdefault(c, {})[stamp] = result
         return result
+
+    def cached(self, c: int, stamp: Optional[int] = None) -> Optional[AdKMNResult]:
+        """The cached fit for ``(window, stamp)``, without fitting."""
+        by_stamp = self._cache.get(c)
+        return by_stamp.get(stamp) if by_stamp is not None else None
 
     def cover(self, batch: TupleBatch, c: int) -> ModelCover:
         return self.build(batch, c).cover
@@ -112,7 +130,10 @@ class CoverBuilder:
 
     def invalidate_many(self, windows: Iterable[int]) -> None:
         """Drop the cached covers of several windows — the ingest path
-        invalidates exactly the windows a new batch touched."""
+        invalidates exactly the windows a new batch touched, O(1) per
+        window.  (Stamped entries are already self-invalidating — a
+        grown window carries a new stamp — so this is garbage
+        collection, not correctness.)"""
         for c in windows:
             self._cache.pop(c, None)
 

@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.adkmn import AdKMNConfig
 from repro.core.builder import CoverBuilder
 from repro.data.tuples import QueryTuple, TupleBatch
-from repro.data.windows import window, windows_for_times
+from repro.data.windows import touched_windows, window, windows_for_times
 from repro.geo.coords import BoundingBox
 
 if TYPE_CHECKING:  # runtime import is deferred: repro.eval pulls in the
@@ -105,15 +105,62 @@ class QueryEngine:
         self._builder = CoverBuilder(h, config=config, mode="count")
         from repro.eval.timing import CacheStats  # deferred: cycle guard
 
-        self._processors: "OrderedDict[tuple, PointQueryProcessor]" = OrderedDict()
+        # (method, window) -> (content stamp, processor).  The stamp is
+        # the engine epoch at which the window last gained tuples (see
+        # refresh); an entry whose stamp lags the window's current stamp
+        # is stale — built on a shorter prefix of a still-open window —
+        # and is rebuilt in place instead of served.
+        self._processors: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._cache_capacity = cache_capacity
         self._cache_lock = threading.RLock()
         self._cache_stats = CacheStats()
         self._executor = BatchExecutor(max_workers=max_workers)
+        self._epoch = 0
+        self._window_epochs: dict = {}
 
     @property
     def batch(self) -> TupleBatch:
         return self._batch
+
+    @property
+    def epoch(self) -> int:
+        """Monotone refresh epoch: +1 per :meth:`refresh` that grew the
+        stream (0 for an engine that never refreshed)."""
+        return self._epoch
+
+    def window_stamp(self, c: int) -> int:
+        """Content stamp of window ``c``: the epoch of the refresh that
+        last grew it (0 = unchanged since construction).  Frozen once the
+        window seals."""
+        return self._window_epochs.get(int(c), 0)
+
+    def refresh(self, batch: TupleBatch) -> int:
+        """Adopt a longer snapshot of the same append-only stream.
+
+        For owners that keep one engine alive over a growing stream (the
+        pattern ``tests/test_cache_stress.py`` stress-tests): cached
+        processors for the windows the growth touched are invalidated
+        epoch-wise (their stamps advance, so the stale entries can never
+        be served again — they are rebuilt on next demand), while
+        processors over untouched windows stay hot.  Safe to call while
+        reader threads query; each reader keeps the batch/processors it
+        already picked up.  Returns the new engine epoch.
+        """
+        with self._cache_lock:
+            old_n = len(self._batch)
+            if len(batch) < old_n:
+                raise ValueError(
+                    "refresh requires an extension of the current stream "
+                    f"(got {len(batch)} rows, have {old_n})"
+                )
+            if len(batch) == old_n:
+                return self._epoch
+            self._epoch += 1
+            for c in touched_windows(old_n, len(batch) - old_n, self.h):
+                self._window_epochs[int(c)] = self._epoch
+                self._builder.invalidate(int(c))  # GC unstamped cover fits
+            self._batch = batch
+            return self._epoch
 
     @property
     def builder(self) -> CoverBuilder:
@@ -172,28 +219,35 @@ class QueryEngine:
         (index build / cover fit) counts as a miss and may evict the least
         recently used processor, which is simply rebuilt on next demand.
         The whole lookup-or-build runs under the cache lock, so concurrent
-        callers never build the same processor twice.
+        callers never build the same processor twice — and an entry built
+        before a :meth:`refresh` grew window ``c`` fails its stamp check
+        and is rebuilt rather than served stale.
         """
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; known: {METHODS}")
         key = (method, c)
         with self._cache_lock:
-            if key in self._processors:
+            stamp = self.window_stamp(c)
+            entry = self._processors.get(key)
+            if entry is not None and entry[0] == stamp:
                 self._processors.move_to_end(key)
                 self._cache_stats.record_hit()
-                return self._processors[key]
+                return entry[1]
             self._cache_stats.record_miss()
             if method == "naive":
                 proc: PointQueryProcessor = NaiveProcessor(
                     self.window(c), self.radius_m
                 )
             elif method == "model-cover":
-                proc = ModelCoverProcessor(self._builder.cover(self._batch, c))
+                proc = ModelCoverProcessor(
+                    self._builder.build(self._batch, c, stamp=stamp).cover
+                )
             else:
                 proc = IndexedProcessor(
                     self.window(c), kind=method, radius_m=self.radius_m
                 )
-            self._processors[key] = proc
+            self._processors[key] = (stamp, proc)
+            self._processors.move_to_end(key)
             while len(self._processors) > self._cache_capacity:
                 self._processors.popitem(last=False)
                 self._cache_stats.record_eviction()

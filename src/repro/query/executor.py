@@ -86,6 +86,27 @@ def group_queries_by_window(
     return groups
 
 
+def split_chunks(items: Sequence[T], n: int) -> List[Sequence[T]]:
+    """Split ``items`` into at most ``n`` contiguous, near-equal, non-empty
+    chunks, preserving order — the unit the concurrent serving layer fans
+    across worker threads (contiguity keeps each chunk's window grouping
+    as dense as the original batch's)."""
+    if n < 1:
+        raise ValueError("chunk count must be at least 1")
+    total = len(items)
+    if not total:
+        return []
+    n = min(n, total)
+    size, extra = divmod(total, n)
+    chunks: List[Sequence[T]] = []
+    start = 0
+    for k in range(n):
+        stop = start + size + (1 if k < extra else 0)
+        chunks.append(items[start:stop])
+        start = stop
+    return chunks
+
+
 def scatter_results(
     groups: Sequence[QueryGroup], results: Sequence[BatchResult], n: int
 ) -> BatchResult:

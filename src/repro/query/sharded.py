@@ -147,7 +147,10 @@ def merge_hit_partials(
         probe = np.concatenate([p for p, _, _ in live])
         gid = np.concatenate([g for _, g, _ in live])
         vals = np.concatenate([v for _, _, v in live])
-        stride = np.int64(max(n_stream_rows, 1))
+        # Under concurrent ingest a hit's gid can transiently exceed the
+        # row counter the caller read; widen the stride so the composite
+        # sort key stays collision-free either way.
+        stride = np.int64(max(n_stream_rows, int(gid.max()) + 1, 1))
         order = np.argsort(probe.astype(np.int64) * stride + gid, kind="stable")
         probe = probe[order]
         vals = vals[order]
@@ -193,10 +196,15 @@ class ShardedQueryEngine:
         self._executor = BatchExecutor(max_workers=max_workers)
         # One bounded LRU for index processors, cover processors and
         # planner verdicts, keyed per (shard, window, ...).  Every key is
-        # stamped with the shard slice's length: the store is append-only,
-        # so a longer slice of the *open* global window is a different
-        # key, and entries built on a partial window are never served
-        # after further ingest (they simply age out of the LRU).
+        # stamped with the shard slice's *content epoch*
+        # (:meth:`ShardRouter.shard_window_epoch`): ingest that lands
+        # tuples in a shard's slice of an open global window advances the
+        # stamp, so entries built on a partial window are never served
+        # after further ingest (they simply age out of the LRU), while
+        # sealed windows keep their frozen stamps — and their cache hits.
+        # Stamps are always read *before* the slice they stamp, so a
+        # racing ingest can only make an entry key conservatively old,
+        # never serve a stale processor under a fresh stamp.
         self._cache: "OrderedDict[tuple, object]" = OrderedDict()
         self._cache_capacity = cache_capacity
         self._cache_lock = threading.RLock()
@@ -248,31 +256,32 @@ class ShardedQueryEngine:
             return value
 
     def _index_processor(
-        self, s: int, c: int, kind: str, sub: TupleBatch
+        self, s: int, c: int, kind: str, stamp: int, sub: TupleBatch
     ) -> IndexedProcessor:
         """Index over the given shard slice of window ``c`` (cached)."""
         return self._cached(
-            ("index", s, c, kind, len(sub)),
+            ("index", s, c, kind, stamp),
             lambda: IndexedProcessor(sub, kind=kind, radius_m=self.radius_m),
         )
 
     def _cover_processor(
-        self, s: int, c: int, sub: TupleBatch
+        self, s: int, c: int, stamp: int, sub: TupleBatch
     ) -> ModelCoverProcessor:
         def build() -> ModelCoverProcessor:
             result = fit_adkmn(sub, self.config, window_c=c)
             return ModelCoverProcessor(result.cover)
 
-        return self._cached(("cover", s, c, len(sub)), build)
+        return self._cached(("cover", s, c, stamp), build)
 
     def _planned_method(
-        self, s: int, c: int, exact: bool, sub: TupleBatch
+        self, s: int, c: int, exact: bool, stamp: int, sub: TupleBatch
     ) -> str:
         """The planner's per-shard method choice for window ``c``.
 
         ``exact=True`` restricts the plan to raw-data methods (scatter
         scans must merge exactly); planning happens once per (shard,
-        window slice, exactness) and is cached alongside the processors.
+        window content epoch, exactness) and is cached alongside the
+        processors.
         """
 
         def build() -> str:
@@ -288,11 +297,11 @@ class ShardedQueryEngine:
                 # seed the cover cache so the execution path does not run
                 # the same Ad-KMN fit on the same slice a second time.
                 self._cache_insert(
-                    ("cover", s, c, len(sub)), planner.processor_for(profile)
+                    ("cover", s, c, stamp), planner.processor_for(profile)
                 )
             return method
 
-        return self._cached(("plan", s, c, exact, len(sub)), build)
+        return self._cached(("plan", s, c, exact, stamp), build)
 
     # -- scatter-gather core -----------------------------------------------
 
@@ -311,7 +320,8 @@ class ShardedQueryEngine:
         )
         tasks = []
         for s in range(self.n_shards):
-            sub = self.router.shard_window(s, c)
+            # One coherent read: the stamp identifies exactly these rows.
+            stamp, sub, gids = self.router.snapshot_window(s, c)
             if not len(sub):
                 continue
             i, j = s % grid.nx, s // grid.nx
@@ -321,21 +331,20 @@ class ShardedQueryEngine:
             local = np.flatnonzero(mask)
             shard_queries = queries.take(local)
             shard_positions = positions[local]
-            gids = self.router.shard_window_gids(s, c)
 
             def run(
-                s=s, sub=sub, gids=gids, shard_queries=shard_queries,
-                shard_positions=shard_positions,
+                s=s, stamp=stamp, sub=sub, gids=gids,
+                shard_queries=shard_queries, shard_positions=shard_positions,
             ) -> HitPartial:
                 kind = method
                 if kind == "auto":
-                    kind = self._planned_method(s, c, exact=True, sub=sub)
+                    kind = self._planned_method(s, c, exact=True, stamp=stamp, sub=sub)
                 if kind == "naive":
                     probe, gid, vals = scan_hits(
                         sub, gids, shard_queries, self.radius_m
                     )
                 else:
-                    proc = self._index_processor(s, c, kind, sub)
+                    proc = self._index_processor(s, c, kind, stamp, sub)
                     probe, gid, vals = index_hits(proc, gids, shard_queries)
                 return shard_positions[probe], gid, vals
 
@@ -378,18 +387,18 @@ class ShardedQueryEngine:
             for s in np.unique(owners[in_window]):
                 positions = np.flatnonzero(in_window & (owners == s))
                 s, c = int(s), int(c)
-                sub = self.router.shard_window(s, c)
+                stamp, sub, _ = self.router.snapshot_window(s, c)
                 if not len(sub):
                     fallback.append(positions)
                     continue
                 if (
                     allow_plan
-                    and self._planned_method(s, c, exact=False, sub=sub)
+                    and self._planned_method(s, c, exact=False, stamp=stamp, sub=sub)
                     != "model-cover"
                 ):
                     fallback.append(positions)
                     continue
-                proc = self._cover_processor(s, c, sub)
+                proc = self._cover_processor(s, c, stamp, sub)
                 res = proc.process_batch(batch.take(positions))
                 values[positions] = res.values
                 support[positions] = res.support

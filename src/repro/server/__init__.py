@@ -1,5 +1,13 @@
 """The EnviroMeter server (Figure 1/3 server region)."""
 
-from repro.server.server import EnviroMeterServer, ShardedEnviroMeterServer
+from repro.server.server import (
+    ConcurrentEnviroMeterServer,
+    EnviroMeterServer,
+    ShardedEnviroMeterServer,
+)
 
-__all__ = ["EnviroMeterServer", "ShardedEnviroMeterServer"]
+__all__ = [
+    "ConcurrentEnviroMeterServer",
+    "EnviroMeterServer",
+    "ShardedEnviroMeterServer",
+]

@@ -10,12 +10,24 @@ the two request types of Figure 3:
 * a :class:`~repro.network.messages.ModelRequest` is answered with the
   current window's serialized cover — coefficients, centroids and the
   validity horizon ``t_n`` (the model-cache path, Section 2.3).
+
+Concurrency: every request (or request batch) is answered against one
+pinned epoch-stamped :class:`~repro.storage.engine.StorageSnapshot`, so
+any number of reader threads may call ``handle``/``handle_many`` while a
+writer ingests — answers are byte-identical to what a serial server
+holding the same snapshot would produce, and ``handle_with_epoch``
+exposes which epoch that was.  Writers (ingest, cover fits/stores)
+serialise on the server lock; the query evaluation itself (processor
+``process``/``process_batch``) runs outside any lock.
+:class:`ConcurrentEnviroMeterServer` adds a worker pool on top, fanning
+request batches across threads.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Union
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -23,7 +35,6 @@ from repro.core.adkmn import AdKMNConfig
 from repro.core.builder import CoverBuilder
 from repro.core.cover import ModelCover
 from repro.data.tuples import QueryTuple, TupleBatch
-from repro.data.windows import windows_for_times
 from repro.geo.coords import euclidean
 from repro.geo.region import RegionGrid
 from repro.network.messages import (
@@ -33,8 +44,12 @@ from repro.network.messages import (
     ValueResponse,
 )
 from repro.query.base import QueryBatch
+from repro.query.executor import BatchExecutor, split_chunks
 from repro.query.modelcover import ModelCoverProcessor
-from repro.storage.engine import Database
+from repro.storage.engine import Database, StorageSnapshot
+
+Request = Union[QueryRequest, ModelRequest]
+Response = Union[ValueResponse, ModelCoverResponse]
 
 
 class EnviroMeterServer:
@@ -68,7 +83,20 @@ class EnviroMeterServer:
         self._builder = CoverBuilder(
             h, config=config, mode="count", validity_margin_s=validity_horizon_s
         )
-        self._stream: Optional[TupleBatch] = None
+        # Serialises writers (ingest, cover fit/store) and guards the
+        # builder cache; the served-counter lock is separate so counter
+        # bumps never contend with a running fit.
+        self._lock = threading.RLock()
+        self._stats_lock = threading.Lock()
+        self._snapshot: Optional[StorageSnapshot] = None
+        # window c -> content stamp of the cover currently indexed in the
+        # model_cover table (the epoch the fit saw); used to decide
+        # whether a stored blob matches a snapshot's window content.
+        self._cover_stamps: Dict[int, int] = {}
+        # window c -> (stamp, deserialized cover): the serving memo, so
+        # repeated requests never re-read or re-deserialize a blob under
+        # the lock (one live entry per window, superseded on growth).
+        self._cover_objs: Dict[int, Tuple[int, ModelCover]] = {}
         self._served_covers = 0
         self._served_values = 0
 
@@ -77,28 +105,44 @@ class EnviroMeterServer:
     def ingest(self, batch: TupleBatch) -> int:
         """Append community-sensed tuples.
 
-        Incremental: the cached stream snapshot is refreshed in place
+        Incremental: the pinned stream snapshot is refreshed in place
         (zero-copy — the new snapshot extends the old one's storage), and
         only the cover caches of the windows the new tuples actually
-        touched are invalidated.  Sealed windows keep their covers."""
-        n = self.db.ingest_tuples(batch)
-        self._stream = self.db.raw_tuples()
-        self._builder.invalidate_many(self.db.last_touched_windows)
+        touched are invalidated.  Sealed windows keep their covers.
+        Safe to call from a writer thread while readers serve queries:
+        in-flight requests keep answering against the snapshot they
+        pinned at dispatch."""
+        with self._lock:
+            n = self.db.ingest_tuples(batch)
+            self._builder.invalidate_many(self.db.last_touched_windows)
+            self._snapshot = self.db.snapshot()
         return n
 
+    def snapshot(self) -> StorageSnapshot:
+        """The current epoch-stamped snapshot (refreshed on ingest)."""
+        snap = self._snapshot
+        if snap is not None and len(snap) == self.db.raw_count():
+            return snap
+        with self._lock:
+            snap = self._snapshot
+            if snap is None or len(snap) != self.db.raw_count():
+                snap = self.db.snapshot()
+                self._snapshot = snap
+            return snap
+
+    @property
+    def epoch(self) -> int:
+        """The database ingest epoch (see :meth:`Database.epoch`)."""
+        return self.db.epoch
+
     def _tuples(self) -> TupleBatch:
-        if self._stream is None:
-            self._stream = self.db.raw_tuples()
-        return self._stream
+        return self.snapshot().batch
 
     # -- cover maintenance ----------------------------------------------------
 
     def windows_for(self, ts: Sequence[float]) -> np.ndarray:
         """Window index per query timestamp, in one vectorized search."""
-        batch = self._tuples()
-        if not len(batch):
-            raise RuntimeError("server has no data")
-        return windows_for_times(batch.t, ts, self.h)
+        return self.snapshot().windows_for_times(ts)
 
     def current_window(self, t: float) -> int:
         """Latest complete-or-current window at time ``t``."""
@@ -107,30 +151,71 @@ class EnviroMeterServer:
     def cover_for(self, t: float) -> ModelCover:
         """The model cover responsible for time ``t`` (fitted lazily and
         persisted into the ``model_cover`` table on first fit)."""
-        c = self.current_window(t)
-        batch = self._tuples()
-        stored = self.db.cover_blob_for_window(c)
-        if stored is not None:
-            return ModelCover.from_blob(stored[2])
-        result = self._builder.build(batch, c)
-        self.db.store_cover_blob(c, result.cover.valid_until, result.cover.to_blob())
-        return result.cover
+        snap = self.snapshot()
+        c = int(snap.windows_for_times((t,))[0])
+        return self._cover_for(c, snap)
+
+    def _cover_for(self, c: int, snap: StorageSnapshot) -> ModelCover:
+        """The cover for window ``c`` *as of the pinned snapshot*.
+
+        The fit/lookup runs under the server lock (so concurrent readers
+        never fit the same window twice and never race the writer), but
+        the returned cover is evaluated outside it.  A fitted cover is
+        only published to the ``model_cover`` table while its window
+        still holds exactly the snapshot's data — a fit that lost a race
+        with ingest still answers *this* query (correct for its epoch)
+        but is not stored, so no future reader at a newer epoch can be
+        served the stale cover.
+        """
+        stamp = snap.window_epoch(c)
+        with self._lock:
+            memo = self._cover_objs.get(c)
+            if memo is not None and memo[0] == stamp:
+                return memo[1]
+            if self._builder.cached(c, stamp) is None:
+                stored = self.db.cover_blob_for_window(c)
+                if stored is not None and self._cover_stamps.get(c, stamp) == stamp:
+                    # Either the stamp matches, or the blob predates this
+                    # server (a loaded database, no recorded stamp): the
+                    # cover index only ever holds covers whose window has
+                    # not grown since the fit, so adopt it.
+                    self._cover_stamps[c] = stamp
+                    cover = ModelCover.from_blob(stored[2])
+                    self._cover_objs[c] = (stamp, cover)
+                    return cover
+            result = self._builder.build(snap.batch, c, stamp=stamp)
+            if (
+                self.db.window_epoch(c) == stamp
+                and self._cover_stamps.get(c) != stamp
+            ):
+                self.db.store_cover_blob(
+                    c, result.cover.valid_until, result.cover.to_blob()
+                )
+                self._cover_stamps[c] = stamp
+            self._cover_objs[c] = (stamp, result.cover)
+            return result.cover
 
     # -- request handling -------------------------------------------------------
 
-    def handle(
-        self, request: Union[QueryRequest, ModelRequest]
-    ) -> Union[ValueResponse, ModelCoverResponse]:
-        """Dispatch one client request."""
+    def handle(self, request: Request) -> Response:
+        """Dispatch one client request (thread-safe)."""
+        return self._handle_pinned(request, self.snapshot())
+
+    def handle_with_epoch(self, request: Request) -> Tuple[Response, int]:
+        """Like :meth:`handle`, also reporting the snapshot epoch the
+        answer was computed at — the hook the concurrency harness uses to
+        compare every concurrent answer against a serial replay."""
+        snap = self.snapshot()
+        return self._handle_pinned(request, snap), snap.epoch
+
+    def _handle_pinned(self, request: Request, snap: StorageSnapshot) -> Response:
         if isinstance(request, QueryRequest):
-            return self._handle_query(request)
+            return self._handle_query(request, snap)
         if isinstance(request, ModelRequest):
-            return self._handle_model_request(request)
+            return self._handle_model_request(request, snap)
         raise TypeError(f"server cannot handle {type(request).__name__}")
 
-    def handle_many(
-        self, requests: Sequence[Union[QueryRequest, ModelRequest]]
-    ) -> List[Union[ValueResponse, ModelCoverResponse]]:
+    def handle_many(self, requests: Sequence[Request]) -> List[Response]:
         """Dispatch a batch of requests, answering queries vectorised.
 
         Query requests are grouped by the window responsible for their
@@ -138,26 +223,32 @@ class EnviroMeterServer:
         against that window's cover — one cover lookup and one vectorised
         evaluation per group instead of one of each per request.  Model
         requests ride along through the scalar path.  Responses come back
-        in request order.
+        in request order.  The whole batch is answered against a single
+        pinned snapshot, so all its answers share one epoch.
         """
-        responses: List[Optional[Union[ValueResponse, ModelCoverResponse]]] = [
-            None
-        ] * len(requests)
+        return self.handle_many_with_epoch(requests)[0]
+
+    def handle_many_with_epoch(
+        self, requests: Sequence[Request]
+    ) -> Tuple[List[Response], int]:
+        """:meth:`handle_many` plus the pinned snapshot epoch."""
+        snap = self.snapshot()
+        responses: List[Optional[Response]] = [None] * len(requests)
         query_positions: List[int] = []
         for i, request in enumerate(requests):
             if isinstance(request, QueryRequest):
                 query_positions.append(i)
             else:
-                responses[i] = self.handle(request)
+                responses[i] = self._handle_pinned(request, snap)
         if query_positions:
             ts = np.array([requests[i].t for i in query_positions])
-            windows = self.windows_for(ts)
+            windows = snap.windows_for_times(ts)
             for c in np.unique(windows):
                 members = [
                     query_positions[k] for k in np.flatnonzero(windows == c)
                 ]
                 reqs = [requests[i] for i in members]
-                cover = self.cover_for(reqs[0].t)
+                cover = self._cover_for(int(c), snap)
                 proc = ModelCoverProcessor(cover)
                 batch = QueryBatch(
                     np.array([r.t for r in reqs]),
@@ -170,20 +261,29 @@ class EnviroMeterServer:
                         float(result.values[k]) if result.answered[k] else math.nan
                     )
                     responses[i] = ValueResponse(t=reqs[k].t, value=value)
-                self._served_values += len(members)
-        return responses  # type: ignore[return-value]
+                with self._stats_lock:
+                    self._served_values += len(members)
+        return responses, snap.epoch  # type: ignore[return-value]
 
-    def _handle_query(self, request: QueryRequest) -> ValueResponse:
-        cover = self.cover_for(request.t)
+    def _handle_query(
+        self, request: QueryRequest, snap: StorageSnapshot
+    ) -> ValueResponse:
+        c = int(snap.windows_for_times((request.t,))[0])
+        cover = self._cover_for(c, snap)
         proc = ModelCoverProcessor(cover)
         result = proc.process(QueryTuple(t=request.t, x=request.x, y=request.y))
-        self._served_values += 1
+        with self._stats_lock:
+            self._served_values += 1
         value = result.value if result.value is not None else math.nan
         return ValueResponse(t=request.t, value=value)
 
-    def _handle_model_request(self, request: ModelRequest) -> ModelCoverResponse:
-        cover = self.cover_for(request.t)
-        self._served_covers += 1
+    def _handle_model_request(
+        self, request: ModelRequest, snap: StorageSnapshot
+    ) -> ModelCoverResponse:
+        c = int(snap.windows_for_times((request.t,))[0])
+        cover = self._cover_for(c, snap)
+        with self._stats_lock:
+            self._served_covers += 1
         return ModelCoverResponse(blob=cover.to_blob())
 
     # -- introspection -------------------------------------------------------------
@@ -234,6 +334,12 @@ class ShardedEnviroMeterServer:
     with no data yet falls over to the nearest shard that has some (by
     region-centre distance) — a cold region should degrade to its
     neighbour's model, not to an error.
+
+    Ingest fans the per-shard sub-batches across a worker pool — shards
+    are independent stores behind their own write locks, so routing is
+    the only serial step — while readers keep serving against the
+    snapshots their requests pinned.  ``max_workers`` caps that pool
+    (default: one worker per CPU).
     """
 
     def __init__(
@@ -242,6 +348,7 @@ class ShardedEnviroMeterServer:
         h: int = 240,
         config: Optional[AdKMNConfig] = None,
         validity_horizon_s: float = 4.0 * 3600.0,
+        max_workers: Optional[int] = None,
     ) -> None:
         self.grid = grid
         self.h = h
@@ -251,23 +358,49 @@ class ShardedEnviroMeterServer:
             )
             for _ in range(grid.n_regions)
         ]
+        self._executor = BatchExecutor(max_workers=max_workers)
+        self._ingest_lock = threading.Lock()
+        self._epoch = 0
 
     @property
     def n_shards(self) -> int:
         return len(self.shards)
 
+    @property
+    def epoch(self) -> int:
+        """Monotone ingest epoch: +1 per non-empty :meth:`ingest` call —
+        the sharded analogue of :meth:`EnviroMeterServer.epoch` (one
+        counter for the whole fleet, since a batch may touch several
+        shards)."""
+        return self._epoch
+
+    def close(self) -> None:
+        """Release the parallel-ingest worker pool (idempotent)."""
+        self._executor.shutdown()
+
     # -- ingestion ----------------------------------------------------------
 
     def ingest(self, batch: TupleBatch) -> int:
         """Route a batch's tuples to their owning shards (order-preserving
-        within each shard) and ingest each sub-batch exactly once."""
+        within each shard) and ingest each sub-batch exactly once, in
+        parallel across shards.
+
+        Writers serialise on the ingest lock, so the fleet moves from one
+        epoch-consistent state to the next batch by batch; within a
+        batch, the per-shard appends are independent (each shard has its
+        own database and write lock) and fan out across the pool."""
         if not len(batch):
             return 0
         owners = self.grid.shards_of(batch.x, batch.y)
-        total = 0
-        for s in np.unique(owners):
-            total += self.shards[int(s)].ingest(batch.select_mask(owners == s))
-        return total
+        with self._ingest_lock:
+            parts = [
+                (int(s), batch.select_mask(owners == s)) for s in np.unique(owners)
+            ]
+            delivered = self._executor.map(
+                lambda part: self.shards[part[0]].ingest(part[1]), parts
+            )
+            self._epoch += 1
+        return sum(delivered)
 
     # -- request dispatch ----------------------------------------------------
 
@@ -295,6 +428,14 @@ class ShardedEnviroMeterServer:
         if not isinstance(request, (QueryRequest, ModelRequest)):
             raise TypeError(f"server cannot handle {type(request).__name__}")
         return self._shard_for(request.x, request.y).handle(request)
+
+    def handle_with_epoch(self, request: Request) -> Tuple[Response, int]:
+        """Like :meth:`handle`, also reporting the fleet epoch the answer
+        was computed at.  Exact whenever no ingest overlaps the call
+        (e.g. the harness's phase-separated schedules); under overlapping
+        ingest the reported epoch is the fleet epoch at dispatch."""
+        epoch = self._epoch
+        return self.handle(request), epoch
 
     def handle_many(
         self, requests: Sequence[Union[QueryRequest, ModelRequest]]
@@ -330,6 +471,14 @@ class ShardedEnviroMeterServer:
                 responses[i] = answer
         return responses  # type: ignore[return-value]
 
+    def handle_many_with_epoch(
+        self, requests: Sequence[Request]
+    ) -> Tuple[List[Response], int]:
+        """:meth:`handle_many` plus the fleet epoch at dispatch (exact
+        when no ingest overlaps the call, as in phase-separated runs)."""
+        epoch = self._epoch
+        return self.handle_many(requests), epoch
+
     # -- introspection -------------------------------------------------------
 
     @property
@@ -358,3 +507,119 @@ class ShardedEnviroMeterServer:
     def shard_raw_counts(self) -> List[int]:
         """Raw-tuple count per shard database."""
         return [s.db.raw_count() for s in self.shards]
+
+
+class ConcurrentEnviroMeterServer:
+    """A thread-pooled front door over a thread-safe EnviroMeter server.
+
+    Wraps an :class:`EnviroMeterServer` or
+    :class:`ShardedEnviroMeterServer` and serves ``handle_many`` batches
+    from ``max_workers`` worker threads: the batch is split into
+    contiguous chunks, each chunk answered by the inner server's
+    vectorised ``handle_many`` on its own worker, while ingest (called
+    from any writer thread) proceeds under the inner server's write
+    locks.  With an :class:`EnviroMeterServer` inner, each chunk pins one
+    storage snapshot, so every answer is byte-identical to a serial
+    server at that chunk's reported epoch — ``handle_many_with_epochs``
+    reports the per-request epochs for the concurrency harness to replay
+    against.  A :class:`ShardedEnviroMeterServer` inner pins snapshots
+    per shard, not fleet-wide, so its reported epoch is exact only while
+    no ingest overlaps the chunk (see
+    :meth:`ShardedEnviroMeterServer.handle_many_with_epoch`).
+
+    The wrapper adds no state of its own beyond the pool, so any mix of
+    threads may share one instance; single requests bypass the pool.
+    """
+
+    def __init__(
+        self,
+        server: Union[EnviroMeterServer, ShardedEnviroMeterServer],
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.inner = server
+        self._executor = BatchExecutor(max_workers=max_workers)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; recreated on demand)."""
+        self._executor.shutdown()
+
+    def __enter__(self) -> "ConcurrentEnviroMeterServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- serving -------------------------------------------------------------
+
+    def ingest(self, batch: TupleBatch) -> int:
+        """Forward to the inner server (safe from any writer thread)."""
+        return self.inner.ingest(batch)
+
+    def handle(self, request: Request) -> Response:
+        return self.inner.handle(request)
+
+    def handle_with_epoch(self, request: Request) -> Tuple[Response, int]:
+        return self.inner.handle_with_epoch(request)
+
+    def handle_many_with_epoch(
+        self, requests: Sequence[Request]
+    ) -> Tuple[List[Response], int]:
+        """One batch on the *calling* thread, pinned to a single epoch —
+        for callers that are themselves worker threads (a client-session
+        loop); :meth:`handle_many_with_epochs` is the pool-fanned form."""
+        return self.inner.handle_many_with_epoch(requests)
+
+    def handle_many(self, requests: Sequence[Request]) -> List[Response]:
+        """Answer a request batch across the worker pool, in order."""
+        return self.handle_many_with_epochs(requests)[0]
+
+    def handle_many_with_epochs(
+        self, requests: Sequence[Request]
+    ) -> Tuple[List[Response], np.ndarray]:
+        """:meth:`handle_many` plus the snapshot epoch per request.
+
+        Requests within one chunk share an epoch; chunks dispatched while
+        a writer ingests may legitimately observe different epochs."""
+        if not requests:
+            return [], np.empty(0, dtype=np.int64)
+        chunks = split_chunks(list(requests), self._executor.workers_for(len(requests)))
+        parts = self._executor.map(self.inner.handle_many_with_epoch, chunks)
+        responses: List[Response] = []
+        epochs = np.empty(len(requests), dtype=np.int64)
+        pos = 0
+        for chunk, (answers, epoch) in zip(chunks, parts):
+            responses.extend(answers)
+            epochs[pos : pos + len(chunk)] = epoch
+            pos += len(chunk)
+        return responses, epochs
+
+    # -- introspection (replay-stats interface) ------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self.inner.epoch
+
+    @property
+    def served_values(self) -> int:
+        return self.inner.served_values
+
+    @property
+    def served_covers(self) -> int:
+        return self.inner.served_covers
+
+    @property
+    def builder_fit_count(self) -> int:
+        return self.inner.builder_fit_count
+
+    @property
+    def covers_stored(self) -> int:
+        return self.inner.covers_stored
+
+    @property
+    def sealed_windows_total(self) -> int:
+        return self.inner.sealed_windows_total
+
+    def has_data(self) -> bool:
+        return self.inner.has_data()

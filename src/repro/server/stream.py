@@ -17,7 +17,11 @@ import numpy as np
 
 from repro.data.tuples import TupleBatch
 from repro.network.messages import QueryRequest
-from repro.server.server import EnviroMeterServer, ShardedEnviroMeterServer
+from repro.server.server import (
+    ConcurrentEnviroMeterServer,
+    EnviroMeterServer,
+    ShardedEnviroMeterServer,
+)
 
 ProgressCallback = Callable[[float, int], None]
 """Called after each delivered batch with (virtual time, total ingested)."""
@@ -33,14 +37,21 @@ class ReplayStats:
     covers_fitted: int = 0
     windows_sealed: int = 0
     final_time: float = 0.0
+    final_epoch: int = 0
 
 
 class StreamReplayer:
-    """Replays a tuple batch into a server in ``batch_interval_s`` slices."""
+    """Replays a tuple batch into a server in ``batch_interval_s`` slices.
+
+    Accepts any server exposing the duck-typed serving interface
+    (``ingest``/``handle`` plus the replay-stats properties) — the plain,
+    sharded and concurrent front ends all qualify."""
 
     def __init__(
         self,
-        server: Union[EnviroMeterServer, ShardedEnviroMeterServer],
+        server: Union[
+            EnviroMeterServer, ShardedEnviroMeterServer, ConcurrentEnviroMeterServer
+        ],
         batch_interval_s: float = 600.0,
     ) -> None:
         if batch_interval_s <= 0:
@@ -99,4 +110,5 @@ class StreamReplayer:
         stats.covers_built = self.server.covers_stored
         stats.covers_fitted = self.server.builder_fit_count
         stats.windows_sealed = self.server.sealed_windows_total
+        stats.final_epoch = getattr(self.server, "epoch", 0)
         return stats

@@ -29,7 +29,8 @@ preserves per-shard time order.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import threading
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -71,6 +72,16 @@ class ShardRouter:
         # the exact gather path orders hits by.
         self._gid_parts: List[List[np.ndarray]] = [[] for _ in range(grid.n_regions)]
         self._gid_cache: List[Optional[np.ndarray]] = [None] * grid.n_regions
+        # Writer serialisation: one ingest at a time keeps the global row
+        # counter, the cut offsets and the gid parts mutually consistent.
+        self._lock = threading.RLock()
+        self._epoch = 0
+        # Per shard: global window c -> epoch of the last ingest that
+        # delivered tuples of W_c to that shard.  The stamp the sharded
+        # query engine's processor caches key on (sealed windows freeze).
+        self._window_epochs: List[Dict[int, int]] = [
+            {} for _ in range(grid.n_regions)
+        ]
 
     # -- topology ----------------------------------------------------------
 
@@ -88,6 +99,19 @@ class ShardRouter:
     def global_count(self) -> int:
         """Total tuples ingested across all shards."""
         return self._global_rows
+
+    @property
+    def epoch(self) -> int:
+        """Monotone ingest epoch: +1 per non-empty :meth:`ingest` call."""
+        return self._epoch
+
+    def shard_window_epoch(self, s: int, c: int) -> int:
+        """Epoch of the last ingest that delivered global-window-``c``
+        tuples to shard ``s`` (0 if the slice is empty).  Frozen once the
+        global window seals — the content stamp the sharded query engine
+        keys its processor caches on.  Read the stamp *before* slicing
+        the window: the slice is then at least as fresh as the stamp."""
+        return self._window_epochs[s].get(int(c), 0)
 
     def shard_counts(self) -> List[int]:
         """Per-shard tuple counts (sums to :meth:`global_count`)."""
@@ -111,31 +135,38 @@ class ShardRouter:
         delivered = [0] * self.n_shards
         if not n:
             return delivered
-        owners = self.route(batch)
-        start = self._global_rows
-        boundaries = window_boundaries_in(start, n, self.h)
-        prior = [db.raw_count() for db in self._dbs]
-        gids = np.arange(start, start + n, dtype=np.int64)
-        for s in np.unique(owners):
-            s = int(s)
-            member = owners == s
-            delivered[s] = self._dbs[s].ingest_tuples(batch.select_mask(member))
-            self._gid_parts[s].append(gids[member])
-            self._gid_cache[s] = None
-        if len(boundaries):
-            # positions_s[k] = batch-local row of shard s's k-th tuple; the
-            # number of shard-s tuples before global boundary b is then a
-            # binary search over it — one vectorised call per shard for
-            # all boundaries the batch crosses.
-            local_b = np.asarray(boundaries, dtype=np.int64) - start
-            for s in range(self.n_shards):
-                if not delivered[s]:  # absent from the batch: cuts are flat
-                    self._cuts[s].extend([prior[s]] * len(local_b))
-                    continue
-                positions = np.flatnonzero(owners == s)
-                cuts = prior[s] + np.searchsorted(positions, local_b)
-                self._cuts[s].extend(int(cut) for cut in cuts)
-        self._global_rows += n
+        with self._lock:
+            owners = self.route(batch)
+            start = self._global_rows
+            boundaries = window_boundaries_in(start, n, self.h)
+            prior = [db.raw_count() for db in self._dbs]
+            gids = np.arange(start, start + n, dtype=np.int64)
+            self._epoch += 1
+            for s in np.unique(owners):
+                s = int(s)
+                member = owners == s
+                # Gids first, rows second: a lock-free reader that sees a
+                # shard row can then always resolve its gid, never the
+                # reverse (extra gids past the committed rows are inert).
+                self._gid_parts[s].append(gids[member])
+                self._gid_cache[s] = None
+                delivered[s] = self._dbs[s].ingest_tuples(batch.select_mask(member))
+                for c in np.unique(gids[member] // self.h):
+                    self._window_epochs[s][int(c)] = self._epoch
+            if len(boundaries):
+                # positions_s[k] = batch-local row of shard s's k-th tuple;
+                # the number of shard-s tuples before global boundary b is
+                # then a binary search over it — one vectorised call per
+                # shard for all boundaries the batch crosses.
+                local_b = np.asarray(boundaries, dtype=np.int64) - start
+                for s in range(self.n_shards):
+                    if not delivered[s]:  # absent from the batch: cuts are flat
+                        self._cuts[s].extend([prior[s]] * len(local_b))
+                        continue
+                    positions = np.flatnonzero(owners == s)
+                    cuts = prior[s] + np.searchsorted(positions, local_b)
+                    self._cuts[s].extend(int(cut) for cut in cuts)
+            self._global_rows += n
         return delivered
 
     # -- global window alignment -------------------------------------------
@@ -190,6 +221,22 @@ class ShardRouter:
         start, stop = self._window_bounds(s, c, len(gids))
         return gids[start:stop]
 
+    def snapshot_window(self, s: int, c: int):
+        """Coherent ``(content stamp, window slice, gid slice)`` triple.
+
+        Taken under the router lock, so a concurrent ingest can never
+        tear the triple: the stamp identifies exactly the rows in the
+        slices, and the gids align with the window's rows.  O(1) —
+        zero-copy slicing only; callers scan outside the lock.  This is
+        the read the sharded query engine's epoch-stamped caches key on.
+        """
+        with self._lock:
+            return (
+                self.shard_window_epoch(s, c),
+                self.shard_window(s, c),
+                self.shard_window_gids(s, c),
+            )
+
     def windows_for_times(self, ts) -> np.ndarray:
         """Global window index responsible for each query timestamp.
 
@@ -205,7 +252,12 @@ class ShardRouter:
             t_col = db.raw_tuples().t
             if len(t_col):
                 pos += np.searchsorted(t_col, ts, side="right")
-        return np.maximum(pos - 1, 0) // self.h
+        # Clamp to the *registered* global windows: under concurrent
+        # ingest a shard column can run ahead of the router's row counter
+        # for an instant, and a window index past the registered stream
+        # end would fault every window lookup downstream.
+        limit = max(self.global_window_count() - 1, 0)
+        return np.minimum(np.maximum(pos - 1, 0) // self.h, limit)
 
     def window_for_time(self, t: float) -> int:
         return int(self.windows_for_times((t,))[0])

@@ -10,10 +10,23 @@ ever touch positions past the snapshot's length.
 Failed writes are atomic: ``insert`` and ``insert_columns`` validate the
 whole row / column set up front, so a rejected write leaves every column
 untouched (see ``README.md`` in this package).
+
+Concurrency contract (the serving layer's reader-writer isolation rides
+on it):
+
+* writers serialise on the table's write lock — one appender at a time;
+* readers never lock.  Every write commits in an order that keeps any
+  interleaved read torn-free: buffer reallocation installs a fully
+  prefix-copied buffer before the swap, new values land past the filled
+  length, and the length advances last (``_row_count`` after every
+  column).  A reader that loads the length *before* the buffer therefore
+  always sees a fully-written prefix, whichever side of an in-flight
+  append it lands on.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -91,10 +104,19 @@ class _NumericColumn:
         return self._buf[i]
 
     def snapshot(self) -> np.ndarray:
-        """Immutable zero-copy view of the whole column (cached)."""
+        """Immutable zero-copy view of the whole column (cached).
+
+        Safe to call concurrently with an appender: the filled length is
+        loaded *before* the buffer, so whichever buffer generation the
+        read lands on contains a fully-written prefix of that length.
+        The cache is validated by length and buffer identity rather than
+        cleared-flag state, so a racing reader re-caching a stale view
+        only costs the next caller a rebuild, never a torn read.
+        """
+        n = self._len
         view = self._view
-        if view is None:
-            view = self._buf[: self._len]
+        if view is None or view.shape[0] != n or view.base is not self._buf:
+            view = self._buf[:n]
             view.flags.writeable = False
             self._view = view
         return view
@@ -128,9 +150,11 @@ class _BytesColumn:
         return self._values[i]
 
     def snapshot(self) -> Tuple[bytes, ...]:
-        if self._snap is None:
-            self._snap = tuple(self._values)
-        return self._snap
+        snap = self._snap
+        if snap is None or len(snap) != len(self._values):
+            snap = tuple(self._values)
+            self._snap = snap
+        return snap
 
 
 _DTYPES = {
@@ -140,7 +164,13 @@ _DTYPES = {
 
 
 class Table:
-    """One append-only table with a fixed :class:`Schema`."""
+    """One append-only table with a fixed :class:`Schema`.
+
+    Writes serialise on an internal lock; reads are lock-free and
+    consistent — ``scan``/``column`` clamp every column snapshot to the
+    committed row count (loaded first), so a scan taken mid-append never
+    mixes columns of different lengths.
+    """
 
     def __init__(self, name: str, schema: Schema) -> None:
         if not name or not name.isidentifier():
@@ -154,6 +184,7 @@ class Table:
             else:
                 self._columns[col.name] = _NumericColumn(_DTYPES[col.ctype])
         self._row_count = 0
+        self._lock = threading.RLock()
 
     # -- writes -------------------------------------------------------------
 
@@ -167,14 +198,15 @@ class Table:
             raise ValueError(
                 f"{self.name}: row has {len(row)} values, schema has {len(self.schema)}"
             )
-        prepared = [
-            self._columns[col.name].prepare(value)
-            for col, value in zip(self.schema.columns, row)
-        ]
-        for col, value in zip(self.schema.columns, prepared):
-            self._columns[col.name].append_prepared(value)
-        rid = self._row_count
-        self._row_count += 1
+        with self._lock:
+            prepared = [
+                self._columns[col.name].prepare(value)
+                for col, value in zip(self.schema.columns, row)
+            ]
+            for col, value in zip(self.schema.columns, prepared):
+                self._columns[col.name].append_prepared(value)
+            rid = self._row_count
+            self._row_count += 1
         return rid
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -200,17 +232,18 @@ class Table:
         if self.schema.has_bytes:
             bad = next(c.name for c in self.schema.columns if c.ctype is ColumnType.BYTES)
             raise TypeError(f"{self.name}.{bad}: bulk insert not supported for BYTES")
-        arrays = {
-            col.name: self._columns[col.name].prepare_bulk(columns[col.name])
-            for col in self.schema.columns
-        }
-        lengths = {len(a) for a in arrays.values()}
-        if len(lengths) != 1:
-            raise ValueError(f"{self.name}: column arrays have differing lengths")
-        for col in self.schema.columns:
-            self._columns[col.name].extend(arrays[col.name])
-        (n,) = lengths
-        self._row_count += n
+        with self._lock:
+            arrays = {
+                col.name: self._columns[col.name].prepare_bulk(columns[col.name])
+                for col in self.schema.columns
+            }
+            lengths = {len(a) for a in arrays.values()}
+            if len(lengths) != 1:
+                raise ValueError(f"{self.name}: column arrays have differing lengths")
+            for col in self.schema.columns:
+                self._columns[col.name].extend(arrays[col.name])
+            (n,) = lengths
+            self._row_count += n
         return n
 
     # -- reads --------------------------------------------------------------
@@ -219,14 +252,30 @@ class Table:
         return self._row_count
 
     def column(self, name: str) -> Any:
-        """Immutable snapshot of one column (ndarray view or tuple of bytes)."""
+        """Immutable snapshot of one column (ndarray view or tuple of bytes).
+
+        Clamped to the committed row count, which is loaded *before* the
+        column snapshot: a concurrent appender bumps the count only after
+        every column holds the new rows, so the clamp always selects
+        fully-written data.
+        """
         self.schema.column(name)  # raises KeyError for unknown names
-        return self._columns[name].snapshot()
+        n = self._row_count
+        snap = self._columns[name].snapshot()
+        return snap if len(snap) == n else snap[:n]
 
     def scan(self) -> Dict[str, Any]:
         """Snapshot of all columns, keyed by name.  O(#columns): numeric
-        snapshots are zero-copy views, never a concatenation of history."""
-        return {name: self.column(name) for name in self.schema.names}
+        snapshots are zero-copy views, never a concatenation of history.
+        All columns are clamped to one committed row count (loaded before
+        any snapshot), so a scan taken while a writer is mid-append never
+        mixes columns of different lengths."""
+        n = self._row_count
+        out: Dict[str, Any] = {}
+        for name in self.schema.names:
+            snap = self._columns[name].snapshot()
+            out[name] = snap if len(snap) == n else snap[:n]
+        return out
 
     def row(self, rid: int) -> Tuple[Any, ...]:
         """One row by id — O(#columns) point reads, no snapshots."""

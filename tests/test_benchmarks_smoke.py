@@ -90,6 +90,12 @@ def _run_batch_execution(m, ds, bm):
     m.bench_continuous(bm, ds, path="batched")
 
 
+def _run_concurrent(m, ds, bm):
+    m.N_INGEST_BATCHES, m.N_CHUNKS, m.CHUNK_SIZE = 4, 4, 40
+    m.UPLINK_S = m.CLIENT_RTT_S = 0.001
+    m.bench_concurrent_serving(bm, ds, mode="concurrent")
+
+
 def _run_fig6a_efficiency(m, ds, bm):
     m.N_QUERIES = 20
     m.bench_point_queries(bm, ds, radius_m=1000.0, tau_n=2.0, method="adkmn", h=40)
@@ -133,6 +139,7 @@ SMOKE_RUNNERS = {
     "bench_ablation_models": _run_ablation_models,
     "bench_ablation_tau": _run_ablation_tau,
     "bench_batch_execution": _run_batch_execution,
+    "bench_concurrent": _run_concurrent,
     "bench_fig6a_efficiency": _run_fig6a_efficiency,
     "bench_fig6b_accuracy": _run_fig6b_accuracy,
     "bench_fig7a_memory": _run_fig7a_memory,
@@ -162,7 +169,17 @@ def test_bench_module_runs_tiny_iteration(name, tiny_dataset):
     # a later real benchmark run in the same process sees the originals.
     original = {
         attr: getattr(module, attr)
-        for attr in ("N_QUERIES", "QUERIES_PER_MEMBER", "GRID_NX", "GRID_NY")
+        for attr in (
+            "N_QUERIES",
+            "QUERIES_PER_MEMBER",
+            "GRID_NX",
+            "GRID_NY",
+            "N_INGEST_BATCHES",
+            "N_CHUNKS",
+            "CHUNK_SIZE",
+            "UPLINK_S",
+            "CLIENT_RTT_S",
+        )
         if hasattr(module, attr)
     }
     try:

@@ -1,0 +1,214 @@
+"""Stress regression: processor caches must never serve stale processors.
+
+PR 3 fixed the sharded engine serving index/cover processors built on a
+shorter prefix of a still-open window (then guarded by length-stamped
+cache keys); the concurrent serving layer replaced the length stamps
+with *content epochs*.  These tests hammer a growing open window from
+multiple reader threads while a writer ingests, and assert the epoch
+scheme upholds the same guarantee:
+
+* the single-node :class:`QueryEngine` (after :meth:`refresh`) never
+  returns a processor built on fewer window tuples than the engine's
+  stream held before the call;
+* the :class:`ShardedQueryEngine` never answers a full-coverage query
+  with less support than the window held before the query was issued;
+* after the stream quiesces, cached processors answer byte-identically
+  to a freshly-built engine — a stale survivor would poison this.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.data.tuples import TupleBatch
+from repro.data.windows import touched_windows
+from repro.geo.coords import BoundingBox
+from repro.geo.region import RegionGrid
+from repro.query.engine import QueryEngine
+from repro.query.sharded import ShardedQueryEngine
+from repro.storage.shards import ShardRouter
+
+H = 40
+N_READERS = 4
+BBOX = BoundingBox(0.0, 0.0, 6000.0, 4000.0)
+
+
+def make_stream(rng: np.random.Generator, n: int) -> TupleBatch:
+    t = np.cumsum(rng.uniform(0.5, 3.0, n))
+    return TupleBatch(
+        t,
+        rng.uniform(0.0, 6000.0, n),
+        rng.uniform(0.0, 4000.0, n),
+        rng.uniform(350.0, 600.0, n),
+    )
+
+
+class TestQueryEngineRefresh:
+    def test_refresh_invalidates_only_touched_windows(self):
+        rng = np.random.default_rng(2)
+        stream = make_stream(rng, 3 * H + 10)
+        engine = QueryEngine(stream.slice(0, 2 * H + 5), h=H)
+        sealed = engine.processor("naive", 0)
+        open_before = engine.processor("naive", 2)
+        assert len(open_before.window) == 5
+        epoch = engine.refresh(stream)  # grows window 2, seals it, opens 3
+        assert epoch == 1
+        assert engine.window_stamp(2) == 1 and engine.window_stamp(0) == 0
+        assert engine.processor("naive", 0) is sealed  # untouched: still hot
+        refreshed = engine.processor("naive", 2)
+        assert refreshed is not open_before
+        assert len(refreshed.window) == H
+        assert engine.refresh(stream) == 1  # no growth, no new epoch
+
+    def test_refresh_rejects_shorter_stream(self):
+        rng = np.random.default_rng(3)
+        stream = make_stream(rng, 2 * H)
+        engine = QueryEngine(stream, h=H)
+        try:
+            engine.refresh(stream.slice(0, H))
+        except ValueError:
+            pass
+        else:  # pragma: no cover - failure path
+            raise AssertionError("refresh accepted a truncated stream")
+
+    def test_threads_hammering_growing_open_window(self):
+        """N readers request the tail-window processor while the stream
+        grows; a served processor may lag the *instantaneous* write head
+        but never the stream the engine held before the request."""
+        rng = np.random.default_rng(5)
+        stream = make_stream(rng, 6 * H)
+        engine = QueryEngine(stream.slice(0, H + 4), h=H, cache_capacity=16)
+        stop = threading.Event()
+        violations: list = []
+
+        def reader():
+            while not stop.is_set():
+                batch = engine.batch  # the stream at/before our request
+                c = (len(batch) - 1) // H
+                expected = min(H, len(batch) - c * H)
+                proc = engine.processor("naive", c)
+                if len(proc.window) < expected:
+                    violations.append((c, expected, len(proc.window)))
+
+        threads = [threading.Thread(target=reader) for _ in range(N_READERS)]
+        for t in threads:
+            t.start()
+        try:
+            for stop_row in range(H + 8, len(stream) + 1, 7):
+                engine.refresh(stream.slice(0, stop_row))
+            engine.refresh(stream)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not violations, f"stale processors served: {violations[:5]}"
+        # Quiesced: the cached tail processor covers the full final window.
+        tail = (len(stream) - 1) // H
+        assert len(engine.processor("naive", tail).window) == len(stream) - tail * H
+
+
+class TestShardedEngineEpochStamps:
+    def test_growing_open_window_single_thread_regression(self):
+        """The PR 3 regression shape, under epoch stamps: query, grow the
+        open window, query again — the second answer must see the new
+        tuples (a stale cached index would freeze the support)."""
+        rng = np.random.default_rng(7)
+        stream = make_stream(rng, H + H // 2)
+        router = ShardRouter(RegionGrid(BBOX, nx=2, ny=2), h=H)
+        first, second = stream.slice(0, H + 5), stream.slice(H + 5, len(stream))
+        router.ingest(first)
+        engine = ShardedQueryEngine(router, radius_m=1e9, max_workers=1)
+        t_probe = float(stream.t[-1])
+        res1 = engine.point_query(t_probe, 3000.0, 2000.0, method="kdtree")
+        assert res1.support == 5  # open window W_1 so far
+        router.ingest(second)
+        res2 = engine.point_query(t_probe, 3000.0, 2000.0, method="kdtree")
+        assert res2.support == len(stream) - H  # stale index would still say 5
+        engine.close()
+
+    def test_threads_hammering_growing_open_window(self):
+        """Readers issue full-coverage queries (radius spans the bbox)
+        against the open global window while a writer ingests: every
+        answer's support must be at least the window population observed
+        before the query was issued, and the quiesced engine must agree
+        byte-for-byte with a freshly built one."""
+        rng = np.random.default_rng(11)
+        stream = make_stream(rng, 4 * H)
+        router = ShardRouter(RegionGrid(BBOX, nx=2, ny=2), h=H)
+        router.ingest(stream.slice(0, H // 2))
+        engine = ShardedQueryEngine(router, radius_m=1e9, max_workers=2)
+        t_probe = float(stream.t[-1])  # always resolves to the last window
+        stop = threading.Event()
+        violations: list = []
+        failures: list = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    n = router.global_count()
+                    c = (n - 1) // H
+                    floor = n - c * H  # open-window population at/before now
+                    res = engine.point_query(t_probe, 3000.0, 2000.0, method="kdtree")
+                    # The query may resolve to a later window than c if the
+                    # writer advanced past a boundary; only compare when it
+                    # answered the window we measured.
+                    c_after = (router.global_count() - 1) // H
+                    if c_after == c and res.support < floor:
+                        violations.append((c, floor, res.support))
+            except BaseException as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(N_READERS)]
+        for t in threads:
+            t.start()
+        try:
+            for start in range(H // 2, len(stream), 11):
+                router.ingest(stream.slice(start, min(start + 11, len(stream))))
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not failures, failures[:1]
+        assert not violations, f"stale shard processors served: {violations[:5]}"
+        fresh = ShardedQueryEngine(router, radius_m=1e9, max_workers=1)
+        probes_t = np.repeat(stream.t[[len(stream) // 3, -1]], 2)
+        probes_x = np.array([1000.0, 5000.0, 1000.0, 5000.0])
+        probes_y = np.array([1000.0, 3000.0, 3000.0, 1000.0])
+        for t_p, x_p, y_p in zip(probes_t, probes_x, probes_y):
+            hot = engine.point_query(float(t_p), float(x_p), float(y_p), "kdtree")
+            ref = fresh.point_query(float(t_p), float(x_p), float(y_p), "kdtree")
+            assert hot.support == ref.support
+            assert np.array_equal(
+                np.float64(hot.value if hot.value is not None else np.nan),
+                np.float64(ref.value if ref.value is not None else np.nan),
+                equal_nan=True,
+            )
+        engine.close()
+        fresh.close()
+
+    def test_window_epochs_freeze_on_seal(self):
+        rng = np.random.default_rng(13)
+        stream = make_stream(rng, 3 * H)
+        router = ShardRouter(RegionGrid(BBOX, nx=2, ny=2), h=H)
+        for start in range(0, len(stream), 17):
+            router.ingest(stream.slice(start, min(start + 17, len(stream))))
+        frozen = {
+            (s, c): router.shard_window_epoch(s, c)
+            for s in range(router.n_shards)
+            for c in range(router.global_window_count() - 1)  # sealed only
+        }
+        extra = make_stream(np.random.default_rng(14), 10)
+        shifted = TupleBatch(
+            extra.t + float(stream.t[-1]) + 1.0, extra.x, extra.y, extra.s
+        )
+        router.ingest(shifted)  # grows only the tail / a new window
+        for (s, c), stamp in frozen.items():
+            assert router.shard_window_epoch(s, c) == stamp
+
+
+def test_touched_windows_is_the_invalidation_oracle():
+    """The refresh path invalidates exactly the grown windows."""
+    assert list(touched_windows(85, 10, H)) == [2]
+    assert list(touched_windows(75, 10, H)) == [1, 2]

@@ -131,8 +131,9 @@ class TestPlannerIntegration:
         engine.point_query(t_mid, 2500.0, 1800.0, method="auto")
         c = router.window_for_time(t_mid)
         owner = router.grid.shard_of(2500.0, 1800.0)
+        stamp = router.shard_window_epoch(owner, c)
         sub = router.shard_window(owner, c)
-        planned = engine._planned_method(owner, c, exact=False, sub=sub)
+        planned = engine._planned_method(owner, c, exact=False, stamp=stamp, sub=sub)
         assert planned in ("naive", "rtree", "vptree", "model-cover")
         # A long workload over a populated shard amortises the fit.
         if len(router.shard_window(owner, c)) >= 16:
@@ -159,9 +160,13 @@ class TestPlannerIntegration:
         )
         c = router.window_for_time(t_mid)
         owner = router.grid.shard_of(2500.0, 1800.0)
+        stamp = router.shard_window_epoch(owner, c)
         sub = router.shard_window(owner, c)
         if len(sub):
-            assert engine._planned_method(owner, c, exact=False, sub=sub) == "naive"
+            assert (
+                engine._planned_method(owner, c, exact=False, stamp=stamp, sub=sub)
+                == "naive"
+            )
 
 
 class TestMergeInternals:
