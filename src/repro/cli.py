@@ -5,7 +5,10 @@ Subcommands:
 * ``figures``  — regenerate the paper's evaluation tables (E1–E4);
 * ``dataset``  — generate the synthetic lausanne-data and write it to CSV;
 * ``heatmap``  — render the web UI's heatmap for a given hour to a PPM file;
-* ``serve``    — replay a stream into a server and report cover builds.
+* ``serve``    — replay a stream into a server and report cover builds;
+* ``explain``  — print the execution plan the pipeline chose for a query
+  workload (ops, method per window/shard, cost estimates vs observed
+  timings, cache and planner-feedback counters).
 
 Examples::
 
@@ -15,6 +18,8 @@ Examples::
     python -m repro.cli heatmap --hour 8.5 --shards 4
     python -m repro.cli serve --days 1
     python -m repro.cli serve --days 1 --shards 4
+    python -m repro.cli explain --hour 8.5 --method auto
+    python -m repro.cli explain --shards 4 --queries 300 --method auto
 """
 
 from __future__ import annotations
@@ -232,6 +237,90 @@ def _serve_concurrently(inner, ds, args):
     return outcome[0], chunks_served
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Compile one query workload, print the plan, run it, print timings."""
+    import numpy as np
+
+    from repro.data.lausanne import LausanneConfig, generate_lausanne_dataset
+    from repro.query.base import QueryBatch
+    from repro.query.pipeline.plan import PlanReport, format_plan
+
+    ds = generate_lausanne_dataset(
+        LausanneConfig(days=args.days, seed=args.seed, target_tuples=0)
+    )
+    tuples = ds.tuples
+    bounds = ds.covered_bbox()
+    anchor = args.hour * 3600.0
+    pos = min(int(np.searchsorted(tuples.t, anchor)), len(tuples) - 1)
+    t = float(tuples.t[pos])
+    if args.queries:
+        # A continuous stream sweeping the whole day (diagonal time walk).
+        span = len(tuples) - 1
+        picks = [i * span // max(args.queries - 1, 1) for i in range(args.queries)]
+        batch = QueryBatch(
+            tuples.t[picks], tuples.x[picks] + 50.0, tuples.y[picks] - 50.0
+        )
+        workload = f"continuous stream of {len(batch)} queries"
+    else:
+        batch = QueryBatch.from_grid(
+            t, bounds.min_x, bounds.min_y, bounds.width, bounds.height,
+            args.width, args.height,
+        )
+        workload = f"{args.width}x{args.height} heatmap grid at hour {args.hour}"
+
+    if args.shards > 1:
+        from repro.geo.region import RegionGrid
+        from repro.query.sharded import ShardedQueryEngine
+        from repro.storage.shards import ShardRouter
+
+        router = ShardRouter(
+            RegionGrid.for_shard_count(bounds, args.shards), h=args.h
+        )
+        router.ingest(tuples)
+        engine = ShardedQueryEngine(router, max_workers=args.workers)
+    else:
+        from repro.query.engine import QueryEngine
+
+        engine = QueryEngine(tuples, h=args.h, max_workers=args.workers)
+
+    print(f"workload: {workload} ({args.shards} shard(s), h={args.h})")
+    report = PlanReport()
+    if args.shards > 1:
+        plan_kwargs = {}
+    else:
+        # Mirror the real serving paths' dispatch policies, so the
+        # printed plan is the plan production would execute: heatmap
+        # grids always vectorise, continuous streams use the engine's
+        # scalar/parallel thresholds.
+        from repro.query.pipeline.plan import ENGINE_POLICY, VECTORISED_POLICY
+
+        plan_kwargs = {
+            "policy": ENGINE_POLICY if args.queries else VECTORISED_POLICY
+        }
+    if args.warm:
+        # One untimed run first: indexes/covers/verdicts materialise, so
+        # the printed plan shows steady-state timings and feedback.
+        engine.execute(engine.plan(batch, args.method, **plan_kwargs))
+    plan = engine.plan(batch, args.method, want_estimates=True, **plan_kwargs)
+    result = engine.execute(plan, report)
+    print(format_plan(plan, report))
+    print(
+        f"answered {result.n_answered}/{len(result)} queries; "
+        f"cache {engine.cache_stats.as_dict()}"
+    )
+    feedback = engine.planner.feedback.as_dict()
+    if feedback:
+        print("planner feedback (observed cost per scan unit):")
+        for method, row in feedback.items():
+            print(
+                f"  {method:<12} {row['sec_per_unit'] * 1e9:9.2f} ns/unit "
+                f"({row['observations']} observation(s))"
+            )
+    if hasattr(engine, "close"):
+        engine.close()
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -311,6 +400,48 @@ def build_parser() -> argparse.ArgumentParser:
         "proceeds (snapshot-isolated concurrent serving layer)",
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "explain",
+        help="print the pipeline's execution plan for a query workload",
+    )
+    p.add_argument("--hour", type=float, default=8.5, help="hour of day 0-24")
+    p.add_argument("--days", type=int, default=1)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--h", type=int, default=500, help="window size in tuples")
+    p.add_argument(
+        "--method",
+        default="auto",
+        help="query method (default auto: the planner chooses per window/shard)",
+    )
+    p.add_argument("--width", type=int, default=40, help="heatmap grid width")
+    p.add_argument("--height", type=int, default=30, help="heatmap grid height")
+    p.add_argument(
+        "--queries",
+        type=int,
+        default=0,
+        help="explain a continuous stream of this many queries instead of "
+        "the heatmap grid",
+    )
+    p.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="region-shard the store and explain the scatter-gather plan",
+    )
+    p.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="thread-pool size for plan execution (default: CPU count)",
+    )
+    p.add_argument(
+        "--warm",
+        action="store_true",
+        help="run the plan once untimed first, so the printed timings show "
+        "the steady state (caches hot, planner feedback populated)",
+    )
+    p.set_defaults(func=_cmd_explain)
     return parser
 
 

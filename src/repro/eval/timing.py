@@ -1,60 +1,20 @@
 """Wall-clock timing helpers and cache-effectiveness counters.
 
-:class:`Timer` / :func:`time_callable` serve the efficiency experiment;
-:class:`CacheStats` is the shared counter block surfaced by bounded
-caches (notably the query engine's LRU processor cache) so experiments
-can report hit rates next to wall times.
+:class:`Timer` / :func:`time_callable` serve the efficiency experiment.
+:class:`CacheStats` — the shared counter block surfaced by every bounded
+cache — now lives with the one cache implementation in
+:mod:`repro.query.pipeline.cache` and is re-exported here for
+compatibility.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
+from repro.query.pipeline.cache import CacheStats
 
-@dataclass
-class CacheStats:
-    """Hit/miss/eviction counters for a bounded cache.
-
-    Plain integer bumps; the owning cache is responsible for doing them
-    under its own lock when accessed from several threads.
-    """
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from cache; 0.0 before any lookup."""
-        n = self.lookups
-        return self.hits / n if n else 0.0
-
-    def record_hit(self) -> None:
-        self.hits += 1
-
-    def record_miss(self) -> None:
-        self.misses += 1
-
-    def record_eviction(self) -> None:
-        self.evictions += 1
-
-    def reset(self) -> None:
-        self.hits = self.misses = self.evictions = 0
-
-    def as_dict(self) -> Dict[str, float]:
-        """Snapshot for reports / benchmark ``extra_info`` blocks."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": round(self.hit_rate, 4),
-        }
+__all__ = ["CacheStats", "Timer", "time_callable"]
 
 
 class Timer:

@@ -1,23 +1,26 @@
-"""The query engine: processors bound to a stream + window choice.
+"""The query engine: a thin shell over the unified plan pipeline.
 
 Ties together the pieces of Figure 3's server region: given the raw tuple
 stream and a window convention, it materialises any of the four processor
 kinds for a window, answers point queries, and renders heatmap grids —
 the three modes of the web interface (Section 3).
 
-Execution goes through the **batched path** (``repro/query/README.md``):
-heatmap grids are one :class:`~repro.query.base.QueryBatch` per grid and
-continuous queries are grouped by window and fanned out across a
-:class:`~repro.query.executor.BatchExecutor`.  Materialised processors
-live in a bounded LRU cache keyed by ``(method, window)``; its
-effectiveness counters are a :class:`~repro.eval.timing.CacheStats`.
+Since the plan-pipeline refactor every request is compiled into the
+shared plan IR (``repro/query/pipeline``): the engine pins an
+:class:`~repro.query.pipeline.binding.EngineBinding` snapshot of its
+stream, builds one scatter-shaped plan (one op per window group), and
+runs it through the shared :class:`~repro.query.pipeline.executor.PlanExecutor`.
+Materialised processors live in the one epoch-keyed
+:class:`~repro.query.pipeline.cache.ProcessorCache`, ``method="auto"``
+consults the single statistics-backed
+:class:`~repro.query.pipeline.planner.PipelinePlanner`, and observed op
+timings flow back into the planner's feedback loop.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -26,26 +29,29 @@ from repro.core.builder import CoverBuilder
 from repro.data.tuples import QueryTuple, TupleBatch
 from repro.data.windows import touched_windows, window, windows_for_times
 from repro.geo.coords import BoundingBox
-
-if TYPE_CHECKING:  # runtime import is deferred: repro.eval pulls in the
-    from repro.eval.timing import CacheStats  # server package, which imports us
 from repro.query.base import (
     BatchResult,
     PointQueryProcessor,
     QueryBatch,
     QueryResult,
-    process_batch,
-    process_batch_scalar,
 )
-from repro.query.executor import (
-    BatchExecutor,
-    QueryGroup,
-    group_queries_by_window,
-    scatter_results,
-)
+from repro.query.executor import BatchExecutor, QueryGroup
 from repro.query.indexed import IndexedProcessor
 from repro.query.modelcover import ModelCoverProcessor
 from repro.query.naive import NaiveProcessor
+from repro.query.pipeline.binding import EngineBinding
+from repro.query.pipeline.cache import CacheStats, ProcessorCache
+from repro.query.pipeline.executor import PlanExecutor, PlanRuntime, build_group_plan
+from repro.query.pipeline.plan import (
+    ENGINE_POLICY,
+    SCALAR_POLICY,
+    VECTORISED_POLICY,
+    ExecutionPlan,
+    ExecutionPolicy,
+    PlanReport,
+)
+from repro.query.pipeline.planner import PipelinePlanner, PlannerFeedback
+from repro.query.planner import QueryProfile
 
 METHODS = ("naive", "rtree", "strtree", "vptree", "grid", "kdtree", "model-cover")
 
@@ -57,24 +63,13 @@ a long-running server sweeping months of windows stays bounded instead of
 accreting one index/cover per window it ever touched.
 """
 
-MIN_PARALLEL_QUERIES = 512
-"""Below this many queries in a stream, groups run serially.
+MIN_PARALLEL_QUERIES = ENGINE_POLICY.min_parallel_queries
+"""Below this many queries in a stream, groups run serially (see
+:class:`~repro.query.pipeline.plan.ExecutionPolicy`)."""
 
-Dispatching a handful of ten-query groups to pool threads costs more in
-submission overhead than the numpy work saves; the threshold keeps sparse
-continuous streams on the zero-overhead serial loop while dense streams
-(many queries per window) fan out.
-"""
-
-MIN_VECTORISED_GROUP = 24
-"""Below this many queries in a group, the scalar loop answers it.
-
-Vectorised ``process_batch`` pays fixed numpy dispatch (distance-matrix
-broadcasts, per-model gathers) that only amortises once a group has a few
-dozen queries; under the cutoff the per-query scalar path is faster, and
-both paths are equivalent by construction, so this is purely a cost
-choice.
-"""
+MIN_VECTORISED_GROUP = ENGINE_POLICY.min_vectorised_group
+"""Below this many queries in a group, the scalar loop answers it (see
+:class:`~repro.query.pipeline.plan.ExecutionPolicy`)."""
 
 
 class QueryEngine:
@@ -83,7 +78,8 @@ class QueryEngine:
     ``cache_capacity`` bounds the processor cache (LRU eviction);
     ``max_workers`` caps the thread pool continuous-query groups fan out
     on (default: one worker per CPU, see :mod:`repro.query.executor` for
-    the thread-safety contract and sizing guidance).
+    the thread-safety contract and sizing guidance); ``profile``
+    parameterises the planner behind ``method="auto"``.
     """
 
     def __init__(
@@ -94,29 +90,36 @@ class QueryEngine:
         config: Optional[AdKMNConfig] = None,
         cache_capacity: int = DEFAULT_PROCESSOR_CACHE_CAPACITY,
         max_workers: Optional[int] = None,
+        profile: Optional[QueryProfile] = None,
     ) -> None:
         if not len(batch):
             raise ValueError("query engine needs a non-empty tuple stream")
-        if cache_capacity < 1:
-            raise ValueError("cache_capacity must be at least 1")
         self._batch = batch
         self.h = h
         self.radius_m = radius_m
         self._builder = CoverBuilder(h, config=config, mode="count")
-        from repro.eval.timing import CacheStats  # deferred: cycle guard
-
-        # (method, window) -> (content stamp, processor).  The stamp is
-        # the engine epoch at which the window last gained tuples (see
-        # refresh); an entry whose stamp lags the window's current stamp
-        # is stale — built on a shorter prefix of a still-open window —
-        # and is rebuilt in place instead of served.
-        self._processors: "OrderedDict[tuple, tuple]" = OrderedDict()
-        self._cache_capacity = cache_capacity
-        self._cache_lock = threading.RLock()
-        self._cache_stats = CacheStats()
+        # The one epoch-keyed processor cache, keyed (method, window) and
+        # stamped with the window's content epoch (see refresh): an entry
+        # whose stamp lags is stale — built on a shorter prefix of a
+        # still-open window — and is rebuilt in place instead of served.
+        self._cache = ProcessorCache(cache_capacity)
         self._executor = BatchExecutor(max_workers=max_workers)
+        self._refresh_lock = threading.RLock()
         self._epoch = 0
         self._window_epochs: dict = {}
+        # Frozen copy of _window_epochs handed to bindings, rebuilt once
+        # per refresh epoch — point queries must not pay an O(windows)
+        # dict copy per call on a long-lived engine.
+        self._epochs_view: Optional[dict] = None
+        self.profile = profile or QueryProfile(radius_m=radius_m)
+        # The planner keeps verdicts in its own epoch-keyed store so
+        # they never evict processors out of the engine cache.
+        self._planner = PipelinePlanner(
+            self.profile,
+            config=config,
+            radius_m=radius_m,
+            feedback=PlannerFeedback(),
+        )
 
     @property
     def batch(self) -> TupleBatch:
@@ -145,8 +148,15 @@ class QueryEngine:
         processors over untouched windows stay hot.  Safe to call while
         reader threads query; each reader keeps the batch/processors it
         already picked up.  Returns the new engine epoch.
+
+        Coherence: :meth:`processor` and :meth:`binding` capture their
+        ``(stamp, batch)`` pairs under this same lock, so a racing
+        refresh can never produce a mixed pair (fresh stamp with stale
+        rows, or stale stamp with fresh rows) — either of which would
+        let the shared cache serve a processor built on different rows
+        than the caller's pinned snapshot.
         """
-        with self._cache_lock:
+        with self._refresh_lock:
             old_n = len(self._batch)
             if len(batch) < old_n:
                 raise ValueError(
@@ -155,11 +165,12 @@ class QueryEngine:
                 )
             if len(batch) == old_n:
                 return self._epoch
+            self._batch = batch
             self._epoch += 1
             for c in touched_windows(old_n, len(batch) - old_n, self.h):
                 self._window_epochs[int(c)] = self._epoch
                 self._builder.invalidate(int(c))  # GC unstamped cover fits
-            self._batch = batch
+            self._epochs_view = None  # bindings re-copy at the new epoch
             return self._epoch
 
     @property
@@ -168,12 +179,22 @@ class QueryEngine:
 
     @property
     def cache_capacity(self) -> int:
-        return self._cache_capacity
+        return self._cache.capacity
 
     @property
-    def cache_stats(self) -> "CacheStats":
-        """Hit/miss/eviction counters of the processor cache (live view)."""
-        return self._cache_stats
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/evict/stale counters of the processor cache (live)."""
+        return self._cache.stats
+
+    @property
+    def processor_cache(self) -> ProcessorCache:
+        """The engine's epoch-keyed processor cache."""
+        return self._cache
+
+    @property
+    def planner(self) -> PipelinePlanner:
+        """The statistics-backed planner behind ``method="auto"``."""
+        return self._planner
 
     @property
     def executor(self) -> BatchExecutor:
@@ -194,8 +215,7 @@ class QueryEngine:
 
     def cached_processor_keys(self) -> List[tuple]:
         """Cache keys in eviction order (least recently used first)."""
-        with self._cache_lock:
-            return list(self._processors)
+        return self._cache.keys()
 
     def window(self, c: int) -> TupleBatch:
         return window(self._batch, c, self.h)
@@ -212,46 +232,123 @@ class QueryEngine:
         """Vectorised :meth:`window_for_time` over an array of timestamps."""
         return windows_for_times(self._batch.t, ts, self.h)
 
+    # -- processor materialisation ------------------------------------------
+
+    def _materialise(
+        self, method: str, c: int, stamp: int, batch: TupleBatch
+    ) -> PointQueryProcessor:
+        """Build one processor of ``method`` for window ``c`` of ``batch``."""
+        if method == "naive":
+            return NaiveProcessor(window(batch, c, self.h), self.radius_m)
+        if method == "model-cover":
+            return ModelCoverProcessor(
+                self._builder.build(batch, c, stamp=stamp).cover
+            )
+        return IndexedProcessor(window(batch, c, self.h), kind=method, radius_m=self.radius_m)
+
     def processor(self, method: str, c: int) -> PointQueryProcessor:
         """A processor of the given method over window ``c``.
 
-        Served from the bounded LRU cache when possible; a materialisation
-        (index build / cover fit) counts as a miss and may evict the least
-        recently used processor, which is simply rebuilt on next demand.
-        The whole lookup-or-build runs under the cache lock, so concurrent
-        callers never build the same processor twice — and an entry built
-        before a :meth:`refresh` grew window ``c`` fails its stamp check
-        and is rebuilt rather than served stale.
+        Served from the epoch-keyed bounded LRU when possible; a
+        materialisation (index build / cover fit) counts as a miss and
+        may evict the least recently used processor, which is simply
+        rebuilt on next demand.  The whole lookup-or-build runs under the
+        cache lock, so concurrent callers never build the same processor
+        twice — and an entry built before a :meth:`refresh` grew window
+        ``c`` fails its stamp check and is rebuilt rather than served
+        stale.
         """
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; known: {METHODS}")
-        key = (method, c)
-        with self._cache_lock:
+        # Read the (stamp, batch) pair under the refresh lock so a racing
+        # refresh can never hand us a fresh batch with a stale stamp —
+        # caching a processor over post-refresh rows under the old stamp
+        # would serve post-pin data to readers still pinned at the old
+        # snapshot.  The build itself runs outside this lock.
+        with self._refresh_lock:
             stamp = self.window_stamp(c)
-            entry = self._processors.get(key)
-            if entry is not None and entry[0] == stamp:
-                self._processors.move_to_end(key)
-                self._cache_stats.record_hit()
-                return entry[1]
-            self._cache_stats.record_miss()
-            if method == "naive":
-                proc: PointQueryProcessor = NaiveProcessor(
-                    self.window(c), self.radius_m
-                )
-            elif method == "model-cover":
-                proc = ModelCoverProcessor(
-                    self._builder.build(self._batch, c, stamp=stamp).cover
-                )
-            else:
-                proc = IndexedProcessor(
-                    self.window(c), kind=method, radius_m=self.radius_m
-                )
-            self._processors[key] = (stamp, proc)
-            self._processors.move_to_end(key)
-            while len(self._processors) > self._cache_capacity:
-                self._processors.popitem(last=False)
-                self._cache_stats.record_eviction()
-            return proc
+            batch = self._batch
+        return self._cache.get_or_build(
+            (method, c), stamp, lambda: self._materialise(method, c, stamp, batch)
+        )
+
+    # -- plan pipeline -------------------------------------------------------
+
+    def binding(self) -> EngineBinding:
+        """A pinned snapshot binding over the current stream.
+
+        The stamp map and the batch are captured as one coherent pair
+        under the refresh lock, so a refresh racing this call can never
+        pair a fresh stamp with a stale batch (which would poison the
+        shared processor cache) or a stale stamp with a fresh batch
+        (which would let old-snapshot readers see post-pin rows).  The
+        stamp map is a frozen copy shared by every binding of the same
+        epoch (copied once per refresh, not per request).
+        """
+        with self._refresh_lock:
+            epochs = self._epochs_view
+            if epochs is None:
+                epochs = dict(self._window_epochs)
+                self._epochs_view = epochs
+            batch = self._batch
+        return EngineBinding(
+            batch, self.h, lambda c, _epochs=epochs: _epochs.get(int(c), 0)
+        )
+
+    def plan(
+        self,
+        queries: Sequence[QueryTuple] | QueryBatch,
+        method: str = "model-cover",
+        policy: ExecutionPolicy = ENGINE_POLICY,
+        want_estimates: bool = False,
+    ) -> ExecutionPlan:
+        """Compile a query stream into an execution plan (one op per
+        window group) against a freshly pinned snapshot binding."""
+        if method != "auto" and method not in METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; known: {METHODS + ('auto',)}"
+            )
+        batch = (
+            queries
+            if isinstance(queries, QueryBatch)
+            else QueryBatch.from_queries(queries)
+        )
+        return build_group_plan(
+            self.binding(), batch, method, policy,
+            planner=self._planner,
+            # An auto model-cover verdict's pricing fit seeds the cover
+            # cache, so execution never runs the same fit twice.  The
+            # planner's fit covers the same rows with the same config as
+            # the builder's (count-mode t_n is the window's last
+            # timestamp, the fitter's own default), so the seeded
+            # processor is interchangeable with a builder-built one.
+            seed_cover=lambda c, stamp, proc: self._cache.insert(
+                ("model-cover", c), stamp, proc
+            ),
+            want_estimates=want_estimates,
+        )
+
+    def _plan_executor(self, plan: ExecutionPlan) -> PlanExecutor:
+        binding = plan.binding
+
+        def materialise(op, bound):
+            stamp, _sub, _ = bound
+            return self._cache.get_or_build(
+                (op.method, op.context.window_c),
+                stamp,
+                lambda: self._materialise(
+                    op.method, op.context.window_c, stamp, binding.batch
+                ),
+            )
+
+        runtime = PlanRuntime(binding, processor=materialise)
+        return PlanExecutor(runtime, pool=self._executor, planner=self._planner)
+
+    def execute(
+        self, plan: ExecutionPlan, report: Optional[PlanReport] = None
+    ) -> BatchResult:
+        """Run a compiled plan through the shared executor."""
+        return self._plan_executor(plan).execute(plan, report)
 
     # -- the three web-interface modes (Section 3) -------------------------
 
@@ -259,33 +356,54 @@ class QueryEngine:
         self, t: float, x: float, y: float, method: str = "model-cover"
     ) -> QueryResult:
         """Single point query mode: interpolated value at a clicked point."""
-        c = self.window_for_time(t)
-        return self.processor(method, c).process(QueryTuple(t=t, x=x, y=y))
+        batch = QueryBatch(np.array([t]), np.array([x]), np.array([y]))
+        plan = self.plan(batch, method, policy=SCALAR_POLICY)
+        return self.execute(plan).result(0)
 
     def process_groups(
         self, method: str, groups: Sequence[QueryGroup]
     ) -> List[BatchResult]:
         """Run per-window groups through the batched path, in parallel.
 
-        Processors are materialised serially first (cache + builder are
-        guarded, but serial materialisation keeps miss costs predictable);
-        the pool threads then only touch immutable processors.  Streams
-        below :data:`MIN_PARALLEL_QUERIES` stay on the serial loop — see
-        the constant's rationale.
+        Each group becomes one plan op bound to its window, all ops live
+        in a single plan, and the shared executor fans them across the
+        worker pool past the parallel threshold — the pre-pipeline
+        contract (processors materialised serially in the calling
+        thread, one ``process_batch`` per group on the pool) preserved.
+        Results come back one :class:`BatchResult` per group, in group
+        order.
         """
-        procs = [self.processor(method, g.window_c) for g in groups]
-
-        def run_one(pair):
-            proc, group = pair
-            if len(group.queries) < MIN_VECTORISED_GROUP:
-                return process_batch_scalar(proc, group.queries)
-            return process_batch(proc, group.queries)
-
-        pairs = list(zip(procs, groups))
-        total = sum(len(g.queries) for g in groups)
-        if total < MIN_PARALLEL_QUERIES:
-            return [run_one(pair) for pair in pairs]
-        return self._executor.map(run_one, pairs)
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; known: {METHODS}")
+        groups = list(groups)
+        if not groups:
+            return []
+        bounds: List[tuple] = []
+        triples: List[tuple] = []
+        offset = 0
+        for g in groups:
+            positions = np.arange(offset, offset + len(g.queries), dtype=np.intp)
+            triples.append((g.window_c, positions, g.queries))
+            bounds.append((offset, offset + len(g.queries)))
+            offset += len(g.queries)
+        merged = QueryBatch(
+            np.concatenate([g.queries.t for g in groups]),
+            np.concatenate([g.queries.x for g in groups]),
+            np.concatenate([g.queries.y for g in groups]),
+        )
+        plan = build_group_plan(
+            self.binding(), merged, method, ENGINE_POLICY, groups=triples
+        )
+        result = self.execute(plan)
+        return [
+            BatchResult(
+                g.queries,
+                result.values[lo:hi],
+                result.support[lo:hi],
+                result.answered[lo:hi],
+            )
+            for g, (lo, hi) in zip(groups, bounds)
+        ]
 
     def continuous_query(
         self,
@@ -294,10 +412,11 @@ class QueryEngine:
     ) -> List[QueryResult]:
         """Continuous query mode over a prepared query-tuple stream.
 
-        The stream is grouped by window, each group is answered by one
-        ``process_batch`` call, and groups run concurrently on the
-        executor.  Results come back in stream order, exactly as the
-        scalar loop produced them.
+        The stream is compiled into one plan (one op per window group,
+        answered by one ``process_batch`` call each; groups run
+        concurrently on the executor past the parallel threshold) and
+        results come back in stream order, exactly as the scalar loop
+        produced them.
         """
         result = self.continuous_query_batch(queries, method=method)
         return result.results()
@@ -308,18 +427,8 @@ class QueryEngine:
         method: str = "model-cover",
     ) -> BatchResult:
         """Columnar variant of :meth:`continuous_query`."""
-        batch = (
-            queries
-            if isinstance(queries, QueryBatch)
-            else QueryBatch.from_queries(queries)
-        )
-        groups = group_queries_by_window(
-            batch, self.window_for_time, windows_for_times=self.windows_for_times
-        )
-        results = self.process_groups(method, groups)
-        if len(groups) == 1:
-            return results[0]  # single window: already in stream order
-        return scatter_results(groups, results, len(batch))
+        plan = self.plan(queries, method, policy=ENGINE_POLICY)
+        return self.execute(plan)
 
     def heatmap_grid(
         self,
@@ -331,14 +440,13 @@ class QueryEngine:
     ) -> np.ndarray:
         """Heatmap visualisation mode: an ``(ny, nx)`` value grid.
 
-        The whole grid is one :class:`QueryBatch` answered by a single
-        ``process_batch`` call.  Cells the method cannot answer (no data
-        within radius) are NaN; degenerate axes (``nx == 1``/``ny == 1``)
-        probe the centre of the bounding box.
+        The whole grid is one :class:`QueryBatch` compiled into a
+        single-op plan answered by one ``process_batch`` call.  Cells the
+        method cannot answer (no data within radius) are NaN; degenerate
+        axes (``nx == 1``/``ny == 1``) probe the centre of the box.
         """
-        c = self.window_for_time(t)
-        proc = self.processor(method, c)
         probes = QueryBatch.from_grid(
             t, bounds.min_x, bounds.min_y, bounds.width, bounds.height, nx, ny
         )
-        return process_batch(proc, probes).grid(ny, nx)
+        plan = self.plan(probes, method, policy=VECTORISED_POLICY)
+        return self.execute(plan).grid(ny, nx)

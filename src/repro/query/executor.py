@@ -1,19 +1,22 @@
-"""Parallel dispatch of per-window query groups.
+"""Pool plumbing for the plan pipeline: grouping, chunking, fan-out.
 
 Continuous queries span windows: each query tuple is answered by the
 processor of the window its timestamp falls in (the server's lazy-update
-policy).  The batched path therefore (1) groups a query stream by window,
-(2) materialises one processor per group *in the calling thread*, and
-(3) fans the groups out across a ``ThreadPoolExecutor``, one
-``process_batch`` call per group.
+policy).  :func:`group_queries_by_window` splits a stream into
+per-window groups — the unit the pipeline builders
+(:mod:`repro.query.pipeline.executor`) turn into plan ops — and
+:class:`BatchExecutor` is the bounded thread pool the shared
+:class:`~repro.query.pipeline.executor.PlanExecutor` fans those ops out
+on (one ``process_batch`` or hit-scan call per op/task).
 
 Thread-safety contract: a materialised processor is immutable after
 construction — ``process``/``process_batch`` only read the window arrays,
 the index, or the fitted cover — so any number of pool threads may query
 *distinct* groups (or even the same processor) concurrently.  What is
-**not** thread-safe is processor *construction* through the engine's
-bounded cache; that is why grouping materialises every processor before
-the fan-out, in the caller's thread, and the pool threads only ever call
+**not** thread-safe is processor *construction* through the engines'
+epoch-keyed cache in its atomic build mode; that is why the plan
+executor materialises every result op's processor before the fan-out, in
+the caller's thread, and the pool threads only ever call
 ``process_batch``.
 
 Choosing ``max_workers``: the work per group is numpy-heavy (distance

@@ -1,0 +1,147 @@
+"""Snapshot bindings: one pinned storage view per plan.
+
+A plan is built against — and executed against — exactly one
+:class:`SnapshotBinding`.  The binding resolves ``(shard, window)`` to a
+coherent ``(content stamp, window slice, gid slice)`` triple and
+**memoises** every resolution, so the plan builder and the executor are
+guaranteed to see the very same rows even while a writer ingests
+concurrently: the first read pins the triple, every later read (from any
+pool thread) returns the pinned one.  This is the single snapshot-binding
+discipline that previously existed in three shapes (the engine's live
+``self._batch``, the sharded engine's per-call ``snapshot_window`` reads,
+the server's pinned :class:`~repro.storage.engine.StorageSnapshot`).
+
+Bindings are cheap, request-scoped objects — build one per request, let
+it die with the plan.  They hold zero-copy views only.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.data.tuples import TupleBatch
+from repro.data.windows import window, windows_for_times
+from repro.storage.engine import StorageSnapshot
+from repro.storage.shards import ShardRouter
+
+#: What a binding resolves a (shard, window) to: the slice's content
+#: stamp, the pinned zero-copy slice, and — on sharded bindings — the
+#: global stream positions aligned with the slice's rows (None unsharded).
+BoundSlice = Tuple[int, TupleBatch, Optional[np.ndarray]]
+
+
+class SnapshotBinding(Protocol):
+    """Uniform pinned-storage access for plan building and execution."""
+
+    n_shards: int
+
+    def stream_rows(self) -> int:
+        """Total stream rows behind the binding (the merge stride)."""
+        ...
+
+    def windows_for_times(self, ts) -> np.ndarray:
+        """Window index responsible for each query timestamp."""
+        ...
+
+    def slice_for(self, shard: Optional[int], c: int) -> BoundSlice:
+        """Pinned ``(stamp, slice, gids)`` of window ``c`` (per shard)."""
+        ...
+
+
+class _MemoBinding:
+    """Shared memoisation: the first resolution pins, later ones replay."""
+
+    def __init__(self) -> None:
+        self._memo: Dict[Tuple[Optional[int], int], BoundSlice] = {}
+        self._memo_lock = threading.Lock()
+
+    def slice_for(self, shard: Optional[int], c: int) -> BoundSlice:
+        key = (shard, int(c))
+        with self._memo_lock:
+            bound = self._memo.get(key)
+            if bound is None:
+                bound = self._resolve(shard, int(c))
+                self._memo[key] = bound
+            return bound
+
+    def _resolve(self, shard: Optional[int], c: int) -> BoundSlice:
+        raise NotImplementedError
+
+
+class EngineBinding(_MemoBinding):
+    """Unsharded binding over one pinned :class:`TupleBatch` stream.
+
+    ``stamp_for`` maps a window index to its content stamp — the query
+    engine passes :meth:`QueryEngine.window_stamp`, capturing the epoch
+    state at binding time (the batch itself is immutable, so the slices
+    are pinned by construction).
+    """
+
+    n_shards = 1
+
+    def __init__(
+        self, batch: TupleBatch, h: int, stamp_for: Callable[[int], int]
+    ) -> None:
+        super().__init__()
+        self.batch = batch
+        self.h = h
+        self._stamp_for = stamp_for
+
+    def stream_rows(self) -> int:
+        return len(self.batch)
+
+    def windows_for_times(self, ts) -> np.ndarray:
+        return windows_for_times(self.batch.t, ts, self.h)
+
+    def _resolve(self, shard: Optional[int], c: int) -> BoundSlice:
+        return self._stamp_for(c), window(self.batch, c, self.h), None
+
+
+class RouterBinding(_MemoBinding):
+    """Sharded binding over a :class:`~repro.storage.shards.ShardRouter`.
+
+    Each ``(shard, window)`` resolution is one coherent
+    :meth:`ShardRouter.snapshot_window` read taken under the router lock
+    — stamp, rows and gids can never tear — and the memo extends that
+    coherence across the whole plan: build and execution, and the exact
+    fallback of a cover plan, all see the same pinned triples.
+    """
+
+    def __init__(self, router: ShardRouter) -> None:
+        super().__init__()
+        self.router = router
+        self.n_shards = router.n_shards
+        self.grid = router.grid
+
+    def stream_rows(self) -> int:
+        return self.router.global_count()
+
+    def windows_for_times(self, ts) -> np.ndarray:
+        return self.router.windows_for_times(ts)
+
+    def _resolve(self, shard: Optional[int], c: int) -> BoundSlice:
+        if shard is None:
+            raise ValueError("sharded binding needs an explicit shard index")
+        return self.router.snapshot_window(shard, c)
+
+
+class ServerSnapshotBinding(_MemoBinding):
+    """Binding over a server's pinned epoch-stamped storage snapshot."""
+
+    n_shards = 1
+
+    def __init__(self, snapshot: StorageSnapshot) -> None:
+        super().__init__()
+        self.snapshot = snapshot
+
+    def stream_rows(self) -> int:
+        return len(self.snapshot)
+
+    def windows_for_times(self, ts) -> np.ndarray:
+        return self.snapshot.windows_for_times(ts)
+
+    def _resolve(self, shard: Optional[int], c: int) -> BoundSlice:
+        return self.snapshot.window_epoch(c), self.snapshot.window(c), None

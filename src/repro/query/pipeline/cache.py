@@ -1,0 +1,247 @@
+"""The one processor cache: an epoch-keyed bounded LRU for every path.
+
+Before the plan-pipeline refactor three divergent cache implementations
+guarded materialised processors: the query engine's stamped
+``OrderedDict`` (atomic lookup-or-build under one lock), the sharded
+engine's lookup/insert pair (builds outside the lock, lost races
+discarded), and the server's per-window cover memo (one live entry per
+window, unbounded).  :class:`ProcessorCache` replaces all three with a
+single epoch-keyed bounded LRU and one uniform counter block.
+
+**Epoch keying.**  Every entry is stored under a logical ``key`` plus a
+content ``stamp`` — the epoch at which the underlying window slice last
+gained tuples (see :meth:`repro.storage.engine.Database.window_epoch`
+and :meth:`repro.storage.shards.ShardRouter.shard_window_epoch`).  A
+lookup whose stamp differs from the stored entry's is a **stale** lookup:
+the entry was built on a shorter prefix of a still-open window and must
+never be served.  Stale entries are replaced in place on the next build,
+so invalidation needs no explicit eviction sweep — ingest advances the
+stamps, and the stale entries simply stop matching.  Sealed windows keep
+frozen stamps forever, so their entries hit until LRU pressure evicts
+them.
+
+**Build disciplines.**  ``get_or_build`` supports both historical
+disciplines behind one flag:
+
+* ``shared_build=False`` (default) — the whole lookup-or-build runs under
+  the cache lock, so concurrent callers never build the same processor
+  twice and miss costs stay predictable (the query-engine contract);
+* ``shared_build=True`` — the build runs *outside* the lock so distinct
+  processors materialise in parallel; a lost insert race discards the
+  duplicate (the sharded scatter-gather contract — builds only read
+  immutable window slices, so duplicates are equivalent).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["CacheStats", "ProcessorCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction/stale counters for a bounded epoch-keyed cache.
+
+    Plain integer bumps; the owning cache is responsible for doing them
+    under its own lock when accessed from several threads.  ``stale``
+    counts lookups that found an entry built at an outdated content
+    stamp — every stale lookup is also counted as a miss (the entry
+    cannot be served and is rebuilt), so ``lookups == hits + misses``
+    always holds.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stale: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache; 0.0 before any lookup."""
+        n = self.lookups
+        return self.hits / n if n else 0.0
+
+    def record_hit(self) -> None:
+        self.hits += 1
+
+    def record_miss(self) -> None:
+        self.misses += 1
+
+    def record_eviction(self) -> None:
+        self.evictions += 1
+
+    def record_stale(self) -> None:
+        """A lookup found an entry with an outdated content stamp.
+
+        Callers record a miss alongside (the stale entry is rebuilt); the
+        separate counter makes invalidation churn visible next to plain
+        capacity misses.
+        """
+        self.stale += 1
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = self.stale = 0
+
+    def add(self, other: "CacheStats") -> None:
+        """Accumulate another counter block (for fleet-wide aggregation)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.stale += other.stale
+
+    @classmethod
+    def aggregate(cls, blocks) -> "CacheStats":
+        """Sum of several counter blocks (e.g. one per shard server)."""
+        total = cls()
+        for block in blocks:
+            total.add(block)
+        return total
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot for reports / benchmark ``extra_info`` blocks."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stale": self.stale,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ProcessorCache:
+    """Bounded LRU of epoch-stamped values keyed by logical cache keys.
+
+    ``capacity`` bounds the entry count (least recently used evicted
+    first); :attr:`stats` is the live :class:`CacheStats` counter block.
+    Thread-safe: all bookkeeping runs under one reentrant lock.
+    """
+
+    def __init__(self, capacity: int, stats: Optional[CacheStats] = None) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self._entries: "OrderedDict[tuple, Tuple[int, object]]" = OrderedDict()
+        self._capacity = capacity
+        self._lock = threading.RLock()
+        self.stats = stats if stats is not None else CacheStats()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> List[tuple]:
+        """Cache keys in eviction order (least recently used first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def entry_stamp(self, key: tuple) -> Optional[int]:
+        """Content stamp of the entry under ``key`` (None when absent)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return None if entry is None else entry[0]
+
+    # -- core protocol ------------------------------------------------------
+
+    def _lookup_locked(self, key: tuple, stamp: int):
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] == stamp:
+            self._entries.move_to_end(key)
+            self.stats.record_hit()
+            return entry[1]
+        if entry is not None and entry[0] < stamp:
+            # Only a genuinely outdated entry counts as stale churn; a
+            # reader pinned at an *older* snapshot probing a fresher
+            # entry is just a miss for that reader, not invalidation.
+            self.stats.record_stale()
+        self.stats.record_miss()
+        return None
+
+    def _insert_locked(self, key: tuple, stamp: int, value):
+        entry = self._entries.get(key)
+        if entry is not None:
+            if entry[0] == stamp:  # a racing builder won: keep its entry
+                self._entries.move_to_end(key)
+                return entry[1]
+            if entry[0] > stamp:
+                # A fresher-epoch entry already lives here.  Stamps are
+                # monotone, so keep the newer entry for future readers
+                # and hand this (older-snapshot) caller its own build —
+                # interleaved readers pinned at successive epochs of an
+                # open window must not ping-pong rebuild each other's
+                # processors.
+                return value
+        self._entries[key] = (stamp, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.stats.record_eviction()
+        return value
+
+    def peek(self, key: tuple, stamp: int):
+        """Like :meth:`lookup` but without touching counters or recency —
+        for introspection (e.g. ``explain`` reading memoised estimates)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] == stamp:
+                return entry[1]
+            return None
+
+    def lookup(self, key: tuple, stamp: int):
+        """The cached value under ``key`` at content ``stamp``, or None.
+
+        Records a hit, or a miss (plus stale when an outdated-stamp entry
+        was found).  A hit refreshes LRU recency.
+        """
+        with self._lock:
+            return self._lookup_locked(key, stamp)
+
+    def insert(self, key: tuple, stamp: int, value):
+        """Store ``value`` under ``key`` at ``stamp``; returns the value
+        the *caller* should use.  A racing builder that already inserted
+        at the same stamp wins (duplicate builds of immutable processors
+        are equivalent); an entry at a **newer** stamp is kept for future
+        readers while the older-snapshot caller gets its own build back
+        — insertion never moves a key backwards in epoch time."""
+        with self._lock:
+            return self._insert_locked(key, stamp, value)
+
+    def get_or_build(
+        self,
+        key: tuple,
+        stamp: int,
+        build: Callable[[], object],
+        shared_build: bool = False,
+    ):
+        """Serve ``key`` at ``stamp`` from cache or build-and-insert it.
+
+        ``shared_build=False`` runs the whole lookup-or-build atomically
+        under the cache lock (concurrent callers never build twice);
+        ``shared_build=True`` runs the build outside the lock so distinct
+        keys materialise in parallel, and a lost insert race discards the
+        duplicate.
+        """
+        if shared_build:
+            value = self.lookup(key, stamp)
+            if value is not None:
+                return value
+            return self.insert(key, stamp, build())
+        with self._lock:
+            value = self._lookup_locked(key, stamp)
+            if value is not None:
+                return value
+            return self._insert_locked(key, stamp, build())

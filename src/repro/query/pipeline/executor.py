@@ -1,0 +1,518 @@
+"""One executor for every plan, plus the builders that write plans.
+
+The :class:`PlanExecutor` runs an
+:class:`~repro.query.pipeline.plan.ExecutionPlan` against its pinned
+binding and is the only place operator dispatch lives:
+
+* **scatter-shaped plans** — processors are materialised serially first
+  (through the owner's epoch-keyed cache, so miss costs stay predictable
+  and concurrent callers never build twice), then each op answers its
+  query group with ``process_batch`` (or the scalar loop, per the op's
+  build-time ``vectorise`` flag) — serially below the policy's
+  ``min_parallel_queries``, fanned across the worker pool above it.
+  Fallback ops recurse into their exact sub-plan.
+* **merge-shaped plans** — every hit-emitting scan runs as one pool task
+  and the partials gather through
+  :func:`~repro.query.pipeline.gather.merge_hit_partials` — exact and
+  partition-independent.
+
+Every operator's wall time is reported to the planner feedback (when
+wired), closing the loop that recalibrates ``method="auto"``; pass a
+:class:`~repro.query.pipeline.plan.PlanReport` to also collect per-op
+timings for ``cli explain``.
+
+The owner supplies a :class:`PlanRuntime` — the two callables that know
+how to materialise a processor or produce hit triples for a bound
+context.  That is all that is left of the four historical execution
+paths.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.query.base import (
+    BatchResult,
+    PointQueryProcessor,
+    QueryBatch,
+    process_batch,
+    process_batch_scalar,
+)
+from repro.query.executor import BatchExecutor, group_queries_by_window
+from repro.query.pipeline.binding import BoundSlice, RouterBinding, SnapshotBinding
+from repro.query.pipeline.gather import HitPartial, merge_hit_partials
+from repro.query.pipeline.plan import (
+    VECTORISED_POLICY,
+    CoverOp,
+    ExecutionPlan,
+    ExecutionPolicy,
+    FallbackOp,
+    MergeOp,
+    PlanContext,
+    PlanReport,
+    ScanOp,
+)
+from repro.query.pipeline.planner import PipelinePlanner
+
+__all__ = [
+    "PlanRuntime",
+    "PlanExecutor",
+    "build_group_plan",
+    "build_sharded_plan",
+]
+
+ResultOp = Union[ScanOp, CoverOp]
+
+
+@dataclass
+class PlanRuntime:
+    """How one engine materialises the executor's two primitives.
+
+    ``processor`` maps a result-emitting op and its bound slice to an
+    immutable processor (through the owner's :class:`ProcessorCache`);
+    ``hits`` maps a hit-emitting scan and its bound slice to a local
+    :data:`HitPartial` (probe indices local to the op's queries).  The
+    binding is the plan's — the executor resolves each op's context
+    through it, so execution reads exactly the rows the builder pinned.
+    """
+
+    binding: SnapshotBinding
+    processor: Optional[Callable[[ResultOp, BoundSlice], PointQueryProcessor]] = None
+    hits: Optional[Callable[..., HitPartial]] = None
+    #: Optional warm-up for hit-emitting scans (e.g. materialise the
+    #: index) — run inside the pool task but *outside* the timed region,
+    #: so one-time build costs never pollute the planner's observed
+    #: per-query timings (the scatter path gets the same guarantee from
+    #: its serial pre-materialisation).  Whatever it returns is handed to
+    #: ``hits`` as the third argument, so the prepared object cannot be
+    #: evicted-and-rebuilt (inside the timer) between the two calls.
+    prepare_hits: Optional[Callable[[ScanOp, BoundSlice], object]] = None
+
+    def _bound(self, op) -> BoundSlice:
+        return self.binding.slice_for(op.context.shard, op.context.window_c)
+
+    def processor_for(self, op: ResultOp) -> PointQueryProcessor:
+        if self.processor is None:
+            raise RuntimeError("runtime has no processor materialiser")
+        return self.processor(op, self._bound(op))
+
+    def prepare_hit_partial(self, op: ScanOp):
+        if self.prepare_hits is None:
+            return None
+        return self.prepare_hits(op, self._bound(op))
+
+    def hit_partial(self, op: ScanOp, prepared=None) -> HitPartial:
+        if self.hits is None:
+            raise RuntimeError("runtime has no hit scanner")
+        return self.hits(op, self._bound(op), prepared)
+
+
+class PlanExecutor:
+    """Runs plans; owns no state beyond its wiring."""
+
+    def __init__(
+        self,
+        runtime: PlanRuntime,
+        pool: Optional[BatchExecutor] = None,
+        planner: Optional[PipelinePlanner] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.pool = pool
+        self.planner = planner
+
+    def execute(
+        self, plan: ExecutionPlan, report: Optional[PlanReport] = None
+    ) -> BatchResult:
+        start = time.perf_counter()
+        result = self._run(plan, report)
+        if report is not None:
+            report.total_s += time.perf_counter() - start
+        return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _observe(
+        self, op: ResultOp, elapsed: float, report: Optional[PlanReport]
+    ) -> None:
+        # Feedback needs the method's own *evaluation* unit estimate to
+        # normalise the wall time onto the cost model's axis — the timed
+        # region excludes preparation, so the amortised prep share must
+        # be stripped from the denominator too (else a method with a big
+        # amortised build scores as if builds were free).  Ops without an
+        # estimate (fixed methods the planner never priced) are not
+        # observations — there is no auto choice they could inform.
+        if self.planner is not None and op.eval_unit_cost is not None:
+            self.planner.record(
+                op.method, len(op.queries), elapsed, op.eval_unit_cost
+            )
+        if report is not None:
+            report.record(op, elapsed)
+
+    def _run(self, plan: ExecutionPlan, report: Optional[PlanReport]) -> BatchResult:
+        if plan.merge is not None:
+            return self._run_merge(plan, report)
+        return self._run_scatter(plan, report)
+
+    def _run_merge(self, plan: ExecutionPlan, report: Optional[PlanReport]) -> BatchResult:
+        def run_hit(op: ScanOp) -> HitPartial:
+            # Warm-up (index build) inside the pool task, outside the
+            # timer: observed timings must reflect scan cost only.  The
+            # prepared object travels by hand so cache pressure between
+            # the two calls cannot force a rebuild inside the timer.
+            prepared = self.runtime.prepare_hit_partial(op)
+            t0 = time.perf_counter()
+            probe, gid, vals = self.runtime.hit_partial(op, prepared)
+            self._observe(op, time.perf_counter() - t0, report)
+            # Local probe indices -> positions in the plan's query stream.
+            return op.positions[probe], gid, vals
+
+        ops: Sequence[ScanOp] = plan.ops  # type: ignore[assignment]
+        if self.pool is not None:
+            partials = self.pool.map(run_hit, list(ops))
+        else:
+            partials = [run_hit(op) for op in ops]
+        merge = plan.merge
+        assert merge is not None
+        return merge_hit_partials(
+            merge.n_queries, merge.n_stream_rows, partials, plan.queries
+        )
+
+    def _run_scatter(self, plan: ExecutionPlan, report: Optional[PlanReport]) -> BatchResult:
+        result_ops: List[ResultOp] = []
+        fallback_ops: List[FallbackOp] = []
+        for op in plan.ops:
+            if isinstance(op, FallbackOp):
+                fallback_ops.append(op)
+            else:
+                result_ops.append(op)
+
+        # Serial materialisation: cache + builder are guarded, and pool
+        # threads must only ever touch immutable processors.
+        pairs: List[Tuple[ResultOp, PointQueryProcessor]] = [
+            (op, self.runtime.processor_for(op)) for op in result_ops
+        ]
+
+        def run_one(pair: Tuple[ResultOp, PointQueryProcessor]) -> BatchResult:
+            op, proc = pair
+            t0 = time.perf_counter()
+            vectorise = not isinstance(op, ScanOp) or op.vectorise
+            if vectorise:
+                res = process_batch(proc, op.queries)
+            else:
+                res = process_batch_scalar(proc, op.queries)
+            self._observe(op, time.perf_counter() - t0, report)
+            return res
+
+        total = sum(len(op.queries) for op in result_ops)
+        if self.pool is None or total < plan.policy.min_parallel_queries:
+            results = [run_one(pair) for pair in pairs]
+        else:
+            results = self.pool.map(run_one, pairs)
+
+        # Single op covering the whole stream: already in stream order.
+        if (
+            len(result_ops) == 1
+            and not fallback_ops
+            and len(result_ops[0].queries) == plan.n_queries
+        ):
+            return results[0]
+
+        n = plan.n_queries
+        values = np.full(n, np.nan)
+        support = np.zeros(n, dtype=np.int64)
+        answered = np.zeros(n, dtype=bool)
+        for op, res in zip(result_ops, results):
+            idx = op.positions
+            values[idx] = res.values
+            support[idx] = res.support
+            answered[idx] = res.answered
+        for fop in fallback_ops:
+            res = self._run(fop.plan, report)
+            idx = fop.positions
+            values[idx] = res.values
+            support[idx] = res.support
+            answered[idx] = res.answered
+        return BatchResult(plan.queries, values, support, answered)
+
+
+# -- plan builders ----------------------------------------------------------
+
+
+def build_group_plan(
+    binding: SnapshotBinding,
+    queries: QueryBatch,
+    method: str,
+    policy: ExecutionPolicy,
+    planner: Optional[PipelinePlanner] = None,
+    seed_cover: Optional[Callable[[int, int, object], None]] = None,
+    want_estimates: bool = False,
+    groups: Optional[Sequence[Tuple[int, np.ndarray, QueryBatch]]] = None,
+) -> ExecutionPlan:
+    """Scatter-shaped plan: one op per window group (unsharded/server).
+
+    ``method="auto"`` consults the planner per group over the bound
+    slice's statistics; fixed methods skip planning entirely.
+    ``seed_cover`` is the owner's cover-cache writer ``(window, stamp,
+    processor)`` the planner seeds when pricing a model-cover plan
+    already paid for the fit — without it, an auto model-cover verdict
+    would run the same Ad-KMN fit a second time at execution.
+    ``want_estimates`` additionally prices each op for ``explain``.
+    ``groups`` overrides the window grouping with caller-provided
+    ``(window, positions, queries)`` triples (positions must index into
+    ``queries``) — the :meth:`QueryEngine.process_groups` path.
+    """
+    if not len(queries):
+        return ExecutionPlan(binding, queries, (), None, policy, method)
+    if groups is None:
+        groups = [
+            (g.window_c, g.indices, g.queries)
+            for g in group_queries_by_window(
+                queries, None, windows_for_times=binding.windows_for_times
+            )
+        ]
+    ops: List[ResultOp] = []
+    for c, positions, group_queries in groups:
+        stamp, sub, _ = binding.slice_for(None, c)
+        chosen = method
+        if method == "auto":
+            if planner is None:
+                raise ValueError('method="auto" needs a planner')
+            seeder = None
+            if seed_cover is not None:
+                def seeder(proc, c=c, stamp=stamp):
+                    seed_cover(c, stamp, proc)
+            chosen = planner.method_for(
+                None, c, stamp, sub,
+                exact=planner.profile.needs_exact_average,
+                seed_cover=seeder,
+            )
+        est = eval_est = None
+        if want_estimates:
+            est, eval_est = _estimate(
+                planner, sub, chosen,
+                exact=planner.profile.needs_exact_average if planner else False,
+                shard=None, c=c, stamp=stamp,
+            )
+        context = PlanContext(c, None, stamp, len(sub))
+        if chosen == "model-cover":
+            ops.append(CoverOp(context, positions, group_queries, est, eval_est))
+        else:
+            ops.append(
+                ScanOp(
+                    context,
+                    chosen,
+                    positions,
+                    group_queries,
+                    emit="result",
+                    vectorise=len(group_queries) >= policy.min_vectorised_group,
+                    est_unit_cost=est,
+                    eval_unit_cost=eval_est,
+                )
+            )
+    return ExecutionPlan(binding, queries, tuple(ops), None, policy, method)
+
+
+def build_sharded_plan(
+    binding: RouterBinding,
+    queries: QueryBatch,
+    method: str,
+    planner: PipelinePlanner,
+    radius_m: float,
+    policy: ExecutionPolicy = VECTORISED_POLICY,
+    seed_cover: Optional[Callable[[int, int, int, object], None]] = None,
+    want_estimates: bool = False,
+) -> ExecutionPlan:
+    """Plan for the region-sharded scatter-gather engine.
+
+    Exact methods (and exact-profile ``auto``) compile to a merge-shaped
+    plan; ``model-cover`` (and model-tolerant ``auto``) compile to
+    owner-shard cover ops with an exact fallback sub-plan.  ``seed_cover``
+    is the owner's cover-cache writer ``(shard, window, stamp, processor)``
+    the planner seeds when pricing already paid for a fit.
+    """
+    windows = binding.windows_for_times(queries.t)
+    if method == "model-cover":
+        return _cover_plan(
+            binding, queries, windows, planner, radius_m, policy,
+            allow_plan=False, seed_cover=seed_cover, want_estimates=want_estimates,
+        )
+    if method == "auto" and not planner.profile.needs_exact_average:
+        return _cover_plan(
+            binding, queries, windows, planner, radius_m, policy,
+            allow_plan=True, seed_cover=seed_cover, want_estimates=want_estimates,
+        )
+    return _exact_plan(
+        binding, queries, windows, method, planner, radius_m, policy, want_estimates
+    )
+
+
+def _estimate(
+    planner: Optional[PipelinePlanner],
+    sub,
+    method: str,
+    exact: bool,
+    shard: Optional[int],
+    c: int,
+    stamp: int,
+) -> Tuple[Optional[float], Optional[float]]:
+    """``(display units/query, evaluation units/query)`` for one op.
+
+    Reuses the estimates :meth:`PipelinePlanner.method_for` memoised
+    while planning this very verdict, so pricing a cost column never
+    re-runs a pricing fit; only fixed-method explains (no verdict was
+    planned) price the slice fresh.
+    """
+    if planner is None or not len(sub):
+        return None, None
+    estimates = planner.cached_estimates(shard, c, stamp, exact)
+    if estimates is None:
+        # Price fresh.  For a raw-data method an exact-restricted pricing
+        # is sufficient (the raw estimates are identical either way) and
+        # never runs the Ad-KMN fit that pricing the model-cover
+        # candidate can require — explaining `--method naive` must not
+        # fit covers just to fill a display column.
+        estimates = planner.estimates_for(sub, exact or method != "model-cover")
+    est = estimates.get(method)
+    if est is None:
+        return None, None
+    return est.per_query_cost, planner.eval_units(est)
+
+
+def _exact_plan(
+    binding: RouterBinding,
+    queries: QueryBatch,
+    windows: np.ndarray,
+    method: str,
+    planner: PipelinePlanner,
+    radius_m: float,
+    policy: ExecutionPolicy,
+    want_estimates: bool = False,
+) -> ExecutionPlan:
+    """Merge-shaped plan: per-(window, shard) hit scans + exact gather.
+
+    Each window's queries scatter only to the shards whose ownership
+    region their disks can reach (:meth:`RegionGrid.disk_cell_ranges`)
+    — the pruning that makes region sharding a heatmap throughput win.
+    """
+    grid = binding.grid
+    ops: List[ScanOp] = []
+    for c in np.unique(windows):
+        positions = np.flatnonzero(windows == c)
+        wq = queries.take(positions)
+        i_lo, i_hi, j_lo, j_hi = grid.disk_cell_ranges(wq.x, wq.y, radius_m)
+        for s in range(binding.n_shards):
+            stamp, sub, _gids = binding.slice_for(s, int(c))
+            if not len(sub):
+                continue
+            i, j = s % grid.nx, s // grid.nx
+            mask = (i_lo <= i) & (i <= i_hi) & (j_lo <= j) & (j <= j_hi)
+            if not mask.any():
+                continue
+            local = np.flatnonzero(mask)
+            chosen = method
+            est = eval_est = None
+            if chosen == "auto":
+                chosen = planner.method_for(s, int(c), stamp, sub, exact=True)
+                # Attach the verdict's own priced estimate (memoised by
+                # method_for; a cheap peek) so the executor can feed this
+                # op's observed timing back on the right unit axis.
+                priced = planner.cached_estimates(s, int(c), stamp, True)
+                if priced is not None and chosen in priced:
+                    est = priced[chosen].per_query_cost
+                    eval_est = planner.eval_units(priced[chosen])
+            if est is None and want_estimates:
+                est, eval_est = _estimate(
+                    planner, sub, chosen, exact=True, shard=s, c=int(c), stamp=stamp
+                )
+            ops.append(
+                ScanOp(
+                    PlanContext(int(c), s, stamp, len(sub)),
+                    chosen,
+                    positions[local],
+                    wq.take(local),
+                    emit="hits",
+                    est_unit_cost=est,
+                    eval_unit_cost=eval_est,
+                )
+            )
+    merge = MergeOp(len(queries), binding.stream_rows())
+    return ExecutionPlan(binding, queries, tuple(ops), merge, policy, method)
+
+
+def _cover_plan(
+    binding: RouterBinding,
+    queries: QueryBatch,
+    windows: np.ndarray,
+    planner: PipelinePlanner,
+    radius_m: float,
+    policy: ExecutionPolicy,
+    allow_plan: bool,
+    seed_cover: Optional[Callable[[int, int, int, object], None]],
+    want_estimates: bool = False,
+) -> ExecutionPlan:
+    """Owner-shard cover ops plus the exact fallback sub-plan.
+
+    Queries whose owning shard has no tuples in the responsible window
+    (or, with ``allow_plan``, whose owner's planner prefers a raw-data
+    method) are collected into one :class:`FallbackOp` answered by the
+    exact scatter-gather path instead.
+    """
+    owners = binding.grid.shards_of(queries.x, queries.y)
+    ops: List[Union[CoverOp, FallbackOp]] = []
+    fallback: List[np.ndarray] = []
+    for c in np.unique(windows):
+        in_window = windows == c
+        for s in np.unique(owners[in_window]):
+            positions = np.flatnonzero(in_window & (owners == s))
+            s, c = int(s), int(c)
+            stamp, sub, _gids = binding.slice_for(s, c)
+            if not len(sub):
+                fallback.append(positions)
+                continue
+            if allow_plan:
+                seeder = None
+                if seed_cover is not None:
+                    def seeder(proc, s=s, c=c, stamp=stamp):
+                        seed_cover(s, c, stamp, proc)
+                if (
+                    planner.method_for(s, c, stamp, sub, exact=False, seed_cover=seeder)
+                    != "model-cover"
+                ):
+                    fallback.append(positions)
+                    continue
+            est = eval_est = None
+            if want_estimates:
+                est, eval_est = _estimate(
+                    planner, sub, "model-cover", exact=False, shard=s, c=c, stamp=stamp
+                )
+            ops.append(
+                CoverOp(
+                    PlanContext(c, s, stamp, len(sub)),
+                    positions,
+                    queries.take(positions),
+                    est,
+                    eval_est,
+                )
+            )
+    if fallback:
+        positions = np.concatenate(fallback)
+        # From the auto path, keep the fallback on the per-shard planner
+        # (exact mode) — identical answers, planned scans.
+        exact_method = "auto" if allow_plan else "naive"
+        sub_plan = _exact_plan(
+            binding,
+            queries.take(positions),
+            windows[positions],
+            exact_method,
+            planner,
+            radius_m,
+            policy,
+            want_estimates,
+        )
+        ops.append(FallbackOp(positions, sub_plan))
+    method = "auto" if allow_plan else "model-cover"
+    return ExecutionPlan(binding, queries, tuple(ops), None, policy, method)

@@ -1,0 +1,136 @@
+"""Exact scatter-gather primitives: hit scans and the canonical merge.
+
+These are the numerics behind merge-shaped plans (``emit="hits"``
+:class:`~repro.query.pipeline.plan.ScanOp` + ``MergeOp``): each bound
+window slice reports its raw ``(query, global stream position, value)``
+hit triples, and the gather step merges them **exactly** — hits ordered
+by ``(query, stream position)`` with one int64 radix sort, each query's
+values summed with one segmented reduction.  Every tuple is owned by
+exactly one shard and keeps its global stream position, so the ordered
+hit sequence — and hence every summed byte — depends only on the query
+and the stream, never on how regions carved it up: answers are
+byte-identical for every shard count (``tests/test_engine_equivalence.py``
+enforces this).
+
+Moved here from :mod:`repro.query.sharded` by the plan-pipeline refactor
+(which re-exports them for compatibility) so the shared executor can run
+merge-shaped plans without importing an engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.tuples import TupleBatch
+from repro.query.base import BatchResult, QueryBatch
+from repro.query.indexed import IndexedProcessor
+
+_MAX_CHUNK_CELLS = 8_000_000  # same footprint cap as the naive batch scan
+
+# Exact hit partials: parallel (query position, global stream position,
+# sensor value) arrays — the unit scans return and the gather step merges.
+HitPartial = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def scan_hits(
+    window: TupleBatch, gids: np.ndarray, queries: QueryBatch, radius_m: float
+) -> HitPartial:
+    """All ``(query, stream position, value)`` hit triples of a radius scan.
+
+    The vectorised twin of the naive scan that keeps the individual hits
+    instead of averaging them — exact merging needs them.  ``gids`` are
+    the window rows' global stream positions, aligned with ``window``.
+    Chunked like :meth:`NaiveProcessor.process_batch` to bound the
+    distance-matrix footprint.
+    """
+    m, n = len(queries), len(window)
+    if not m or not n:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0)
+    wx, wy, ws = window.x, window.y, window.s
+    r2 = radius_m * radius_m
+    chunk = max(1, _MAX_CHUNK_CELLS // n)
+    probe_parts: List[np.ndarray] = []
+    gid_parts: List[np.ndarray] = []
+    value_parts: List[np.ndarray] = []
+    for start in range(0, m, chunk):
+        stop = min(start + chunk, m)
+        qx = queries.x[start:stop, None]
+        qy = queries.y[start:stop, None]
+        inside = (wx[None, :] - qx) ** 2 + (wy[None, :] - qy) ** 2 <= r2
+        qi, ti = np.nonzero(inside)
+        probe_parts.append(qi + start)
+        gid_parts.append(gids[ti])
+        value_parts.append(ws[ti])
+    return (
+        np.concatenate(probe_parts),
+        np.concatenate(gid_parts),
+        np.concatenate(value_parts),
+    )
+
+
+def index_hits(
+    processor: IndexedProcessor, gids: np.ndarray, queries: QueryBatch
+) -> HitPartial:
+    """Hit triples via an index — identical hit set to :func:`scan_hits`."""
+    s = processor.window.s
+    probe_parts: List[np.ndarray] = []
+    gid_parts: List[np.ndarray] = []
+    value_parts: List[np.ndarray] = []
+    for i, hits in enumerate(processor.query_radius_bulk(queries.x, queries.y)):
+        if hits:
+            idx = np.asarray(hits, dtype=np.intp)
+            probe_parts.append(np.full(len(idx), i, dtype=np.int64))
+            gid_parts.append(gids[idx])
+            value_parts.append(s[idx])
+    if not probe_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0)
+    return (
+        np.concatenate(probe_parts),
+        np.concatenate(gid_parts),
+        np.concatenate(value_parts),
+    )
+
+
+def merge_hit_partials(
+    n_queries: int,
+    n_stream_rows: int,
+    partials: Sequence[HitPartial],
+    queries: QueryBatch,
+) -> BatchResult:
+    """Exact partition-independent gather of per-shard hit partials.
+
+    Hits are put in canonical ``(query, stream position)`` order — a
+    single int64 radix sort of the composite key — and each query's
+    values are summed with one segmented ``np.add.reduceat``.  A tuple is
+    owned by exactly one shard and its stream position never changes, so
+    the canonical sequence per query is *the stream order itself*: every
+    output byte is independent of the region partition, and the 1-shard
+    and N-shard configurations agree exactly.
+    """
+    values = np.full(n_queries, np.nan)
+    support = np.zeros(n_queries, dtype=np.int64)
+    live = [p for p in partials if len(p[0])]
+    if live:
+        probe = np.concatenate([p for p, _, _ in live])
+        gid = np.concatenate([g for _, g, _ in live])
+        vals = np.concatenate([v for _, _, v in live])
+        # Under concurrent ingest a hit's gid can transiently exceed the
+        # row counter the caller read; widen the stride so the composite
+        # sort key stays collision-free either way.
+        stride = np.int64(max(n_stream_rows, int(gid.max()) + 1, 1))
+        order = np.argsort(probe.astype(np.int64) * stride + gid, kind="stable")
+        probe = probe[order]
+        vals = vals[order]
+        seg_starts = np.concatenate(
+            ([0], np.flatnonzero(np.diff(probe) != 0) + 1)
+        )
+        sums = np.add.reduceat(vals, seg_starts)
+        hit_queries = probe[seg_starts]
+        counts = np.bincount(probe, minlength=n_queries)
+        support = counts.astype(np.int64)
+        values[hit_queries] = sums / counts[hit_queries]
+    return BatchResult(queries, values, support, answered=support > 0)

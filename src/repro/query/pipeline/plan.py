@@ -1,0 +1,257 @@
+"""The explicit execution-plan IR shared by every query path.
+
+A request (point query, continuous stream, heatmap grid, server batch)
+is compiled into an :class:`ExecutionPlan`: a flat list of operators,
+each bound to one :class:`PlanContext` — a pinned ``(snapshot, window,
+shard)`` triple resolved through a
+:class:`~repro.query.pipeline.binding.SnapshotBinding` — plus the merge
+discipline that reassembles their outputs in stream order.  Separating
+the *choice* of how to answer (the planner, which writes the ops) from
+the *execution* (one shared :class:`~repro.query.pipeline.executor.PlanExecutor`)
+is the optimisation/execution split the HTAP literature argues for, and
+it is what lets four previously copy-pasted paths share one pipeline.
+
+Operators:
+
+* :class:`ScanOp` — answer a set of queries from one bound window slice
+  with a raw-data method (naive radius scan or an index kind).  Emits
+  either finished per-query averages (``emit="result"``, the unsharded
+  discipline) or raw ``(query, stream position, value)`` hit triples
+  (``emit="hits"``, the scatter half of cross-shard exact execution).
+* :class:`CoverOp` — evaluate the bound ``(window, shard)`` model cover
+  over a set of queries; always emits results.
+* :class:`MergeOp` — the gather half: exact, partition-independent merge
+  of every hit-emitting scan's triples (one radix sort + one segmented
+  reduction; see :func:`repro.query.pipeline.gather.merge_hit_partials`).
+* :class:`FallbackOp` — a nested exact sub-plan answering the queries a
+  cover could not (empty owning slice, or the planner preferred raw
+  data).
+
+A plan is either **scatter-shaped** (result-emitting ops + fallbacks;
+outputs scattered back by query position — each query answered by
+exactly one op) or **merge-shaped** (hit-emitting scans + one
+:class:`MergeOp`; a query may collect hits from several shards).
+Builders in :mod:`repro.query.pipeline.executor` enforce the shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.query.base import QueryBatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.pipeline.binding import SnapshotBinding
+
+
+@dataclass(frozen=True)
+class PlanContext:
+    """The pinned storage context one operator executes against.
+
+    ``shard`` is None on unsharded paths.  ``stamp`` is the content epoch
+    of the bound window slice at plan-build time; the executor resolves
+    the slice back through the plan's binding, whose memo guarantees the
+    very same pinned data (build and execution can never see different
+    rows, even under concurrent ingest).  ``n_rows`` is the slice length
+    at build time — the statistic cost estimates are quoted against.
+    """
+
+    window_c: int
+    shard: Optional[int]
+    stamp: int
+    n_rows: int
+
+    def describe(self) -> str:
+        where = f"w{self.window_c}"
+        if self.shard is not None:
+            where += f"/s{self.shard}"
+        return f"{where}@e{self.stamp}"
+
+
+@dataclass(frozen=True)
+class ScanOp:
+    """Raw-data scan of one bound window slice for a set of queries."""
+
+    context: PlanContext
+    method: str  # "naive" or an index kind
+    positions: np.ndarray  # stream positions of the queries this op answers
+    queries: QueryBatch
+    emit: str = "result"  # "result" | "hits"
+    vectorise: bool = True  # result mode: process_batch vs scalar loop
+    est_unit_cost: Optional[float] = None  # planner estimate, scan units/query
+    #: Evaluation-only share of the estimate (prep/amortise stripped) —
+    #: the unit load the executor's *timed region* actually performs,
+    #: and therefore the normaliser for planner feedback.
+    eval_unit_cost: Optional[float] = None
+
+    kind = "scan"
+
+
+@dataclass(frozen=True)
+class CoverOp:
+    """Model-cover evaluation of one bound (window, shard) cover."""
+
+    context: PlanContext
+    positions: np.ndarray
+    queries: QueryBatch
+    est_unit_cost: Optional[float] = None
+    eval_unit_cost: Optional[float] = None
+
+    kind = "cover"
+    method = "model-cover"
+    emit = "result"
+
+
+@dataclass(frozen=True)
+class MergeOp:
+    """Exact gather of every hit-emitting scan's triples."""
+
+    n_queries: int
+    n_stream_rows: int
+
+    kind = "merge"
+
+
+@dataclass(frozen=True)
+class FallbackOp:
+    """Queries re-routed from a cover to a nested exact sub-plan."""
+
+    positions: np.ndarray
+    plan: "ExecutionPlan"
+
+    kind = "fallback"
+
+
+PlanOp = Union[ScanOp, CoverOp, FallbackOp]
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Dispatch thresholds a plan is built and executed under.
+
+    ``min_parallel_queries``: below this many queries across all result
+    ops, groups run serially (pool submission overhead beats the win).
+    ``min_vectorised_group``: below this many queries in one group, the
+    scalar loop answers it (fixed numpy dispatch only amortises past a
+    few dozen queries).  Both are pure cost choices — scalar and batched
+    execution are equivalent by construction — but they do change float
+    summation order, so each path keeps its historical policy to stay
+    byte-identical with its pre-pipeline answers.
+    """
+
+    min_parallel_queries: int = 512
+    min_vectorised_group: int = 24
+
+
+#: The engine's continuous-query policy (historical constants).
+ENGINE_POLICY = ExecutionPolicy()
+
+#: Grid/server/sharded-cover policy: always vectorise, parallel fan-out
+#: only for genuinely large batches.
+VECTORISED_POLICY = ExecutionPolicy(min_vectorised_group=0)
+
+#: Scalar point-query policy: one query, answered exactly as a single
+#: ``process`` call would answer it.
+SCALAR_POLICY = ExecutionPolicy(
+    min_parallel_queries=2**63 - 1, min_vectorised_group=2**63 - 1
+)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One request compiled against one pinned snapshot binding."""
+
+    binding: "SnapshotBinding"
+    queries: QueryBatch
+    ops: Tuple[PlanOp, ...]
+    merge: Optional[MergeOp] = None
+    policy: ExecutionPolicy = ENGINE_POLICY
+    method: str = ""  # the method the plan was requested with
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+    def walk(self) -> List[Tuple[int, PlanOp]]:
+        """Every op in the plan, depth-first, with its nesting depth."""
+        out: List[Tuple[int, PlanOp]] = []
+
+        def visit(plan: "ExecutionPlan", depth: int) -> None:
+            for op in plan.ops:
+                out.append((depth, op))
+                if isinstance(op, FallbackOp):
+                    visit(op.plan, depth + 1)
+
+        visit(self, 0)
+        return out
+
+
+@dataclass
+class PlanReport:
+    """Observed per-op wall times, collected by the executor.
+
+    Keyed by ``id(op)`` — ops are frozen, hashing by identity keeps the
+    report usable for duplicate-looking ops in nested plans.
+    """
+
+    elapsed_s: Dict[int, float] = field(default_factory=dict)
+    total_s: float = 0.0
+
+    def record(self, op: PlanOp, elapsed: float) -> None:
+        self.elapsed_s[id(op)] = self.elapsed_s.get(id(op), 0.0) + elapsed
+
+    def observed(self, op: PlanOp) -> Optional[float]:
+        return self.elapsed_s.get(id(op))
+
+
+def format_plan(plan: ExecutionPlan, report: Optional[PlanReport] = None) -> str:
+    """Human-readable plan listing for ``cli explain`` and debugging.
+
+    One line per op: nesting, kind, method, bound context, query count,
+    slice rows, estimated cost (scan units per query, when the planner
+    supplied one) and observed wall time (when a report is given).
+    """
+    lines = [
+        f"plan: method={plan.method or '?'} queries={plan.n_queries} "
+        f"ops={len(plan.walk())} shape="
+        + ("merge" if plan.merge is not None else "scatter")
+    ]
+    header = f"  {'op':<22} {'context':<14} {'queries':>7} {'rows':>7} {'est u/q':>9}"
+    if report is not None:
+        header += f" {'observed':>11}"
+    lines.append(header)
+    for depth, op in plan.walk():
+        pad = "  " * depth
+        if isinstance(op, FallbackOp):
+            label = f"{pad}fallback"
+            ctx, n_q, rows, est = "-", len(op.positions), "-", None
+        else:
+            label = f"{pad}{op.kind}[{op.method}]"
+            if isinstance(op, ScanOp) and op.emit == "hits":
+                label += "+hits"
+            ctx = op.context.describe()
+            n_q, rows, est = len(op.queries), op.context.n_rows, op.est_unit_cost
+        est_text = f"{est:9.1f}" if est is not None and math.isfinite(est) else f"{'-':>9}"
+        line = f"  {label:<22} {ctx:<14} {n_q:>7} {rows!s:>7} {est_text}"
+        if report is not None:
+            seen = report.observed(op)
+            line += f" {seen * 1e3:9.2f}ms" if seen is not None else f" {'-':>11}"
+        lines.append(line)
+    if plan.merge is not None:
+        line = (
+            f"  {'merge[exact]':<22} {'-':<14} {plan.merge.n_queries:>7} "
+            f"{plan.merge.n_stream_rows:>7} {'-':>9}"
+        )
+        if report is not None:
+            line += f" {'-':>11}"
+        lines.append(line)
+    if report is not None:
+        lines.append(f"  total: {report.total_s * 1e3:.2f}ms")
+    return "\n".join(lines)

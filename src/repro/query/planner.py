@@ -10,7 +10,7 @@ Cost model (per query, in abstract scan units):
 
 * naive          — ``H``  (full window scan)
 * indexed        — ``build/H_amortised + hit_fraction * H + log H``
-* model cover    — ``O + fit/amortised``  (O = number of models)
+* model cover    — ``3·O + fit/amortised``  (O = number of models)
 
 plus a one-time preparation cost (index build / Ad-KMN fit) amortised
 over the expected number of queries against the window.  The model is
@@ -62,14 +62,26 @@ class PlanEstimate:
     preparation_cost: float
 
 
-# Relative preparation costs in the same abstract units, measured once on
-# this implementation (build an index / run Ad-KMN over H tuples).
+# Relative preparation costs in the same abstract units (1 unit = the
+# cost of scanning one tuple inside a scalar naive radius query).
+# Recalibrated against benchmarks/bench_ablation_adaptive_methods.py
+# fixtures on the reference H=240 Lausanne window: a naive query costs
+# ~17.6 us (73 ns/tuple); an R-tree build ~6.9 ms, a VP-tree build
+# ~0.74 ms, an Ad-KMN fit ~7.1 ms.  The original seed constants (12/8/40)
+# under-priced preparation by 10-30x, which made ``auto`` amortise index
+# builds and fits far too eagerly on short workloads.
 _PREP_UNITS = {
     "naive": 0.0,
-    "rtree": 12.0,     # per tuple: quadratic-split inserts
-    "vptree": 8.0,     # per tuple: recursive median partitioning
-    "model-cover": 40.0,  # per tuple: k-means rounds + regression fits
+    "rtree": 390.0,       # per tuple: quadratic-split inserts
+    "vptree": 42.0,       # per tuple: recursive median partitioning
+    "model-cover": 400.0,  # per tuple: k-means rounds + regression fits
 }
+
+# Per-query cost of evaluating a fitted cover, in units per kept model:
+# the (1, O) distance row plus one model evaluation measured ~3 scan
+# units per model on the same fixture (42 units at O=14), not the 1
+# unit/model the seed model assumed.
+_COVER_QUERY_UNITS_PER_MODEL = 3.0
 
 
 class QueryPlanner:
@@ -128,7 +140,9 @@ class QueryPlanner:
                 o = self._expected_models()
                 if o is not None:
                     out["model-cover"] = PlanEstimate(
-                        "model-cover", float(o) + prep / amortise, prep
+                        "model-cover",
+                        _COVER_QUERY_UNITS_PER_MODEL * o + prep / amortise,
+                        prep,
                     )
         return out
 

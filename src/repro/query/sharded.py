@@ -6,41 +6,31 @@ continuous streams, heatmap grids — against a
 :class:`~repro.storage.shards.ShardRouter` holding one database per
 geographic region.
 
-**Exact methods** (``naive`` and the index kinds) are radius averages
-over the global window, which is a cross-shard operation: a query disk
-near a region border draws tuples from several shards.  The engine
-scatters each query to every shard whose ownership region the disk can
-reach (:meth:`RegionGrid.disk_cell_ranges`), each shard reports its
-*hits* — ``(query, global stream position, sensor value)`` triples
-within radius — and the gather step merges them **exactly**: hits are
-ordered by ``(query, stream position)`` (one int64 radix sort) and each
-query's values are summed with one segmented reduction.  Every tuple is
-owned by exactly one shard and keeps its global stream position, so the
-ordered hit sequence — and hence every summed byte — depends only on
-the query and the stream, never on how the regions carved it up: answers
-are byte-identical for every shard count, including the 1-shard
-configuration (``tests/test_engine_equivalence.py`` enforces this).
+Since the plan-pipeline refactor the engine is a thin shell over
+``repro/query/pipeline``: a request is compiled against a pinned
+:class:`~repro.query.pipeline.binding.RouterBinding` into either a
+**merge-shaped** plan (exact methods: per-(window, shard) hit scans plus
+the exact partition-independent gather of
+:func:`~repro.query.pipeline.gather.merge_hit_partials` — answers
+byte-identical at any shard count) or a **scatter-shaped** cover plan
+(owner-shard model evaluation with an exact fallback sub-plan), and the
+shared :class:`~repro.query.pipeline.executor.PlanExecutor` runs it.
+Index and cover processors live in the one epoch-keyed
+:class:`~repro.query.pipeline.cache.ProcessorCache` (stamped with shard
+window *content epochs*, so ingest invalidates exactly what it touched),
+and ``method="auto"`` consults the single statistics-backed
+:class:`~repro.query.pipeline.planner.PipelinePlanner` per ``(shard,
+window)``, which recalibrates from the executor's observed op timings.
 
-**Model-cover** answers come from the *owning* shard's cover, fitted on
-that shard's slice of the window: a regional model, deliberately
-shard-local (per-region models are the scaling story — fitting stays
-per-shard and invalidation never crosses regions).  Its answers therefore
-legitimately depend on the partition; when the owning shard has no tuples
-in the window (so no cover can be fitted), the engine **falls back** to
-the exact scatter-gather average, which is again partition-invariant.
-
-**Planner integration**: ``method="auto"`` consults the cost-based
-:class:`~repro.query.planner.QueryPlanner` once per ``(shard, window)``,
-over that shard's own slice statistics.  Exact scans pick naive-vs-index
-per scanning shard; when the engine's profile tolerates model answers,
-the owning shard may answer with its cover instead.
+The exact-merge semantics (stream-ordered hit triples, one radix sort,
+one segmented reduction) are documented with the primitives in
+:mod:`repro.query.pipeline.gather`, which this module re-exports for
+compatibility.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -51,118 +41,29 @@ from repro.query.base import BatchResult, QueryBatch, QueryResult
 from repro.query.executor import BatchExecutor
 from repro.query.indexed import IndexedProcessor, available_index_kinds
 from repro.query.modelcover import ModelCoverProcessor
-from repro.query.planner import QueryPlanner, QueryProfile
+from repro.query.pipeline.binding import RouterBinding
+from repro.query.pipeline.cache import CacheStats, ProcessorCache
+
+# Re-exported for compatibility: the exact-gather primitives moved into
+# the pipeline package.
+from repro.query.pipeline.gather import (  # noqa: F401
+    HitPartial,
+    index_hits,
+    merge_hit_partials,
+    scan_hits,
+)
+from repro.query.pipeline.executor import PlanExecutor, PlanRuntime, build_sharded_plan
+from repro.query.pipeline.plan import (
+    VECTORISED_POLICY,
+    ExecutionPlan,
+    PlanReport,
+    ScanOp,
+)
+from repro.query.pipeline.planner import PipelinePlanner, PlannerFeedback
+from repro.query.planner import QueryProfile
 from repro.storage.shards import ShardRouter
 
 SHARDED_METHODS = ("naive",) + available_index_kinds() + ("model-cover", "auto")
-
-_MAX_CHUNK_CELLS = 8_000_000  # same footprint cap as the naive batch scan
-
-# Exact hit partials: parallel (query position, global stream position,
-# sensor value) arrays — the unit shards return and the gather step merges.
-HitPartial = Tuple[np.ndarray, np.ndarray, np.ndarray]
-
-
-def scan_hits(
-    window: TupleBatch, gids: np.ndarray, queries: QueryBatch, radius_m: float
-) -> HitPartial:
-    """All ``(query, stream position, value)`` hit triples of a radius scan.
-
-    The vectorised twin of the naive scan that keeps the individual hits
-    instead of averaging them — exact merging needs them.  ``gids`` are
-    the window rows' global stream positions, aligned with ``window``.
-    Chunked like :meth:`NaiveProcessor.process_batch` to bound the
-    distance-matrix footprint.
-    """
-    m, n = len(queries), len(window)
-    if not m or not n:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty, np.empty(0)
-    wx, wy, ws = window.x, window.y, window.s
-    r2 = radius_m * radius_m
-    chunk = max(1, _MAX_CHUNK_CELLS // n)
-    probe_parts: List[np.ndarray] = []
-    gid_parts: List[np.ndarray] = []
-    value_parts: List[np.ndarray] = []
-    for start in range(0, m, chunk):
-        stop = min(start + chunk, m)
-        qx = queries.x[start:stop, None]
-        qy = queries.y[start:stop, None]
-        inside = (wx[None, :] - qx) ** 2 + (wy[None, :] - qy) ** 2 <= r2
-        qi, ti = np.nonzero(inside)
-        probe_parts.append(qi + start)
-        gid_parts.append(gids[ti])
-        value_parts.append(ws[ti])
-    return (
-        np.concatenate(probe_parts),
-        np.concatenate(gid_parts),
-        np.concatenate(value_parts),
-    )
-
-
-def index_hits(
-    processor: IndexedProcessor, gids: np.ndarray, queries: QueryBatch
-) -> HitPartial:
-    """Hit triples via an index — identical hit set to :func:`scan_hits`."""
-    s = processor.window.s
-    probe_parts: List[np.ndarray] = []
-    gid_parts: List[np.ndarray] = []
-    value_parts: List[np.ndarray] = []
-    for i, hits in enumerate(processor.query_radius_bulk(queries.x, queries.y)):
-        if hits:
-            idx = np.asarray(hits, dtype=np.intp)
-            probe_parts.append(np.full(len(idx), i, dtype=np.int64))
-            gid_parts.append(gids[idx])
-            value_parts.append(s[idx])
-    if not probe_parts:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty, np.empty(0)
-    return (
-        np.concatenate(probe_parts),
-        np.concatenate(gid_parts),
-        np.concatenate(value_parts),
-    )
-
-
-def merge_hit_partials(
-    n_queries: int,
-    n_stream_rows: int,
-    partials: Sequence[HitPartial],
-    queries: QueryBatch,
-) -> BatchResult:
-    """Exact partition-independent gather of per-shard hit partials.
-
-    Hits are put in canonical ``(query, stream position)`` order — a
-    single int64 radix sort of the composite key — and each query's
-    values are summed with one segmented ``np.add.reduceat``.  A tuple is
-    owned by exactly one shard and its stream position never changes, so
-    the canonical sequence per query is *the stream order itself*: every
-    output byte is independent of the region partition, and the 1-shard
-    and N-shard configurations agree exactly.
-    """
-    values = np.full(n_queries, np.nan)
-    support = np.zeros(n_queries, dtype=np.int64)
-    live = [p for p in partials if len(p[0])]
-    if live:
-        probe = np.concatenate([p for p, _, _ in live])
-        gid = np.concatenate([g for _, g, _ in live])
-        vals = np.concatenate([v for _, _, v in live])
-        # Under concurrent ingest a hit's gid can transiently exceed the
-        # row counter the caller read; widen the stride so the composite
-        # sort key stays collision-free either way.
-        stride = np.int64(max(n_stream_rows, int(gid.max()) + 1, 1))
-        order = np.argsort(probe.astype(np.int64) * stride + gid, kind="stable")
-        probe = probe[order]
-        vals = vals[order]
-        seg_starts = np.concatenate(
-            ([0], np.flatnonzero(np.diff(probe) != 0) + 1)
-        )
-        sums = np.add.reduceat(vals, seg_starts)
-        hit_queries = probe[seg_starts]
-        counts = np.bincount(probe, minlength=n_queries)
-        support = counts.astype(np.int64)
-        values[hit_queries] = sums / counts[hit_queries]
-    return BatchResult(queries, values, support, answered=support > 0)
 
 
 class ShardedQueryEngine:
@@ -187,27 +88,34 @@ class ShardedQueryEngine:
     ) -> None:
         if radius_m < 0:
             raise ValueError("radius must be non-negative")
-        if cache_capacity < 1:
-            raise ValueError("cache_capacity must be at least 1")
         self.router = router
         self.radius_m = radius_m
         self.config = config or AdKMNConfig()
         self.profile = profile or QueryProfile(radius_m=radius_m)
         self._executor = BatchExecutor(max_workers=max_workers)
-        # One bounded LRU for index processors, cover processors and
-        # planner verdicts, keyed per (shard, window, ...).  Every key is
-        # stamped with the shard slice's *content epoch*
+        # The one epoch-keyed bounded LRU for index processors, cover
+        # processors and planner verdicts, keyed per (shard, window, ...)
+        # and stamped with the shard slice's *content epoch*
         # (:meth:`ShardRouter.shard_window_epoch`): ingest that lands
         # tuples in a shard's slice of an open global window advances the
         # stamp, so entries built on a partial window are never served
-        # after further ingest (they simply age out of the LRU), while
-        # sealed windows keep their frozen stamps — and their cache hits.
-        # Stamps are always read *before* the slice they stamp, so a
-        # racing ingest can only make an entry key conservatively old,
-        # never serve a stale processor under a fresh stamp.
-        self._cache: "OrderedDict[tuple, object]" = OrderedDict()
-        self._cache_capacity = cache_capacity
-        self._cache_lock = threading.RLock()
+        # after further ingest, while sealed windows keep their frozen
+        # stamps — and their cache hits.  Stamps are always read *before*
+        # the slice they stamp (the binding's coherent snapshot_window
+        # read), so a racing ingest can only make an entry key
+        # conservatively old, never serve a stale processor under a
+        # fresh stamp.
+        self._cache = ProcessorCache(cache_capacity)
+        # The planner keeps its verdicts in its own epoch-keyed store:
+        # one verdict per (shard, window, exactness) would otherwise
+        # compete with the covers/indexes themselves for LRU slots and
+        # thrash the expensive entries out on wide cover plans.
+        self._planner = PipelinePlanner(
+            self.profile,
+            config=self.config,
+            radius_m=radius_m,
+            feedback=PlannerFeedback(),
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -218,6 +126,21 @@ class ShardedQueryEngine:
     @property
     def executor(self) -> BatchExecutor:
         return self._executor
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/evict/stale counters of the processor cache (live)."""
+        return self._cache.stats
+
+    @property
+    def processor_cache(self) -> ProcessorCache:
+        """The engine's epoch-keyed processor/plan cache."""
+        return self._cache
+
+    @property
+    def planner(self) -> PipelinePlanner:
+        """The statistics-backed planner behind ``method="auto"``."""
+        return self._planner
 
     def close(self) -> None:
         """Release the worker pool (idempotent; recreated on demand)."""
@@ -231,37 +154,21 @@ class ShardedQueryEngine:
 
     # -- shared caches -----------------------------------------------------
 
-    def _cached(self, key: tuple, build):
-        """Bounded-LRU lookup-or-build.
+    def _index_processor(
+        self, s: int, c: int, kind: str, stamp: int, sub: TupleBatch
+    ) -> IndexedProcessor:
+        """Index over the given shard slice of window ``c`` (cached).
 
-        The build runs *outside* the lock so concurrent shard tasks can
+        Builds outside the cache lock so concurrent shard tasks can
         materialise distinct processors in parallel (a lost insert race
         just discards the duplicate — builds only read immutable window
         slices, so duplicates are equivalent).
         """
-        with self._cache_lock:
-            if key in self._cache:
-                self._cache.move_to_end(key)
-                return self._cache[key]
-        return self._cache_insert(key, build())
-
-    def _cache_insert(self, key: tuple, value):
-        with self._cache_lock:
-            if key in self._cache:  # another thread won the build race
-                self._cache.move_to_end(key)
-                return self._cache[key]
-            self._cache[key] = value
-            while len(self._cache) > self._cache_capacity:
-                self._cache.popitem(last=False)
-            return value
-
-    def _index_processor(
-        self, s: int, c: int, kind: str, stamp: int, sub: TupleBatch
-    ) -> IndexedProcessor:
-        """Index over the given shard slice of window ``c`` (cached)."""
-        return self._cached(
-            ("index", s, c, kind, stamp),
+        return self._cache.get_or_build(
+            ("index", s, c, kind),
+            stamp,
             lambda: IndexedProcessor(sub, kind=kind, radius_m=self.radius_m),
+            shared_build=True,
         )
 
     def _cover_processor(
@@ -271,7 +178,15 @@ class ShardedQueryEngine:
             result = fit_adkmn(sub, self.config, window_c=c)
             return ModelCoverProcessor(result.cover)
 
-        return self._cached(("cover", s, c, stamp), build)
+        return self._cache.get_or_build(
+            ("cover", s, c), stamp, build, shared_build=True
+        )
+
+    def _seed_cover(self, s: int, c: int, stamp: int, proc) -> None:
+        """Planner hook: pricing a model-cover plan already paid for the
+        fit, so seed the cover cache and never run the same Ad-KMN fit on
+        the same slice a second time."""
+        self._cache.insert(("cover", s, c), stamp, proc)
 
     def _planned_method(
         self, s: int, c: int, exact: bool, stamp: int, sub: TupleBatch
@@ -283,136 +198,86 @@ class ShardedQueryEngine:
         window content epoch, exactness) and is cached alongside the
         processors.
         """
-
-        def build() -> str:
-            profile = QueryProfile(
-                expected_queries=self.profile.expected_queries,
-                needs_exact_average=exact or self.profile.needs_exact_average,
-                radius_m=self.radius_m,
-            )
-            planner = QueryPlanner(sub, config=self.config)
-            method = planner.choose(profile).method
-            if method == "model-cover":
-                # Pricing the model-cover plan already paid for the fit;
-                # seed the cover cache so the execution path does not run
-                # the same Ad-KMN fit on the same slice a second time.
-                self._cache_insert(
-                    ("cover", s, c, stamp), planner.processor_for(profile)
-                )
-            return method
-
-        return self._cached(("plan", s, c, exact, stamp), build)
-
-    # -- scatter-gather core -----------------------------------------------
-
-    def _shard_hit_tasks(
-        self, c: int, positions: np.ndarray, queries: QueryBatch, method: str
-    ) -> List:
-        """One thunk per shard that must scan for this window's queries.
-
-        ``positions`` maps the window group's local query indices back to
-        stream positions; each thunk returns a :data:`HitPartial` in
-        stream positions, ready for the global merge.
-        """
-        grid = self.router.grid
-        i_lo, i_hi, j_lo, j_hi = grid.disk_cell_ranges(
-            queries.x, queries.y, self.radius_m
-        )
-        tasks = []
-        for s in range(self.n_shards):
-            # One coherent read: the stamp identifies exactly these rows.
-            stamp, sub, gids = self.router.snapshot_window(s, c)
-            if not len(sub):
-                continue
-            i, j = s % grid.nx, s // grid.nx
-            mask = (i_lo <= i) & (i <= i_hi) & (j_lo <= j) & (j <= j_hi)
-            if not mask.any():
-                continue
-            local = np.flatnonzero(mask)
-            shard_queries = queries.take(local)
-            shard_positions = positions[local]
-
-            def run(
-                s=s, stamp=stamp, sub=sub, gids=gids,
-                shard_queries=shard_queries, shard_positions=shard_positions,
-            ) -> HitPartial:
-                kind = method
-                if kind == "auto":
-                    kind = self._planned_method(s, c, exact=True, stamp=stamp, sub=sub)
-                if kind == "naive":
-                    probe, gid, vals = scan_hits(
-                        sub, gids, shard_queries, self.radius_m
-                    )
-                else:
-                    proc = self._index_processor(s, c, kind, stamp, sub)
-                    probe, gid, vals = index_hits(proc, gids, shard_queries)
-                return shard_positions[probe], gid, vals
-
-            tasks.append(run)
-        return tasks
-
-    def _exact_batch(self, batch: QueryBatch, method: str) -> BatchResult:
-        """Scatter-gather an exact radius-average batch across shards."""
-        windows = self.router.windows_for_times(batch.t)
-        tasks: List = []
-        for c in np.unique(windows):
-            positions = np.flatnonzero(windows == c)
-            tasks.extend(
-                self._shard_hit_tasks(
-                    int(c), positions, batch.take(positions), method
-                )
-            )
-        partials = self._executor.map(lambda run: run(), tasks)
-        return merge_hit_partials(
-            len(batch), self.router.global_count(), partials, batch
+        return self._planner.method_for(
+            s,
+            c,
+            stamp,
+            sub,
+            exact,
+            seed_cover=lambda proc: self._seed_cover(s, c, stamp, proc),
         )
 
-    def _model_cover_batch(self, batch: QueryBatch, allow_plan: bool) -> BatchResult:
-        """Owner-shard cover evaluation with exact fallback.
+    # -- plan pipeline -----------------------------------------------------
 
-        Queries whose owning shard has no tuples in the responsible
-        window (or, with ``allow_plan``, whose owner's planner prefers a
-        raw-data method) are answered by the exact scatter-gather path
-        instead — the "model-cover fallback".
-        """
-        n = len(batch)
-        values = np.full(n, np.nan)
-        support = np.zeros(n, dtype=np.int64)
-        answered = np.zeros(n, dtype=bool)
-        windows = self.router.windows_for_times(batch.t)
-        owners = self.router.grid.shards_of(batch.x, batch.y)
-        fallback: List[np.ndarray] = []
-        for c in np.unique(windows):
-            in_window = windows == c
-            for s in np.unique(owners[in_window]):
-                positions = np.flatnonzero(in_window & (owners == s))
-                s, c = int(s), int(c)
-                stamp, sub, _ = self.router.snapshot_window(s, c)
-                if not len(sub):
-                    fallback.append(positions)
-                    continue
-                if (
-                    allow_plan
-                    and self._planned_method(s, c, exact=False, stamp=stamp, sub=sub)
-                    != "model-cover"
-                ):
-                    fallback.append(positions)
-                    continue
-                proc = self._cover_processor(s, c, stamp, sub)
-                res = proc.process_batch(batch.take(positions))
-                values[positions] = res.values
-                support[positions] = res.support
-                answered[positions] = res.answered
-        if fallback:
-            positions = np.concatenate(fallback)
-            # From the auto path, keep the fallback on the per-shard
-            # planner (exact mode) — identical answers, planned scans.
-            exact_method = "auto" if allow_plan else "naive"
-            res = self._exact_batch(batch.take(positions), exact_method)
-            values[positions] = res.values
-            support[positions] = res.support
-            answered[positions] = res.answered
-        return BatchResult(batch, values, support, answered)
+    def binding(self) -> RouterBinding:
+        """A pinned snapshot binding over the router."""
+        return RouterBinding(self.router)
+
+    def plan(
+        self,
+        queries: Sequence[QueryTuple] | QueryBatch,
+        method: str = "naive",
+        want_estimates: bool = False,
+    ) -> ExecutionPlan:
+        """Compile a query stream against a freshly pinned binding."""
+        if method not in SHARDED_METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; known: {SHARDED_METHODS}"
+            )
+        batch = (
+            queries
+            if isinstance(queries, QueryBatch)
+            else QueryBatch.from_queries(queries)
+        )
+        return build_sharded_plan(
+            self.binding(),
+            batch,
+            method,
+            self._planner,
+            self.radius_m,
+            policy=VECTORISED_POLICY,
+            seed_cover=self._seed_cover,
+            want_estimates=want_estimates,
+        )
+
+    def _plan_executor(self, plan: ExecutionPlan) -> PlanExecutor:
+        def materialise(op, bound):
+            stamp, sub, _gids = bound
+            s, c = op.context.shard, op.context.window_c
+            return self._cover_processor(s, c, stamp, sub)
+
+        def prepare_hits(op: ScanOp, bound):
+            # Materialise the index inside the pool task (builds stay
+            # parallel across shards) but before the executor's timer, so
+            # the planner's feedback only ever observes scan cost.  The
+            # processor is returned — not re-fetched in hits() — so LRU
+            # pressure cannot evict-and-rebuild it inside the timer.
+            stamp, sub, _gids = bound
+            if op.method == "naive":
+                return None
+            return self._index_processor(
+                op.context.shard, op.context.window_c, op.method, stamp, sub
+            )
+
+        def hits(op: ScanOp, bound, prepared=None):
+            stamp, sub, gids = bound
+            if op.method == "naive":
+                return scan_hits(sub, gids, op.queries, self.radius_m)
+            proc = prepared if prepared is not None else self._index_processor(
+                op.context.shard, op.context.window_c, op.method, stamp, sub
+            )
+            return index_hits(proc, gids, op.queries)
+
+        runtime = PlanRuntime(
+            plan.binding, processor=materialise, hits=hits, prepare_hits=prepare_hits
+        )
+        return PlanExecutor(runtime, pool=self._executor, planner=self._planner)
+
+    def execute(
+        self, plan: ExecutionPlan, report: Optional[PlanReport] = None
+    ) -> BatchResult:
+        """Run a compiled plan through the shared executor."""
+        return self._plan_executor(plan).execute(plan, report)
 
     # -- the three web-interface modes -------------------------------------
 
@@ -435,11 +300,7 @@ class ShardedQueryEngine:
             return BatchResult(
                 batch, np.empty(0), np.empty(0, dtype=np.int64)
             )
-        if method == "model-cover":
-            return self._model_cover_batch(batch, allow_plan=False)
-        if method == "auto" and not self.profile.needs_exact_average:
-            return self._model_cover_batch(batch, allow_plan=True)
-        return self._exact_batch(batch, method)
+        return self.execute(self.plan(batch, method))
 
     def continuous_query(
         self,

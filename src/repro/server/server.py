@@ -46,10 +46,21 @@ from repro.network.messages import (
 from repro.query.base import QueryBatch
 from repro.query.executor import BatchExecutor, split_chunks
 from repro.query.modelcover import ModelCoverProcessor
+from repro.query.pipeline.binding import ServerSnapshotBinding
+from repro.query.pipeline.cache import CacheStats, ProcessorCache
+from repro.query.pipeline.executor import PlanExecutor, PlanRuntime, build_group_plan
+from repro.query.pipeline.plan import VECTORISED_POLICY
 from repro.storage.engine import Database, StorageSnapshot
 
 Request = Union[QueryRequest, ModelRequest]
 Response = Union[ValueResponse, ModelCoverResponse]
+
+DEFAULT_COVER_CACHE_CAPACITY = 256
+"""Bound on the per-server deserialized-cover memo (epoch-keyed LRU).
+
+One live entry per window the server recently served; generous enough
+that a month of 4-hour windows stays resident, bounded so a long-running
+server sweeping years of history cannot accrete covers forever."""
 
 
 class EnviroMeterServer:
@@ -93,10 +104,12 @@ class EnviroMeterServer:
         # model_cover table (the epoch the fit saw); used to decide
         # whether a stored blob matches a snapshot's window content.
         self._cover_stamps: Dict[int, int] = {}
-        # window c -> (stamp, deserialized cover): the serving memo, so
+        # The serving memo — ("cover", c) -> deserialized cover at the
+        # window's content stamp — now one epoch-keyed ProcessorCache, so
         # repeated requests never re-read or re-deserialize a blob under
-        # the lock (one live entry per window, superseded on growth).
-        self._cover_objs: Dict[int, Tuple[int, ModelCover]] = {}
+        # the lock, stale entries are superseded on growth, and the memo
+        # is bounded with uniform hit/miss/evict/stale counters.
+        self._covers = ProcessorCache(DEFAULT_COVER_CACHE_CAPACITY)
         self._served_covers = 0
         self._served_values = 0
 
@@ -169,9 +182,9 @@ class EnviroMeterServer:
         """
         stamp = snap.window_epoch(c)
         with self._lock:
-            memo = self._cover_objs.get(c)
-            if memo is not None and memo[0] == stamp:
-                return memo[1]
+            memo = self._covers.lookup(("cover", c), stamp)
+            if memo is not None:
+                return memo
             if self._builder.cached(c, stamp) is None:
                 stored = self.db.cover_blob_for_window(c)
                 if stored is not None and self._cover_stamps.get(c, stamp) == stamp:
@@ -181,7 +194,7 @@ class EnviroMeterServer:
                     # not grown since the fit, so adopt it.
                     self._cover_stamps[c] = stamp
                     cover = ModelCover.from_blob(stored[2])
-                    self._cover_objs[c] = (stamp, cover)
+                    self._covers.insert(("cover", c), stamp, cover)
                     return cover
             result = self._builder.build(snap.batch, c, stamp=stamp)
             if (
@@ -192,7 +205,7 @@ class EnviroMeterServer:
                     c, result.cover.valid_until, result.cover.to_blob()
                 )
                 self._cover_stamps[c] = stamp
-            self._cover_objs[c] = (stamp, result.cover)
+            self._covers.insert(("cover", c), stamp, result.cover)
             return result.cover
 
     # -- request handling -------------------------------------------------------
@@ -241,29 +254,41 @@ class EnviroMeterServer:
             else:
                 responses[i] = self._handle_pinned(request, snap)
         if query_positions:
-            ts = np.array([requests[i].t for i in query_positions])
-            windows = snap.windows_for_times(ts)
-            for c in np.unique(windows):
-                members = [
-                    query_positions[k] for k in np.flatnonzero(windows == c)
-                ]
-                reqs = [requests[i] for i in members]
-                cover = self._cover_for(int(c), snap)
-                proc = ModelCoverProcessor(cover)
-                batch = QueryBatch(
-                    np.array([r.t for r in reqs]),
-                    np.array([r.x for r in reqs]),
-                    np.array([r.y for r in reqs]),
+            # Compile the batch's queries into one scatter-shaped plan
+            # against the pinned snapshot (one cover op per responsible
+            # window, each answered by a single vectorised process_batch
+            # call) and run it through the shared pipeline executor.
+            batch = QueryBatch(
+                np.array([requests[i].t for i in query_positions]),
+                np.array([requests[i].x for i in query_positions]),
+                np.array([requests[i].y for i in query_positions]),
+            )
+            result = self.execute_plan(batch, snap)
+            for k, i in enumerate(query_positions):
+                value = (
+                    float(result.values[k]) if result.answered[k] else math.nan
                 )
-                result = proc.process_batch(batch)
-                for k, i in enumerate(members):
-                    value = (
-                        float(result.values[k]) if result.answered[k] else math.nan
-                    )
-                    responses[i] = ValueResponse(t=reqs[k].t, value=value)
-                with self._stats_lock:
-                    self._served_values += len(members)
+                responses[i] = ValueResponse(t=requests[i].t, value=value)
+            with self._stats_lock:
+                self._served_values += len(query_positions)
         return responses, snap.epoch  # type: ignore[return-value]
+
+    def execute_plan(self, batch: QueryBatch, snap: StorageSnapshot):
+        """Answer a columnar query batch through the plan pipeline.
+
+        Builds one cover op per responsible window, bound to the pinned
+        snapshot; covers materialise through :meth:`_cover_for` (the
+        epoch-keyed memo plus the lazy fit-and-store policy).
+        """
+        binding = ServerSnapshotBinding(snap)
+        plan = build_group_plan(binding, batch, "model-cover", VECTORISED_POLICY)
+        runtime = PlanRuntime(
+            binding,
+            processor=lambda op, bound: ModelCoverProcessor(
+                self._cover_for(op.context.window_c, snap)
+            ),
+        )
+        return PlanExecutor(runtime).execute(plan)
 
     def _handle_query(
         self, request: QueryRequest, snap: StorageSnapshot
@@ -300,6 +325,17 @@ class EnviroMeterServer:
     def builder_fit_count(self) -> int:
         """How many times the cover fitter actually ran (cache misses)."""
         return self._builder.fit_count
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/evict/stale counters of the cover memo (live view) —
+        the uniform counter block every server front end exposes."""
+        return self._covers.stats
+
+    @property
+    def cover_cache(self) -> ProcessorCache:
+        """The epoch-keyed deserialized-cover cache."""
+        return self._covers
 
     # -- replay-stats interface (shared with the sharded server) -------------
 
@@ -494,6 +530,11 @@ class ShardedEnviroMeterServer:
         return sum(s.builder_fit_count for s in self.shards)
 
     @property
+    def cache_stats(self) -> CacheStats:
+        """Fleet-wide cover-memo counters (sum over shard servers)."""
+        return CacheStats.aggregate(s.cache_stats for s in self.shards)
+
+    @property
     def covers_stored(self) -> int:
         return sum(s.covers_stored for s in self.shards)
 
@@ -612,6 +653,11 @@ class ConcurrentEnviroMeterServer:
     @property
     def builder_fit_count(self) -> int:
         return self.inner.builder_fit_count
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """The inner server's uniform cover-memo counter block."""
+        return self.inner.cache_stats
 
     @property
     def covers_stored(self) -> int:

@@ -77,3 +77,37 @@ class TestCommands:
     def test_shards_must_be_positive(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--shards", "0"])
+
+
+class TestExplain:
+    def test_explain_defaults(self):
+        args = build_parser().parse_args(["explain"])
+        assert args.method == "auto"
+        assert args.shards == 1
+        assert args.queries == 0
+
+    def test_explain_heatmap_prints_plan(self, capsys):
+        rc = main(
+            [
+                "explain", "--hour", "9.0",
+                "--width", "12", "--height", "8", "--method", "auto",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "plan: method=auto" in out
+        assert "est u/q" in out and "observed" in out
+        assert "cache {" in out
+        assert "planner feedback" in out
+
+    def test_explain_sharded_continuous(self, capsys):
+        rc = main(
+            [
+                "explain", "--shards", "4", "--queries", "60",
+                "--method", "auto", "--warm",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "plan: method=auto" in out
+        assert "/s" in out  # per-shard contexts rendered
