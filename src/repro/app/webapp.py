@@ -165,9 +165,18 @@ class WebInterface:
         return Heatmap(grid=grid, bounds=bounds)
 
     def centroid_markers(self, t: float) -> List[CentroidMarker]:
-        """The emitting points: Ad-KMN centroids with their levels."""
+        """The emitting points: Ad-KMN centroids with their levels.
+
+        The cover comes from the engine's snapshot-pinned processor path
+        (epoch-keyed ProcessorCache), never from a direct
+        ``builder.cover`` call: the read is pinned to one coherent
+        (stamp, batch) capture under concurrent ingest, and repeated
+        heatmap renders of the same sealed window reuse the cached fit
+        instead of refitting Ad-KMN per request.
+        """
         c = self._engine.window_for_time(t)
-        cover: ModelCover = self._engine.builder.cover(self._engine.batch, c)
+        processor = self._engine.processor("model-cover", c)
+        cover: ModelCover = processor.cover
         markers: List[CentroidMarker] = []
         for (cx, cy), model in zip(cover.centroids, cover.models):
             value = max(float(model.predict(t, cx, cy)), 0.0)

@@ -18,6 +18,7 @@ Examples::
     python -m repro.cli heatmap --hour 8.5 --shards 4
     python -m repro.cli serve --days 1
     python -m repro.cli serve --days 1 --shards 4
+    python -m repro.cli serve --days 1 --shards 4 --port 8765 --processes 4
     python -m repro.cli explain --hour 8.5 --method auto
     python -m repro.cli explain --shards 4 --queries 300 --method auto
 """
@@ -135,6 +136,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ds = generate_lausanne_dataset(
         LausanneConfig(days=args.days, seed=args.seed, target_tuples=0)
     )
+    if args.port is not None:
+        return _serve_network(ds, args)
+    if args.processes is not None:
+        print("--processes only applies to network mode; add --port", file=sys.stderr)
+        return 2
     if args.shards > 1:
         from repro.geo.region import RegionGrid
 
@@ -164,6 +170,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         counts = ", ".join(str(c) for c in inner.shard_raw_counts())
         print(f"shards ({args.shards}): per-shard tuple counts [{counts}]")
         inner.close()  # reclaim the parallel-ingest worker pool
+    return 0
+
+
+def _serve_network(ds, args) -> int:
+    """Ingest the dataset and serve it over HTTP/WebSocket.
+
+    ``--processes N`` executes every plan on a pool of N worker
+    processes over shared-memory shard exports (byte-identical answers,
+    in-process fallback on worker failure); without it the sharded
+    engine answers in-process.  Runs until interrupted.
+    """
+    import asyncio
+
+    from repro.geo.region import RegionGrid
+    from repro.query.pipeline.parallel import ProcessShardedEngine
+    from repro.query.sharded import ShardedQueryEngine
+    from repro.server.async_server import AsyncQueryServer, EngineQueryService
+    from repro.storage.shards import ShardRouter
+
+    router = ShardRouter(
+        RegionGrid.for_shard_count(ds.covered_bbox(), args.shards), h=args.h
+    )
+    router.ingest(ds.tuples)
+    engine = ShardedQueryEngine(router)
+    backend = (
+        ProcessShardedEngine(engine, processes=args.processes)
+        if args.processes is not None
+        else engine
+    )
+    server = AsyncQueryServer(EngineQueryService(backend), port=args.port)
+    mode = (
+        f"{args.processes} worker process(es)"
+        if args.processes is not None
+        else "in-process"
+    )
+    print(
+        f"serving {len(ds.tuples)} tuples over {args.shards} shard(s), "
+        f"{mode}; http://127.0.0.1:{args.port} (Ctrl-C to stop)"
+    )
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        backend.close()
     return 0
 
 
@@ -398,6 +449,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve queries from a thread pool of this size while ingest "
         "proceeds (snapshot-isolated concurrent serving layer)",
+    )
+    p.add_argument(
+        "--port",
+        type=_positive_int,
+        default=None,
+        help="network mode: ingest the dataset, then serve the three web "
+        "modes over HTTP/WebSocket on this port until interrupted",
+    )
+    p.add_argument(
+        "--processes",
+        type=_positive_int,
+        default=None,
+        help="network mode only: execute plans on this many worker "
+        "processes over shared-memory shard exports (answers are "
+        "byte-identical to in-process; worker crashes fall back "
+        "transparently)",
     )
     p.set_defaults(func=_cmd_serve)
 

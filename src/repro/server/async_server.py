@@ -1,0 +1,539 @@
+"""Asyncio HTTP/1.1 + WebSocket front end for the EnviroMeter web modes.
+
+The web interface (Section 3) has so far been an in-process API.  This
+module puts it on the network: a stdlib-only :mod:`asyncio` server that
+speaks plain HTTP/1.1 for one-shot requests and RFC 6455 WebSocket for
+interactive sessions, serving the same three request shapes the demo UI
+exercises — point query, continuous (route) query, and heatmap.
+
+Routes:
+
+* ``GET  /health``            — liveness + the modes this backend serves;
+* ``POST /query/point``       — ``{"t", "x", "y"}``;
+* ``POST /query/continuous``  — ``{"route": [[x, y], ...], "t_start",
+  "duration_s"?, "updates"?}``;
+* ``POST /query/heatmap``     — ``{"t", "bounds": [min_x, min_y, max_x,
+  max_y], "nx"?, "ny"?}``;
+* ``GET  /ws``                — WebSocket; each text frame is a JSON
+  request ``{"mode": "point" | "continuous" | "heatmap", ...}`` with the
+  same fields as the matching POST body, answered by one JSON text frame.
+
+Concurrency model: the event loop only parses frames and routes; every
+query runs in the default thread-pool executor
+(``loop.run_in_executor``), so a slow Ad-KMN fit never stalls the
+accept loop, and — when the backend is a
+:class:`~repro.query.pipeline.parallel.ProcessShardedEngine` — the
+actual compute escapes the GIL onto the worker processes entirely.  The
+backends are thread-safe (snapshot-pinned reads), so concurrent requests
+need no extra locking here.
+
+Two backends plug in behind one service interface:
+
+* :class:`WebAppService` — an in-process
+  :class:`~repro.app.webapp.WebInterface` (model-cover answers with
+  health levels and marker colours, plus centroid markers on heatmaps);
+* :class:`EngineQueryService` — anything with the three-mode engine
+  interface (``point_query`` / ``continuous_query_batch`` /
+  ``heatmap_grid``): a
+  :class:`~repro.query.sharded.ShardedQueryEngine` or its
+  process-parallel twin, whose answers are byte-identical by
+  construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import math
+import struct
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geo.coords import BoundingBox
+from repro.query.base import QueryBatch
+
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+_MAX_HEADER = 16 * 1024
+_MAX_BODY = 4 * 1024 * 1024
+
+__all__ = [
+    "AsyncQueryServer",
+    "BackgroundServer",
+    "EngineQueryService",
+    "HttpError",
+    "WebAppService",
+]
+
+
+class HttpError(Exception):
+    """An error with an HTTP status, surfaced as a JSON error body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _clean(value: float) -> Optional[float]:
+    """JSON has no NaN/inf: unanswered cells serialize as null."""
+    v = float(value)
+    return v if math.isfinite(v) else None
+
+
+def _number(params: Dict[str, Any], key: str) -> float:
+    value = params.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise HttpError(400, f"field {key!r} must be a number")
+    return float(value)
+
+
+def _optional_int(params: Dict[str, Any], key: str, default: int) -> int:
+    value = params.get(key, default)
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise HttpError(400, f"field {key!r} must be a positive integer")
+    return value
+
+
+def _route(params: Dict[str, Any]) -> List[Tuple[float, float]]:
+    raw = params.get("route")
+    if not isinstance(raw, list) or len(raw) < 2:
+        raise HttpError(400, "field 'route' must list at least two [x, y] points")
+    route: List[Tuple[float, float]] = []
+    for point in raw:
+        if (
+            not isinstance(point, (list, tuple))
+            or len(point) != 2
+            or not all(isinstance(v, (int, float)) for v in point)
+        ):
+            raise HttpError(400, "route points must be [x, y] number pairs")
+        route.append((float(point[0]), float(point[1])))
+    return route
+
+
+def _bounds(params: Dict[str, Any]) -> BoundingBox:
+    raw = params.get("bounds")
+    if (
+        not isinstance(raw, (list, tuple))
+        or len(raw) != 4
+        or not all(isinstance(v, (int, float)) for v in raw)
+    ):
+        raise HttpError(
+            400, "field 'bounds' must be [min_x, min_y, max_x, max_y]"
+        )
+    return BoundingBox(float(raw[0]), float(raw[1]), float(raw[2]), float(raw[3]))
+
+
+class WebAppService:
+    """The three modes served by an in-process ``WebInterface``."""
+
+    modes = ("point", "continuous", "heatmap")
+
+    def __init__(self, web) -> None:
+        self.web = web
+
+    def point(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        reading = self.web.point_query(
+            _number(params, "t"), _number(params, "x"), _number(params, "y")
+        )
+        return {
+            "mode": "point",
+            "x": reading.x,
+            "y": reading.y,
+            "co2_ppm": reading.co2_ppm,
+            "text": reading.text,
+        }
+
+    def continuous(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        readings = self.web.continuous_query(
+            _route(params),
+            t_start=_number(params, "t_start"),
+            duration_s=float(params.get("duration_s", 1800.0)),
+            updates=_optional_int(params, "updates", 30),
+        )
+        return {
+            "mode": "continuous",
+            "readings": [
+                {
+                    "x": r.x,
+                    "y": r.y,
+                    "co2_ppm": r.co2_ppm,
+                    "marker_color": r.marker_color,
+                }
+                for r in readings
+            ],
+        }
+
+    def heatmap(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        bounds = _bounds(params)
+        nx = _optional_int(params, "nx", 40)
+        ny = _optional_int(params, "ny", 30)
+        hm = self.web.heatmap(_number(params, "t"), bounds, nx=nx, ny=ny)
+        markers = self.web.centroid_markers(_number(params, "t"))
+        return {
+            "mode": "heatmap",
+            "nx": nx,
+            "ny": ny,
+            "grid": [[_clean(v) for v in row] for row in hm.grid],
+            "markers": [
+                {"x": m.x, "y": m.y, "co2_ppm": m.co2_ppm, "color": m.color}
+                for m in markers
+            ],
+        }
+
+
+class EngineQueryService:
+    """The three modes served by a three-mode query engine.
+
+    ``engine`` is anything exposing ``point_query`` /
+    ``continuous_query_batch`` / ``heatmap_grid`` — a
+    :class:`~repro.query.sharded.ShardedQueryEngine` runs in-process,
+    a :class:`~repro.query.pipeline.parallel.ProcessShardedEngine` runs
+    the same plans on its worker-process pool.
+    """
+
+    modes = ("point", "continuous", "heatmap")
+
+    def __init__(self, engine, method: str = "naive") -> None:
+        self.engine = engine
+        self.method = method
+
+    def point(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        result = self.engine.point_query(
+            _number(params, "t"),
+            _number(params, "x"),
+            _number(params, "y"),
+            method=self.method,
+        )
+        return {
+            "mode": "point",
+            "value": None if result.value is None else _clean(result.value),
+            "support": int(result.support),
+        }
+
+    def continuous(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.query.continuous import (
+            uniform_query_tuples,
+            waypoint_trajectory,
+        )
+
+        route = _route(params)
+        t_start = _number(params, "t_start")
+        duration_s = float(params.get("duration_s", 1800.0))
+        updates = _optional_int(params, "updates", 30)
+        traj = waypoint_trajectory(route, t_start, t_start + duration_s)
+        interval = duration_s / max(updates - 1, 1)
+        queries = uniform_query_tuples(traj, t_start, interval, updates)
+        result = self.engine.continuous_query_batch(
+            QueryBatch.from_queries(queries), method=self.method
+        )
+        return {
+            "mode": "continuous",
+            "readings": [
+                {
+                    "x": float(result.queries.x[i]),
+                    "y": float(result.queries.y[i]),
+                    "value": _clean(result.values[i]),
+                    "support": int(result.support[i]),
+                }
+                for i in range(len(result))
+            ],
+        }
+
+    def heatmap(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        bounds = _bounds(params)
+        nx = _optional_int(params, "nx", 40)
+        ny = _optional_int(params, "ny", 30)
+        grid = self.engine.heatmap_grid(
+            _number(params, "t"), bounds, nx=nx, ny=ny, method=self.method
+        )
+        return {
+            "mode": "heatmap",
+            "nx": nx,
+            "ny": ny,
+            "grid": [[_clean(v) for v in row] for row in np.asarray(grid)],
+        }
+
+
+class AsyncQueryServer:
+    """The asyncio front door: HTTP/1.1 routes plus a ``/ws`` endpoint."""
+
+    def __init__(
+        self, service, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port  # replaced by the bound port after start()
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=_MAX_HEADER
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- request dispatch ----------------------------------------------------
+
+    async def _answer(self, mode: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        handler = getattr(self.service, mode, None)
+        if mode not in getattr(self.service, "modes", ()) or handler is None:
+            raise HttpError(404, f"unknown mode {mode!r}")
+        loop = asyncio.get_running_loop()
+        # Queries block (numpy, fits, worker-pool round trips): keep them
+        # off the event loop so parsing/accepting never stalls.
+        return await loop.run_in_executor(None, handler, params)
+
+    # -- HTTP ----------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError,
+                    ConnectionError,
+                ):
+                    return
+                try:
+                    method, path, headers = self._parse_head(head)
+                except ValueError:
+                    await self._respond(
+                        writer, 400, {"error": "malformed request"}, close=True
+                    )
+                    return
+                if (
+                    path == "/ws"
+                    and headers.get("upgrade", "").lower() == "websocket"
+                ):
+                    await self._serve_websocket(reader, writer, headers)
+                    return
+                body = b""
+                length = int(headers.get("content-length", "0") or "0")
+                if length:
+                    if length > _MAX_BODY:
+                        await self._respond(
+                            writer, 413, {"error": "body too large"}, close=True
+                        )
+                        return
+                    body = await reader.readexactly(length)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                status, payload = await self._handle_request(method, path, body)
+                await self._respond(writer, status, payload, close=not keep_alive)
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    def _parse_head(head: bytes) -> Tuple[str, str, Dict[str, str]]:
+        lines = head.decode("latin-1").split("\r\n")
+        method, path, _version = lines[0].split(" ", 2)
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), path, headers
+
+    async def _handle_request(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            if method == "GET" and path == "/health":
+                return 200, {
+                    "status": "ok",
+                    "modes": list(getattr(self.service, "modes", ())),
+                }
+            if method == "POST" and path.startswith("/query/"):
+                mode = path[len("/query/") :]
+                try:
+                    params = json.loads(body.decode("utf-8") or "{}")
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    raise HttpError(400, "body must be a JSON object") from None
+                if not isinstance(params, dict):
+                    raise HttpError(400, "body must be a JSON object")
+                return 200, await self._answer(mode, params)
+            raise HttpError(404, f"no route {method} {path}")
+        except HttpError as exc:
+            return exc.status, {"error": exc.message}
+        except Exception as exc:  # noqa: BLE001 - surface as a 500, keep serving
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    @staticmethod
+    async def _respond(
+        writer, status: int, payload: Dict[str, Any], close: bool
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
+            status, "Error"
+        )
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- WebSocket -----------------------------------------------------------
+
+    async def _serve_websocket(self, reader, writer, headers) -> None:
+        key = headers.get("sec-websocket-key")
+        if not key:
+            await self._respond(
+                writer, 400, {"error": "missing Sec-WebSocket-Key"}, close=True
+            )
+            return
+        accept = base64.b64encode(
+            hashlib.sha1((key + _WS_GUID).encode("latin-1")).digest()
+        ).decode("latin-1")
+        writer.write(
+            (
+                "HTTP/1.1 101 Switching Protocols\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Accept: {accept}\r\n"
+                "\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+        while True:
+            try:
+                opcode, payload = await self._read_frame(reader)
+            except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+                return
+            if opcode == 0x8:  # close
+                await self._send_frame(writer, 0x8, payload[:2])
+                return
+            if opcode == 0x9:  # ping
+                await self._send_frame(writer, 0xA, payload)
+                continue
+            if opcode != 0x1:  # only text frames carry requests
+                continue
+            reply = await self._ws_reply(payload)
+            await self._send_frame(
+                writer, 0x1, json.dumps(reply).encode("utf-8")
+            )
+
+    async def _ws_reply(self, payload: bytes) -> Dict[str, Any]:
+        try:
+            request = json.loads(payload.decode("utf-8"))
+            if not isinstance(request, dict) or "mode" not in request:
+                raise HttpError(400, "frame must be a JSON object with 'mode'")
+            return await self._answer(str(request["mode"]), request)
+        except HttpError as exc:
+            return {"error": exc.message}
+        except Exception as exc:  # noqa: BLE001
+            return {"error": f"{type(exc).__name__}: {exc}"}
+
+    @staticmethod
+    async def _read_frame(reader) -> Tuple[int, bytes]:
+        b0, b1 = await reader.readexactly(2)
+        opcode = b0 & 0x0F
+        masked = bool(b1 & 0x80)
+        length = b1 & 0x7F
+        if length == 126:
+            (length,) = struct.unpack(">H", await reader.readexactly(2))
+        elif length == 127:
+            (length,) = struct.unpack(">Q", await reader.readexactly(8))
+        if length > _MAX_BODY:
+            raise ValueError("frame too large")
+        if not masked:
+            # RFC 6455 §5.1: client frames MUST be masked.
+            raise ValueError("client frames must be masked")
+        mask = await reader.readexactly(4)
+        data = bytearray(await reader.readexactly(length))
+        for i in range(length):
+            data[i] ^= mask[i % 4]
+        return opcode, bytes(data)
+
+    @staticmethod
+    async def _send_frame(writer, opcode: int, payload: bytes) -> None:
+        head = bytes([0x80 | opcode])
+        n = len(payload)
+        if n < 126:
+            head += bytes([n])
+        elif n < 1 << 16:
+            head += bytes([126]) + struct.pack(">H", n)
+        else:
+            head += bytes([127]) + struct.pack(">Q", n)
+        writer.write(head + payload)
+        await writer.drain()
+
+
+class BackgroundServer:
+    """An :class:`AsyncQueryServer` on its own event-loop thread.
+
+    For tests and embedding: ``with BackgroundServer(service) as server``
+    yields a bound ``server.port`` on 127.0.0.1 and tears the loop down
+    on exit.  The CLI's foreground mode uses ``serve_forever`` directly.
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.server = AsyncQueryServer(service, host=host, port=port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "BackgroundServer":
+        self._loop = asyncio.new_event_loop()
+
+        def run() -> None:
+            assert self._loop is not None
+            asyncio.set_event_loop(self._loop)
+            self._loop.run_until_complete(self.server.start())
+            self._started.set()
+            self._loop.run_forever()
+            self._loop.run_until_complete(self.server.close())
+            self._loop.close()
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):  # pragma: no cover
+            raise RuntimeError("server failed to start")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30.0)
+            self._loop = None
+            self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

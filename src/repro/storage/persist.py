@@ -12,14 +12,31 @@ the per-window latest-cover index, so a reloaded database answers
 ``cover_blob_for_window`` and ``window_view`` exactly as the saved one
 did.  Version 1 files still load; their cover index is rebuilt by one
 scan of ``model_cover``.
+
+Durability contract (see ``README.md`` in this package):
+
+* **Snapshot-consistent** — the whole save serialises from one coherent
+  capture taken under the database lock: an epoch-stamped
+  :class:`~repro.storage.engine.StorageSnapshot` pins the raw-tuple
+  prefix, every other table contributes a single ``scan()`` (all columns
+  clamped to one committed row count), and the cover index is copied in
+  the same critical section.  A save racing a free-running writer can
+  therefore never capture columns at different lengths (a *torn save*)
+  or a cover index pointing past the serialized ``model_cover`` rows.
+* **Atomic** — the payload is written to a temp file in the target
+  directory, fsynced, and atomically renamed over the destination, so a
+  crash mid-save leaves either the old file or the new one, never a
+  truncated hybrid.
 """
 
 from __future__ import annotations
 
 import io
+import os
 import struct
+import tempfile
 from pathlib import Path
-from typing import BinaryIO, Union
+from typing import Any, BinaryIO, Dict, Union
 
 import numpy as np
 
@@ -52,31 +69,57 @@ def _read_exact(f: BinaryIO, n: int) -> bytes:
     return data
 
 
-def save_database(db: Database, path: Union[str, Path]) -> None:
-    """Serialize every table of ``db`` to ``path``."""
-    path = Path(path)
+def _capture_database(db: Database):
+    """One coherent capture of everything a save serialises.
+
+    Runs under the database lock, so the epoch-stamped raw-tuples
+    snapshot, the per-table column scans and the cover index are mutually
+    consistent: every captured table clamps all its columns to a single
+    committed row count, and every cover-index row id points inside the
+    captured ``model_cover`` rows.  All captured values are immutable
+    (zero-copy prefix views / tuple snapshots / a dict copy), so the
+    serialization itself can run outside the lock without pinning
+    writers for the duration of the encode.
+    """
+    with db._lock:
+        cover_index = db.cover_index()
+        tables: Dict[str, Dict[str, Any]] = {}
+        for name in db.table_names():
+            if name == "raw_tuples":
+                # Serialize the raw stream from the pinned snapshot — the
+                # same epoch-stamped prefix every concurrent reader pins.
+                batch = db.snapshot().batch
+                tables[name] = {"t": batch.t, "x": batch.x, "y": batch.y, "s": batch.s}
+            else:
+                tables[name] = db.table(name).scan()
+        return db.partition_h, cover_index, tables
+
+
+def serialize_database(db: Database) -> bytes:
+    """The on-disk byte payload for ``db`` (snapshot-consistent)."""
+    partition_h, cover_index, tables = _capture_database(db)
     buf = io.BytesIO()
     buf.write(_MAGIC)
     buf.write(struct.pack("<I", _VERSION))
     # Partition metadata: window size (0 = unpartitioned) and the
     # per-window latest-cover index.
-    buf.write(struct.pack("<Q", db.partition_h or 0))
-    cover_index = db.cover_index()
+    buf.write(struct.pack("<Q", partition_h or 0))
     buf.write(struct.pack("<I", len(cover_index)))
     for window_c in sorted(cover_index):
         buf.write(struct.pack("<qQ", window_c, cover_index[window_c]))
-    names = db.table_names()
-    buf.write(struct.pack("<I", len(names)))
-    for name in names:
-        table = db.table(name)
+    buf.write(struct.pack("<I", len(tables)))
+    for name in sorted(tables):
+        columns = tables[name]
+        schema = db.table(name).schema
         _write_str(buf, name)
-        buf.write(struct.pack("<I", len(table.schema)))
-        for col in table.schema.columns:
+        buf.write(struct.pack("<I", len(schema)))
+        for col in schema.columns:
             _write_str(buf, col.name)
             buf.write(struct.pack("<B", _CTYPE_CODES[col.ctype]))
-        buf.write(struct.pack("<Q", len(table)))
-        for col in table.schema.columns:
-            snapshot = table.column(col.name)
+        n_rows = min((len(v) for v in columns.values()), default=0)
+        buf.write(struct.pack("<Q", n_rows))
+        for col in schema.columns:
+            snapshot = columns[col.name]
             if col.ctype is ColumnType.BYTES:
                 for blob in snapshot:
                     buf.write(struct.pack("<I", len(blob)))
@@ -84,7 +127,48 @@ def save_database(db: Database, path: Union[str, Path]) -> None:
             else:
                 arr = np.asarray(snapshot, dtype=_NUMPY_DTYPES[col.ctype])
                 buf.write(arr.tobytes())
-    path.write_bytes(buf.getvalue())
+    return buf.getvalue()
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically: temp file in the same
+    directory, flush + fsync, then rename over the destination.  A crash
+    at any point leaves either the previous file or the complete new one;
+    the temp file is removed on failure."""
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(payload)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    try:
+        # Make the rename itself durable: fsync the directory entry.
+        dir_fd = os.open(str(path.parent), os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        pass
+
+
+def save_database(db: Database, path: Union[str, Path]) -> None:
+    """Serialize every table of ``db`` to ``path``.
+
+    Snapshot-consistent (one epoch-pinned capture for the whole save)
+    and crash-safe (atomic temp-file + fsync + rename) — see the module
+    docstring.
+    """
+    _atomic_write(Path(path), serialize_database(db))
 
 
 def load_database(path: Union[str, Path]) -> Database:

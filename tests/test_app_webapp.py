@@ -65,3 +65,51 @@ class TestHeatmapMode:
         for m in markers:
             assert m.co2_ppm >= 0.0
             assert m.color.startswith("#")
+
+
+class TestCentroidMarkersPipeline:
+    """Regression: centroid_markers must go through the engine's
+    snapshot-pinned processor path, not refit via builder.cover."""
+
+    def test_repeated_renders_reuse_cached_fit(self, small_batch, monkeypatch):
+        engine = QueryEngine(small_batch, h=240)
+        web = WebInterface(engine)
+        t = float(small_batch.t[500])
+
+        builds = []
+        original = engine.builder.build
+
+        def counting_build(*args, **kwargs):
+            builds.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(engine.builder, "build", counting_build)
+        first = web.centroid_markers(t)
+        for _ in range(3):
+            again = web.centroid_markers(t)
+            assert [(m.x, m.y, m.co2_ppm) for m in again] == [
+                (m.x, m.y, m.co2_ppm) for m in first
+            ]
+        assert len(builds) == 1
+
+    def test_never_calls_builder_cover_directly(self, small_batch, monkeypatch):
+        engine = QueryEngine(small_batch, h=240)
+        web = WebInterface(engine)
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - fails the test
+            raise AssertionError("unpinned builder.cover() bypasses the pipeline")
+
+        monkeypatch.setattr(engine.builder, "cover", forbidden)
+        markers = web.centroid_markers(float(small_batch.t[500]))
+        assert len(markers) >= 1
+
+    def test_matches_pipeline_cover(self, small_batch):
+        engine = QueryEngine(small_batch, h=240)
+        web = WebInterface(engine)
+        t = float(small_batch.t[500])
+        c = engine.window_for_time(t)
+        cover = engine.processor("model-cover", c).cover
+        markers = web.centroid_markers(t)
+        assert len(markers) == len(cover.centroids)
+        for marker, (cx, cy) in zip(markers, cover.centroids):
+            assert (marker.x, marker.y) == (float(cx), float(cy))

@@ -127,6 +127,11 @@ def _run_ingest(m, ds, bm):
     m.bench_ingest_query_steady_state(bm, ds)
 
 
+def _run_process_parallel(m, ds, bm):
+    m.GRID_NX, m.GRID_NY = 12, 9
+    m.bench_process_heatmap(bm, ds, processes=2)
+
+
 def _run_sharded(m, ds, bm):
     m.GRID_NX, m.GRID_NY = 12, 9
     m.bench_sharded_heatmap(bm, ds, n_shards=2)
@@ -146,6 +151,7 @@ SMOKE_RUNNERS = {
     "bench_fig7b_bandwidth": _run_fig7b_bandwidth,
     "bench_fleet_scaling": _run_fleet_scaling,
     "bench_ingest": _run_ingest,
+    "bench_process_parallel": _run_process_parallel,
     "bench_sharded": _run_sharded,
 }
 

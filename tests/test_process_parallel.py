@@ -1,0 +1,242 @@
+"""Tests for repro.query.pipeline.parallel — process-parallel execution.
+
+The contract under test is the tentpole guarantee: every answer produced
+on the process pool is byte-identical to the serial ``PlanExecutor``
+path, and any worker failure (including ``kill -9`` mid-request)
+degrades to a correct in-process answer rather than an error.
+"""
+
+import importlib.util
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.geo.region import RegionGrid
+from repro.query.base import QueryBatch
+from repro.query.pipeline import parallel
+from repro.query.pipeline.parallel import ProcessPlanExecutor, ProcessShardedEngine
+from repro.query.sharded import ShardedQueryEngine
+from repro.storage.shards import ShardRouter
+
+# Guard against a hung worker pipe wedging the suite — but only where the
+# pytest-timeout plugin is actually installed (CI installs it; the mark
+# would be an unknown no-op elsewhere).
+pytestmark = (
+    [pytest.mark.timeout(300)]
+    if importlib.util.find_spec("pytest_timeout")
+    else []
+)
+
+H = 500
+
+
+def _router(dataset, shards=4):
+    router = ShardRouter(
+        RegionGrid.for_shard_count(dataset.covered_bbox(), shards), h=H
+    )
+    router.ingest(dataset.tuples)
+    return router
+
+
+@pytest.fixture(scope="module")
+def sharded(small_dataset):
+    engine = ShardedQueryEngine(_router(small_dataset), max_workers=2)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def pexec(sharded):
+    executor = ProcessPlanExecutor(sharded, processes=2, timeout_s=120.0)
+    yield executor
+    executor.close()
+
+
+@pytest.fixture(scope="module")
+def probes(small_dataset):
+    tuples = small_dataset.tuples
+    t = float(tuples.t[len(tuples) // 2])
+    bounds = small_dataset.covered_bbox()
+    return QueryBatch.from_grid(
+        t, bounds.min_x, bounds.min_y, bounds.width, bounds.height, 12, 9
+    )
+
+
+def _assert_identical(serial, parallel):
+    assert np.array_equal(serial.values, parallel.values, equal_nan=True)
+    assert np.array_equal(serial.support, parallel.support)
+    assert np.array_equal(serial.answered, parallel.answered)
+    assert serial.values.tobytes() == parallel.values.tobytes()
+
+
+class TestByteIdentity:
+    def test_merge_shaped_naive_plan(self, sharded, pexec, probes):
+        plan = sharded.plan(probes, "naive")
+        _assert_identical(sharded.execute(plan), pexec.execute(plan))
+        assert pexec.fallbacks == 0
+
+    def test_merge_shaped_index_plan(self, sharded, pexec, probes):
+        plan = sharded.plan(probes, "grid")
+        _assert_identical(sharded.execute(plan), pexec.execute(plan))
+
+    def test_cover_plan_with_fallback_subplan(self, sharded, pexec, probes):
+        plan = sharded.plan(probes, "model-cover")
+        _assert_identical(sharded.execute(plan), pexec.execute(plan))
+
+    def test_continuous_stream(self, sharded, pexec, small_dataset):
+        tuples = small_dataset.tuples
+        picks = np.linspace(0, len(tuples) - 1, 60).astype(int)
+        stream = QueryBatch(
+            tuples.t[picks], tuples.x[picks] + 40.0, tuples.y[picks] - 40.0
+        )
+        plan = sharded.plan(stream, "naive")
+        _assert_identical(sharded.execute(plan), pexec.execute(plan))
+
+    def test_repeated_execution_is_stable(self, sharded, pexec, probes):
+        plan = sharded.plan(probes, "naive")
+        first = pexec.execute(plan)
+        second = pexec.execute(plan)
+        assert first.values.tobytes() == second.values.tobytes()
+
+
+class TestIncrementalIngest:
+    def test_exports_grow_with_the_stream(self, small_dataset):
+        tuples = small_dataset.tuples
+        half = len(tuples) // 2
+        router = ShardRouter(
+            RegionGrid.for_shard_count(small_dataset.covered_bbox(), 4), h=H
+        )
+        router.ingest(tuples.slice(0, half))
+        engine = ShardedQueryEngine(router, max_workers=1)
+        bounds = small_dataset.covered_bbox()
+        with ProcessPlanExecutor(engine, processes=2) as executor:
+            t1 = float(tuples.t[half // 2])
+            probes1 = QueryBatch.from_grid(
+                t1, bounds.min_x, bounds.min_y, bounds.width, bounds.height, 6, 5
+            )
+            plan1 = engine.plan(probes1, "naive")
+            _assert_identical(engine.execute(plan1), executor.execute(plan1))
+            names_before = {
+                s: export.name
+                for s, export in executor.registry._exports.items()
+            }
+            router.ingest(tuples.slice(half, len(tuples)))
+            t2 = float(tuples.t[half + half // 2])
+            probes2 = QueryBatch.from_grid(
+                t2, bounds.min_x, bounds.min_y, bounds.width, bounds.height, 6, 5
+            )
+            plan2 = engine.plan(probes2, "naive")
+            _assert_identical(engine.execute(plan2), executor.execute(plan2))
+            names_after = {
+                s: export.name
+                for s, export in executor.registry._exports.items()
+            }
+            # At least one shard needed a larger prefix and re-exported.
+            assert any(
+                names_after[s] != names_before.get(s) for s in names_after
+            )
+            assert executor.fallbacks == 0
+        engine.close()
+
+
+class TestCrashRecovery:
+    def test_killed_workers_degrade_to_in_process_answer(
+        self, small_dataset, monkeypatch
+    ):
+        engine = ShardedQueryEngine(_router(small_dataset), max_workers=1)
+        bounds = small_dataset.covered_bbox()
+        t = float(small_dataset.tuples.t[1000])
+        probes = QueryBatch.from_grid(
+            t, bounds.min_x, bounds.min_y, bounds.width, bounds.height, 6, 5
+        )
+        with ProcessPlanExecutor(engine, processes=2, timeout_s=60.0) as executor:
+            plan = engine.plan(probes, "naive")
+            expected = engine.execute(plan)
+            _assert_identical(expected, executor.execute(plan))
+            # kill -9 every live worker.  The executor notices dead
+            # workers before it sends and respawns them — so to model a
+            # worker dying *mid-request* (after liveness was checked,
+            # before the reply) we pin alive() to True: the dispatcher
+            # sends into a dead pipe, the request fails, and the plan
+            # must fall back to a correct in-process answer.
+            for worker in executor._workers:
+                if worker is not None:
+                    os.kill(worker.process.pid, signal.SIGKILL)
+                    worker.process.join(timeout=10.0)
+            with pytest.MonkeyPatch.context() as mid_request:
+                mid_request.setattr(parallel._Worker, "alive", lambda self: True)
+                survived = executor.execute(engine.plan(probes, "naive"))
+            _assert_identical(expected, survived)
+            assert executor.fallbacks == 1
+            # The pool heals: the next request respawns the dead workers
+            # and runs on the process path again (no further fallback).
+            healed = executor.execute(engine.plan(probes, "naive"))
+            _assert_identical(expected, healed)
+            assert executor.fallbacks == 1
+        engine.close()
+
+    def test_killed_pool_respawns_before_next_request(self, small_dataset):
+        # Plain kill -9 between requests: the lazy respawn notices the
+        # corpse and the next request never even needs the fallback.
+        engine = ShardedQueryEngine(_router(small_dataset), max_workers=1)
+        bounds = small_dataset.covered_bbox()
+        t = float(small_dataset.tuples.t[1000])
+        probes = QueryBatch.from_grid(
+            t, bounds.min_x, bounds.min_y, bounds.width, bounds.height, 5, 4
+        )
+        with ProcessPlanExecutor(engine, processes=2, timeout_s=60.0) as executor:
+            plan = engine.plan(probes, "naive")
+            expected = engine.execute(plan)
+            _assert_identical(expected, executor.execute(plan))
+            for worker in executor._workers:
+                if worker is not None:
+                    os.kill(worker.process.pid, signal.SIGKILL)
+                    worker.process.join(timeout=10.0)
+            time.sleep(0.05)
+            healed = executor.execute(engine.plan(probes, "naive"))
+            _assert_identical(expected, healed)
+            assert executor.fallbacks == 0
+        engine.close()
+
+    def test_unsupported_plan_falls_back(self, small_batch):
+        # An unsharded engine plan has shard=None contexts: the process
+        # path cannot serialize it and must fall back transparently.
+        from repro.query.engine import QueryEngine
+
+        engine = QueryEngine(small_batch, h=240)
+        t = float(small_batch.t[500])
+        queries = QueryBatch(
+            np.array([t, t]), np.array([1000.0, 2000.0]), np.array([1000.0, 1500.0])
+        )
+        plan = engine.plan(queries, "naive")
+        with ProcessPlanExecutor(engine, processes=1) as executor:
+            result = executor.execute(plan)
+            assert executor.fallbacks == 1
+        expected = engine.execute(engine.plan(queries, "naive"))
+        assert np.array_equal(expected.values, result.values, equal_nan=True)
+
+
+class TestProcessShardedEngine:
+    def test_three_request_shapes(self, small_dataset):
+        engine = ShardedQueryEngine(_router(small_dataset), max_workers=1)
+        oracle = ShardedQueryEngine(_router(small_dataset), max_workers=1)
+        bounds = small_dataset.covered_bbox()
+        t = float(small_dataset.tuples.t[2000])
+        with ProcessShardedEngine(engine, processes=2) as facade:
+            point = facade.point_query(t, 2000.0, 1500.0)
+            expected_point = oracle.point_query(t, 2000.0, 1500.0)
+            assert point.value == expected_point.value
+            assert point.support == expected_point.support
+
+            grid = facade.heatmap_grid(t, bounds, nx=8, ny=6)
+            expected_grid = oracle.heatmap_grid(t, bounds, nx=8, ny=6)
+            assert grid.tobytes() == expected_grid.tobytes()
+
+            empty = facade.continuous_query_batch(QueryBatch(
+                np.empty(0), np.empty(0), np.empty(0)
+            ))
+            assert len(empty) == 0
+        oracle.close()

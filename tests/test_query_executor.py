@@ -1,0 +1,142 @@
+"""Tests for repro.query.executor — grouping, chunking, scatter.
+
+These helpers sit under every fan-out path (the thread-pool plan
+executor, the concurrent serving layer, the process pool's scatter
+replication), so their edge cases are load-bearing: a wrong chunk split
+silently reorders a batch, a wrong scatter silently swaps answers
+between queries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.base import BatchResult, QueryBatch
+from repro.query.executor import (
+    QueryGroup,
+    group_queries_by_window,
+    scatter_results,
+    split_chunks,
+)
+
+
+class TestSplitChunks:
+    def test_more_chunks_than_items_collapses_to_singletons(self):
+        chunks = split_chunks([1, 2, 3], 10)
+        assert chunks == [[1], [2], [3]]
+
+    def test_empty_input_yields_no_chunks(self):
+        assert split_chunks([], 4) == []
+
+    def test_single_chunk_is_the_whole_sequence(self):
+        assert split_chunks([1, 2, 3, 4], 1) == [[1, 2, 3, 4]]
+
+    def test_zero_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            split_chunks([1], 0)
+
+    def test_uneven_split_puts_extras_first(self):
+        chunks = split_chunks(list(range(7)), 3)
+        assert [len(c) for c in chunks] == [3, 2, 2]
+        assert [v for chunk in chunks for v in chunk] == list(range(7))
+
+    @given(
+        items=st.lists(st.integers(), max_size=60),
+        n=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_property(self, items, n):
+        chunks = split_chunks(items, n)
+        # Concatenation restores the input exactly, in order.
+        assert [v for chunk in chunks for v in chunk] == items
+        # No chunk is empty, and no more than n chunks exist.
+        assert all(len(chunk) >= 1 for chunk in chunks)
+        assert len(chunks) == min(n, len(items))
+        # Near-equal: chunk sizes differ by at most one.
+        if chunks:
+            sizes = [len(chunk) for chunk in chunks]
+            assert max(sizes) - min(sizes) <= 1
+
+
+def _group(window_c, indices, batch):
+    idx = np.asarray(indices, dtype=np.int64)
+    return QueryGroup(window_c, idx, batch.take(idx))
+
+
+def _result_for(group, value_of):
+    values = np.array([value_of(t) for t in group.queries.t])
+    support = np.arange(len(values), dtype=np.int64) + 1
+    return BatchResult(group.queries, values, support)
+
+
+class TestScatterResults:
+    def test_mismatched_group_and_result_counts_rejected(self):
+        batch = QueryBatch(np.arange(3.0), np.arange(3.0), np.arange(3.0))
+        groups = [_group(0, [0, 1, 2], batch)]
+        with pytest.raises(ValueError, match="one result per group"):
+            scatter_results(groups, [], 3)
+
+    def test_no_groups_yields_all_unanswered(self):
+        out = scatter_results([], [], 4)
+        assert len(out) == 4
+        assert not out.answered.any()
+        assert np.all(np.isnan(out.values))
+
+    def test_interleaved_groups_restore_stream_order(self):
+        t = np.array([0.0, 10.0, 1.0, 11.0, 2.0])
+        batch = QueryBatch(t, t + 100.0, t + 200.0)
+        groups = [
+            _group(0, [0, 2, 4], batch),
+            _group(1, [1, 3], batch),
+        ]
+        results = [_result_for(g, lambda ti: ti * 2.0) for g in groups]
+        out = scatter_results(groups, results, len(batch))
+        assert np.array_equal(out.queries.t, t)
+        assert np.array_equal(out.queries.x, t + 100.0)
+        assert np.array_equal(out.values, t * 2.0)
+        assert out.answered.all()
+
+    def test_unanswered_positions_stay_nan(self):
+        t = np.array([0.0, 1.0, 2.0])
+        batch = QueryBatch(t, t, t)
+        groups = [_group(0, [1], batch)]
+        out = scatter_results(groups, [_result_for(groups[0], float)], 3)
+        assert out.answered.tolist() == [False, True, False]
+        assert np.isnan(out.values[0]) and np.isnan(out.values[2])
+        assert out.values[1] == 1.0
+
+    @given(
+        windows=st.lists(
+            st.integers(min_value=0, max_value=4), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_group_then_scatter_round_trip_property(self, windows):
+        # Any stream, any window assignment: grouping by window and
+        # scattering per-group answers back must restore stream order
+        # and answer every query from its own window's function.
+        arr = np.array(windows, dtype=np.int64)
+        n = len(arr)
+        t = np.arange(n, dtype=float) + 0.25
+        batch = QueryBatch(t, t * 3.0, t * 5.0)
+        groups = group_queries_by_window(
+            batch, window_for_time=None, windows_for_times=lambda ts: arr
+        )
+        assert sorted(int(g.window_c) for g in groups) == sorted(
+            set(int(w) for w in windows)
+        )
+        results = []
+        for g in groups:
+            values = g.queries.t * 10.0 + float(g.window_c)
+            results.append(
+                BatchResult(
+                    g.queries, values, np.ones(len(values), dtype=np.int64)
+                )
+            )
+        out = scatter_results(groups, results, n)
+        assert np.array_equal(out.queries.t, batch.t)
+        assert np.array_equal(out.queries.x, batch.x)
+        assert np.array_equal(out.queries.y, batch.y)
+        assert np.array_equal(out.values, t * 10.0 + arr)
+        assert out.answered.all()

@@ -1,0 +1,325 @@
+"""Tests for repro.server.async_server — the network front end.
+
+Exercised over real sockets: HTTP via :mod:`http.client`, WebSocket via
+a hand-rolled RFC 6455 client on a raw socket (the stdlib has no WS
+client), both against a server bound to an ephemeral 127.0.0.1 port.
+"""
+
+import base64
+import hashlib
+import http.client
+import json
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.app.webapp import WebInterface
+from repro.geo.coords import BoundingBox
+from repro.geo.region import RegionGrid
+from repro.query.engine import QueryEngine
+from repro.query.pipeline.parallel import ProcessShardedEngine
+from repro.query.sharded import ShardedQueryEngine
+from repro.server.async_server import (
+    BackgroundServer,
+    EngineQueryService,
+    WebAppService,
+)
+from repro.storage.shards import ShardRouter
+
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+
+@pytest.fixture(scope="module")
+def web(small_batch):
+    return WebInterface(QueryEngine(small_batch, h=240))
+
+
+@pytest.fixture(scope="module")
+def served(web):
+    with BackgroundServer(WebAppService(web)) as background:
+        yield background
+
+
+@pytest.fixture(scope="module")
+def t_mid(small_batch):
+    return float(small_batch.t[500])
+
+
+def _post(port, path, payload):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request(
+            "POST",
+            path,
+            body=json.dumps(payload),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def _get(port, path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestHttpRoutes:
+    def test_health(self, served):
+        status, body = _get(served.port, "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert set(body["modes"]) == {"point", "continuous", "heatmap"}
+
+    def test_point_query_matches_in_process(self, served, web, t_mid):
+        status, body = _post(
+            served.port, "/query/point", {"t": t_mid, "x": 2000.0, "y": 1500.0}
+        )
+        assert status == 200
+        expected = web.point_query(t_mid, 2000.0, 1500.0)
+        assert body["co2_ppm"] == pytest.approx(expected.co2_ppm)
+        assert body["text"] == expected.text
+
+    def test_continuous_route(self, served, t_mid):
+        status, body = _post(
+            served.port,
+            "/query/continuous",
+            {
+                "route": [[1000.0, 1000.0], [3000.0, 2200.0]],
+                "t_start": t_mid,
+                "updates": 8,
+            },
+        )
+        assert status == 200
+        readings = body["readings"]
+        assert len(readings) == 8
+        assert (readings[0]["x"], readings[0]["y"]) == (1000.0, 1000.0)
+        assert all(r["marker_color"].startswith("#") for r in readings)
+
+    def test_heatmap_grid_and_markers(self, served, web, t_mid):
+        status, body = _post(
+            served.port,
+            "/query/heatmap",
+            {"t": t_mid, "bounds": [0, 0, 6000, 4000], "nx": 10, "ny": 8},
+        )
+        assert status == 200
+        grid = np.array(body["grid"], dtype=float)
+        assert grid.shape == (8, 10)
+        expected = web.heatmap(t_mid, BoundingBox(0, 0, 6000, 4000), nx=10, ny=8)
+        assert np.allclose(grid, expected.grid)
+        assert len(body["markers"]) >= 1
+
+    def test_keep_alive_serves_sequential_requests(self, served, t_mid):
+        conn = http.client.HTTPConnection("127.0.0.1", served.port, timeout=30)
+        try:
+            for _ in range(3):
+                conn.request(
+                    "POST",
+                    "/query/point",
+                    body=json.dumps({"t": t_mid, "x": 2000.0, "y": 1500.0}),
+                )
+                response = conn.getresponse()
+                assert response.status == 200
+                json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_unknown_route_is_404(self, served):
+        status, body = _get(served.port, "/nope")
+        assert status == 404
+        assert "error" in body
+
+    def test_unknown_mode_is_404(self, served):
+        status, body = _post(served.port, "/query/teleport", {"t": 0})
+        assert status == 404
+
+    def test_malformed_json_is_400(self, served):
+        conn = http.client.HTTPConnection("127.0.0.1", served.port, timeout=30)
+        try:
+            conn.request("POST", "/query/point", body="{not json")
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "error" in json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_missing_field_is_400(self, served):
+        status, body = _post(served.port, "/query/point", {"t": 0.0, "x": 1.0})
+        assert status == 400
+        assert "'y'" in body["error"]
+
+
+class _WsClient:
+    """Minimal RFC 6455 client: handshake + masked text frames."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        key = base64.b64encode(b"0123456789abcdef").decode()
+        self.sock.sendall(
+            (
+                "GET /ws HTTP/1.1\r\n"
+                f"Host: 127.0.0.1:{port}\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                "Sec-WebSocket-Version: 13\r\n"
+                "\r\n"
+            ).encode()
+        )
+        head = b""
+        while not head.endswith(b"\r\n\r\n"):
+            chunk = self.sock.recv(4096)
+            assert chunk, "server closed during handshake"
+            head += chunk
+        assert b"101" in head.split(b"\r\n", 1)[0]
+        expected = base64.b64encode(
+            hashlib.sha1((key + _WS_GUID).encode()).digest()
+        ).decode()
+        assert f"Sec-WebSocket-Accept: {expected}".encode() in head
+
+    def _recv_exactly(self, n):
+        data = b""
+        while len(data) < n:
+            chunk = self.sock.recv(n - len(data))
+            assert chunk, "server closed mid-frame"
+            data += chunk
+        return data
+
+    def send_frame(self, opcode, payload):
+        mask = b"\x11\x22\x33\x44"
+        masked = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+        head = bytes([0x80 | opcode])
+        n = len(payload)
+        if n < 126:
+            head += bytes([0x80 | n])
+        else:
+            head += bytes([0x80 | 126]) + struct.pack(">H", n)
+        self.sock.sendall(head + mask + masked)
+
+    def recv_frame(self):
+        b0, b1 = self._recv_exactly(2)
+        assert not (b1 & 0x80), "server frames must be unmasked"
+        length = b1 & 0x7F
+        if length == 126:
+            (length,) = struct.unpack(">H", self._recv_exactly(2))
+        elif length == 127:
+            (length,) = struct.unpack(">Q", self._recv_exactly(8))
+        return b0 & 0x0F, self._recv_exactly(length)
+
+    def request(self, payload):
+        self.send_frame(0x1, json.dumps(payload).encode())
+        opcode, data = self.recv_frame()
+        assert opcode == 0x1
+        return json.loads(data)
+
+    def close(self):
+        try:
+            self.send_frame(0x8, b"")
+            self.recv_frame()
+        except AssertionError:
+            pass
+        self.sock.close()
+
+
+class TestWebSocket:
+    def test_point_over_websocket_matches_http(self, served, t_mid):
+        client = _WsClient(served.port)
+        try:
+            ws_body = client.request(
+                {"mode": "point", "t": t_mid, "x": 2000.0, "y": 1500.0}
+            )
+        finally:
+            client.close()
+        _, http_body = _post(
+            served.port, "/query/point", {"t": t_mid, "x": 2000.0, "y": 1500.0}
+        )
+        assert ws_body == http_body
+
+    def test_session_serves_multiple_modes(self, served, t_mid):
+        client = _WsClient(served.port)
+        try:
+            point = client.request(
+                {"mode": "point", "t": t_mid, "x": 2000.0, "y": 1500.0}
+            )
+            heatmap = client.request(
+                {
+                    "mode": "heatmap",
+                    "t": t_mid,
+                    "bounds": [0, 0, 6000, 4000],
+                    "nx": 6,
+                    "ny": 4,
+                }
+            )
+        finally:
+            client.close()
+        assert point["mode"] == "point"
+        assert np.array(heatmap["grid"]).shape == (4, 6)
+
+    def test_ping_pong(self, served):
+        client = _WsClient(served.port)
+        try:
+            client.send_frame(0x9, b"hello")
+            opcode, payload = client.recv_frame()
+            assert (opcode, payload) == (0xA, b"hello")
+        finally:
+            client.close()
+
+    def test_bad_request_gets_error_frame_not_disconnect(self, served, t_mid):
+        client = _WsClient(served.port)
+        try:
+            bad = client.request({"mode": "teleport"})
+            assert "error" in bad
+            good = client.request(
+                {"mode": "point", "t": t_mid, "x": 2000.0, "y": 1500.0}
+            )
+            assert "error" not in good
+        finally:
+            client.close()
+
+
+class TestEngineBackends:
+    """The same network front end over the sharded / process engines."""
+
+    def test_process_engine_answers_match_in_process_engine(self, small_dataset):
+        def build_engine():
+            router = ShardRouter(
+                RegionGrid.for_shard_count(small_dataset.covered_bbox(), 4),
+                h=500,
+            )
+            router.ingest(small_dataset.tuples)
+            return ShardedQueryEngine(router, max_workers=1)
+
+        oracle = build_engine()
+        t = float(small_dataset.tuples.t[2000])
+        bounds = small_dataset.covered_bbox()
+        box = [bounds.min_x, bounds.min_y, bounds.max_x, bounds.max_y]
+        with ProcessShardedEngine(build_engine(), processes=2) as facade:
+            with BackgroundServer(EngineQueryService(facade)) as served:
+                _, point = _post(
+                    served.port,
+                    "/query/point",
+                    {"t": t, "x": 2000.0, "y": 1500.0},
+                )
+                _, heatmap = _post(
+                    served.port,
+                    "/query/heatmap",
+                    {"t": t, "bounds": box, "nx": 6, "ny": 4},
+                )
+                assert facade.executor.fallbacks == 0
+        expected_point = oracle.point_query(t, 2000.0, 1500.0)
+        assert point["value"] == pytest.approx(expected_point.value)
+        assert point["support"] == expected_point.support
+        expected_grid = oracle.heatmap_grid(t, bounds, nx=6, ny=4)
+        got = np.array(
+            [[np.nan if v is None else v for v in row] for row in heatmap["grid"]]
+        )
+        assert np.array_equal(got, expected_grid, equal_nan=True)
+        oracle.close()
