@@ -35,13 +35,15 @@ import sys
 import numpy as np
 import pytest
 
-from repro.data.lausanne import LausanneConfig, generate_lausanne_dataset
 from repro.eval.timing import time_callable
-from repro.geo.region import RegionGrid
 from repro.query.base import QueryBatch
 from repro.query.pipeline.parallel import ProcessPlanExecutor
 from repro.query.sharded import ShardedQueryEngine
-from repro.storage.shards import ShardRouter
+
+try:  # pytest / smoke-test import (repo root on sys.path)
+    from benchmarks.conftest import day_fixture, sharded_day_engine
+except ImportError:  # standalone: python benchmarks/bench_process_parallel.py
+    from conftest import day_fixture, sharded_day_engine
 
 PROCESS_COUNTS = (1, 2, 4)
 N_SHARDS = 4
@@ -51,20 +53,9 @@ REPEATS = 3
 ACCEPT_SPEEDUP = 2.0
 
 
-def day_fixture():
-    """The deterministic 1-day Lausanne dataset (~5.9 K tuples)."""
-    return generate_lausanne_dataset(LausanneConfig(days=1, target_tuples=0, seed=7))
-
-
 def build_engine(dataset, n_shards: int = N_SHARDS) -> ShardedQueryEngine:
     """Sharded engine with a day-long window, as in ``bench_sharded``."""
-    tuples = dataset.tuples
-    router = ShardRouter(
-        RegionGrid.for_shard_count(dataset.covered_bbox(), n_shards),
-        h=len(tuples),
-    )
-    router.ingest(tuples)
-    return ShardedQueryEngine(router, radius_m=RADIUS_M, max_workers=1)
+    return sharded_day_engine(dataset, n_shards, radius_m=RADIUS_M)
 
 
 def heatmap_plan(engine: ShardedQueryEngine, dataset, nx: int, ny: int):

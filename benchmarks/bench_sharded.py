@@ -26,12 +26,13 @@ import sys
 import numpy as np
 import pytest
 
-from repro.data.lausanne import LausanneConfig, generate_lausanne_dataset
-from repro.data.tuples import TupleBatch
 from repro.eval.timing import time_callable
-from repro.geo.region import RegionGrid
 from repro.query.sharded import ShardedQueryEngine
-from repro.storage.shards import ShardRouter
+
+try:  # pytest / smoke-test import (repo root on sys.path)
+    from benchmarks.conftest import day_fixture, sharded_day_engine, write_bench_json
+except ImportError:  # standalone: python benchmarks/bench_sharded.py
+    from conftest import day_fixture, sharded_day_engine, write_bench_json
 
 SHARD_COUNTS = (1, 2, 4)
 GRID_NX, GRID_NY = 64, 48
@@ -39,11 +40,6 @@ RADIUS_M = 500.0
 INGEST_BATCH = 1_500
 REPEATS = 3
 ACCEPT_SPEEDUP = 2.0
-
-
-def day_fixture():
-    """The deterministic 1-day Lausanne dataset (~5.9 K tuples)."""
-    return generate_lausanne_dataset(LausanneConfig(days=1, target_tuples=0, seed=7))
 
 
 def sharded_engine(
@@ -55,12 +51,9 @@ def sharded_engine(
     from the full day's window so the scan cost (what sharding prunes)
     is the dominant term, as it is at city scale.
     """
-    tuples: TupleBatch = dataset.tuples
-    grid = RegionGrid.for_shard_count(dataset.covered_bbox(), n_shards)
-    router = ShardRouter(grid, h=h or len(tuples))
-    for start in range(0, len(tuples), INGEST_BATCH):
-        router.ingest(tuples.slice(start, min(start + INGEST_BATCH, len(tuples))))
-    return ShardedQueryEngine(router, radius_m=radius_m, max_workers=1)
+    return sharded_day_engine(
+        dataset, n_shards, radius_m=radius_m, h=h, ingest_batch=INGEST_BATCH
+    )
 
 
 def heatmap_time(
@@ -137,12 +130,31 @@ def main(smoke: bool = False) -> int:
         )
 
     speedup = times[1] / times[4]
+    path = write_bench_json(
+        "sharded",
+        {
+            "benchmark": "sharded",
+            "mode": "smoke" if smoke else "full",
+            "workload": {
+                "grid": [nx, ny],
+                "radius_m": RADIUS_M,
+                "shard_counts": list(SHARD_COUNTS),
+                "repeats": repeats,
+                "tuples": len(dataset.tuples),
+            },
+            "seconds_per_grid": {str(n): times[n] for n in SHARD_COUNTS},
+            "speedup_4_shard": speedup,
+            "byte_identical": identical,
+            "accept_speedup": ACCEPT_SPEEDUP,
+        },
+    )
+    print(f"\nwrote {path.name}")
     if smoke:
-        print(f"\n4-shard speedup {speedup:.2f}x (smoke mode: bar not enforced)")
+        print(f"4-shard speedup {speedup:.2f}x (smoke mode: bar not enforced)")
         return 0 if identical else 1
     ok = identical and speedup >= ACCEPT_SPEEDUP
     print(
-        f"\nacceptance (byte-identical answers and 4-shard heatmap >= "
+        f"acceptance (byte-identical answers and 4-shard heatmap >= "
         f"{ACCEPT_SPEEDUP:.0f}x 1-shard): {'PASS' if ok else 'FAIL'}"
     )
     return 0 if ok else 1

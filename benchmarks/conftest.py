@@ -14,12 +14,14 @@ runs) — and threads it through its workload builders.
 
 from __future__ import annotations
 
+import json
+import pathlib
 import zlib
 
 import numpy as np
 import pytest
 
-from repro.data.lausanne import LausanneDataset
+from repro.data.lausanne import LausanneConfig, LausanneDataset, generate_lausanne_dataset
 from repro.eval.experiments import (
     PAPER_RADIUS_M,
     PAPER_TAU_N,
@@ -65,3 +67,55 @@ def window_and_queries(dataset, h, n_queries, seed=11):
     """A mid-deployment window of size ``h`` plus its query workload."""
     _, w = _mid_window(dataset, h)
     return w, _query_workload(dataset, w, n_queries, seed=seed)
+
+
+# -- shared sharded-benchmark fixture builders ------------------------------
+#
+# Hoisted from bench_sharded / bench_process_parallel (which used to carry
+# copy-pasted versions) so the sharded family of benchmarks builds its
+# routers one way.  Plain functions, importable both as
+# ``benchmarks.conftest`` (pytest / smoke tests) and as ``conftest``
+# (standalone ``python benchmarks/bench_X.py`` runs).
+
+
+def day_fixture():
+    """The deterministic 1-day Lausanne dataset (~5.9 K tuples)."""
+    return generate_lausanne_dataset(LausanneConfig(days=1, target_tuples=0, seed=7))
+
+
+def sharded_day_engine(
+    dataset,
+    n_shards: int,
+    radius_m: float = 500.0,
+    h: int | None = None,
+    ingest_batch: int | None = None,
+    prune: bool = True,
+):
+    """Router + :class:`ShardedQueryEngine` over ``n_shards`` regions.
+
+    ``h`` defaults to the stream length (one day-long window, so scan
+    cost dominates); ``ingest_batch`` splits ingest into batches of that
+    size (None = one bulk ingest).  ``max_workers=1`` keeps timings
+    deterministic on loaded hosts.
+    """
+    from repro.geo.region import RegionGrid
+    from repro.query.sharded import ShardedQueryEngine
+    from repro.storage.shards import ShardRouter
+
+    tuples = dataset.tuples
+    grid = RegionGrid.for_shard_count(dataset.covered_bbox(), n_shards)
+    router = ShardRouter(grid, h=h or len(tuples))
+    step = ingest_batch or len(tuples)
+    for start in range(0, len(tuples), step):
+        router.ingest(tuples.slice(start, min(start + step, len(tuples))))
+    return ShardedQueryEngine(
+        router, radius_m=radius_m, max_workers=1, prune=prune
+    )
+
+
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Write a machine-readable benchmark result to ``BENCH_<name>.json``
+    at the repo root (the perf-trajectory artifact CI collects)."""
+    path = pathlib.Path(__file__).resolve().parent.parent / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

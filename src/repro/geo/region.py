@@ -152,16 +152,44 @@ class RegionGrid:
             self._cells_y(ys + radius),
         )
 
-    def shards_overlapping_disk(self, x: float, y: float, radius: float) -> List[int]:
-        """Cell indices a disk query must be scattered to (superset-safe)."""
+    def disk_shards(self, x: float, y: float, radius: float) -> np.ndarray:
+        """Cell indices a disk query must be scattered to, vectorised.
+
+        The row-major flattening of the :meth:`disk_cell_ranges` index
+        rectangle (rows outer, columns inner — the same order the old
+        double loop produced).
+        """
         i_lo, i_hi, j_lo, j_hi = self.disk_cell_ranges(
             np.array([x]), np.array([y]), radius
         )
-        return [
-            int(j * self.nx + i)
-            for j in range(int(j_lo[0]), int(j_hi[0]) + 1)
-            for i in range(int(i_lo[0]), int(i_hi[0]) + 1)
-        ]
+        ii = np.arange(int(i_lo[0]), int(i_hi[0]) + 1, dtype=np.int64)
+        jj = np.arange(int(j_lo[0]), int(j_hi[0]) + 1, dtype=np.int64)
+        return (jj[:, None] * self.nx + ii[None, :]).ravel()
+
+    def shards_overlapping_disk(self, x: float, y: float, radius: float) -> List[int]:
+        """Cell indices a disk query must be scattered to (superset-safe).
+
+        List-returning compatibility wrapper over :meth:`disk_shards`.
+        """
+        return self.disk_shards(x, y, radius).tolist()
+
+    def disks_shard_mask(
+        self, xs: np.ndarray, ys: np.ndarray, radius: float
+    ) -> np.ndarray:
+        """Batch scatter mask: ``mask[q, k]`` is True when query ``q``'s
+        disk can draw owned tuples from cell ``k``.
+
+        One vectorised evaluation of the :meth:`disk_cell_ranges`
+        rectangles for a whole heatmap grid / query batch — the geometry
+        half of the plan-time scatter-pruning pass.  Shape
+        ``(len(xs), n_regions)``, columns in row-major cell order.
+        """
+        i_lo, i_hi, j_lo, j_hi = self.disk_cell_ranges(xs, ys, radius)
+        i = np.arange(self.nx, dtype=np.int64)
+        j = np.arange(self.ny, dtype=np.int64)
+        in_i = (i_lo[:, None] <= i) & (i <= i_hi[:, None])  # (n, nx)
+        in_j = (j_lo[:, None] <= j) & (j <= j_hi[:, None])  # (n, ny)
+        return (in_j[:, :, None] & in_i[:, None, :]).reshape(len(in_i), -1)
 
 
 def nearest_subregion(subregions: Sequence[SubRegion], x: float, y: float) -> int:

@@ -49,7 +49,9 @@ from repro.query.pipeline.plan import (
     ExecutionPlan,
     ExecutionPolicy,
     PlanReport,
+    PruneStats,
 )
+from repro.storage.sketch import WindowSketch
 from repro.query.pipeline.planner import PipelinePlanner, PlannerFeedback
 from repro.query.planner import QueryProfile
 
@@ -91,12 +93,22 @@ class QueryEngine:
         cache_capacity: int = DEFAULT_PROCESSOR_CACHE_CAPACITY,
         max_workers: Optional[int] = None,
         profile: Optional[QueryProfile] = None,
+        prune: bool = True,
     ) -> None:
         if not len(batch):
             raise ValueError("query engine needs a non-empty tuple stream")
         self._batch = batch
         self.h = h
         self.radius_m = radius_m
+        # Plan-time pruning of raw-data window groups whose zone map
+        # proves every query disk empty (whole groups only — answers
+        # stay byte-identical).  Window sketches live in their own small
+        # epoch-keyed cache: sealed-window sketches are immutable, and
+        # sketch entries must never compete with the expensive
+        # index/cover processors for LRU slots.
+        self.prune = prune
+        self._prune_stats = PruneStats()
+        self._sketch_cache = ProcessorCache(max(cache_capacity, 256))
         self._builder = CoverBuilder(h, config=config, mode="count")
         # The one epoch-keyed processor cache, keyed (method, window) and
         # stamped with the window's content epoch (see refresh): an entry
@@ -197,6 +209,11 @@ class QueryEngine:
         return self._planner
 
     @property
+    def prune_stats(self) -> PruneStats:
+        """Cumulative scatter-pruning counters across every plan built."""
+        return self._prune_stats
+
+    @property
     def executor(self) -> BatchExecutor:
         return self._executor
 
@@ -292,7 +309,23 @@ class QueryEngine:
                 self._epochs_view = epochs
             batch = self._batch
         return EngineBinding(
-            batch, self.h, lambda c, _epochs=epochs: _epochs.get(int(c), 0)
+            batch,
+            self.h,
+            lambda c, _epochs=epochs: _epochs.get(int(c), 0),
+            sketch_provider=self._window_sketch,
+        )
+
+    def _window_sketch(self, c: int, stamp: int, sub: TupleBatch) -> WindowSketch:
+        """Zone map of the pinned window slice, cached per content epoch.
+
+        The slice handed in is the binding's pinned one, so the computed
+        sketch always covers exactly the rows pruning decides over; the
+        epoch-keyed cache just makes repeat requests on sealed windows
+        (frozen stamps) O(1).
+        """
+        return self._sketch_cache.get_or_build(
+            ("sketch", int(c)), stamp, lambda: WindowSketch.of(sub),
+            shared_build=True,
         )
 
     def plan(
@@ -301,9 +334,13 @@ class QueryEngine:
         method: str = "model-cover",
         policy: ExecutionPolicy = ENGINE_POLICY,
         want_estimates: bool = False,
+        prune: Optional[bool] = None,
     ) -> ExecutionPlan:
         """Compile a query stream into an execution plan (one op per
-        window group) against a freshly pinned snapshot binding."""
+        window group) against a freshly pinned snapshot binding.
+
+        ``prune`` overrides the engine's zone-map pruning default for
+        this one plan."""
         if method != "auto" and method not in METHODS:
             raise ValueError(
                 f"unknown method {method!r}; known: {METHODS + ('auto',)}"
@@ -313,7 +350,7 @@ class QueryEngine:
             if isinstance(queries, QueryBatch)
             else QueryBatch.from_queries(queries)
         )
-        return build_group_plan(
+        plan = build_group_plan(
             self.binding(), batch, method, policy,
             planner=self._planner,
             # An auto model-cover verdict's pricing fit seeds the cover
@@ -326,7 +363,11 @@ class QueryEngine:
                 ("model-cover", c), stamp, proc
             ),
             want_estimates=want_estimates,
+            radius_m=self.radius_m,
+            prune=self.prune if prune is None else prune,
         )
+        self._prune_stats.observe(plan)
+        return plan
 
     def _plan_executor(self, plan: ExecutionPlan) -> PlanExecutor:
         binding = plan.binding

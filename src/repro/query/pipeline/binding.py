@@ -18,7 +18,7 @@ it die with the plan.  They hold zero-copy views only.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Optional, Protocol, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.data.tuples import TupleBatch
 from repro.data.windows import window, windows_for_times
 from repro.storage.engine import StorageSnapshot
 from repro.storage.shards import ShardRouter
+from repro.storage.sketch import WindowSketch
 
 #: What a binding resolves a (shard, window) to: the slice's content
 #: stamp, the pinned zero-copy slice, and — on sharded bindings — the
@@ -50,12 +51,42 @@ class SnapshotBinding(Protocol):
         """Pinned ``(stamp, slice, gids)`` of window ``c`` (per shard)."""
         ...
 
+    def sketch_for(self, shard: Optional[int], c: int) -> WindowSketch:
+        """Zone-map sketch covering exactly the pinned slice's rows."""
+        ...
+
+    def peek(self, shard: Optional[int], c: int) -> Tuple[int, int]:
+        """Cheap ``(stamp, n_rows)`` estimate for a slice, without pinning.
+
+        Display-only: feeds the plan's pruned-op records for candidates
+        dropped on pure geometry, where resolving (and memoising) the
+        slice would defeat the point — pruned planning touches only the
+        relevant shards.  Already-pinned slices report their pinned
+        values.
+        """
+        ...
+
+    def peek_window(self, c: int) -> List[Tuple[int, int]]:
+        """:meth:`peek` for every shard of window ``c`` in one call
+        (index = shard) — the pruning pass reads one window's worth of
+        display estimates at a time."""
+        ...
+
 
 class _MemoBinding:
-    """Shared memoisation: the first resolution pins, later ones replay."""
+    """Shared memoisation: the first resolution pins, later ones replay.
+
+    Sketches are memoised alongside slices under the same lock, and a
+    subclass's ``_resolve`` may pre-fill ``self._sketches`` (the router
+    binding does, from one coherent locked read), so a pruning decision
+    and the scan it prunes can never see different rows.  Sketch
+    resolution is lazy: plans that never prune (cover plans, the server
+    path) pay nothing for it.
+    """
 
     def __init__(self) -> None:
         self._memo: Dict[Tuple[Optional[int], int], BoundSlice] = {}
+        self._sketches: Dict[Tuple[Optional[int], int], WindowSketch] = {}
         self._memo_lock = threading.Lock()
 
     def slice_for(self, shard: Optional[int], c: int) -> BoundSlice:
@@ -67,8 +98,50 @@ class _MemoBinding:
                 self._memo[key] = bound
             return bound
 
+    def sketch_for(self, shard: Optional[int], c: int) -> WindowSketch:
+        key = (shard, int(c))
+        with self._memo_lock:
+            sketch = self._sketches.get(key)
+            if sketch is not None:
+                return sketch
+            bound = self._memo.get(key)
+            if bound is None:
+                bound = self._resolve(shard, int(c))
+                self._memo[key] = bound
+                sketch = self._sketches.get(key)  # _resolve may pre-fill
+                if sketch is not None:
+                    return sketch
+            sketch = self._compute_sketch(shard, int(c), bound)
+            self._sketches[key] = sketch
+            return sketch
+
+    def peek(self, shard: Optional[int], c: int) -> Tuple[int, int]:
+        with self._memo_lock:
+            bound = self._memo.get((shard, int(c)))
+            if bound is not None:
+                return bound[0], len(bound[1])
+        # Single-slice bindings are pinned by construction, so resolving
+        # is as cheap as any other read; the router binding overrides
+        # this with an O(1) unpinned read.
+        stamp, sub, _gids = self.slice_for(shard, int(c))
+        return stamp, len(sub)
+
+    def peek_window(self, c: int) -> List[Tuple[int, int]]:
+        return [self.peek(s, int(c)) for s in range(self.n_shards)]
+
     def _resolve(self, shard: Optional[int], c: int) -> BoundSlice:
         raise NotImplementedError
+
+    def _compute_sketch(
+        self, shard: Optional[int], c: int, bound: BoundSlice
+    ) -> WindowSketch:
+        """Fallback sketch of an already-pinned slice.
+
+        The pinned slice is immutable, so computing its exact sketch is
+        always coherent; bindings with an O(1) maintained sketch
+        override the resolution path instead.
+        """
+        return WindowSketch.of(bound[1])
 
 
 class EngineBinding(_MemoBinding):
@@ -83,12 +156,22 @@ class EngineBinding(_MemoBinding):
     n_shards = 1
 
     def __init__(
-        self, batch: TupleBatch, h: int, stamp_for: Callable[[int], int]
+        self,
+        batch: TupleBatch,
+        h: int,
+        stamp_for: Callable[[int], int],
+        sketch_provider: Optional[
+            Callable[[int, int, TupleBatch], WindowSketch]
+        ] = None,
     ) -> None:
         super().__init__()
         self.batch = batch
         self.h = h
         self._stamp_for = stamp_for
+        # Engine hook ``(window, stamp, slice) -> sketch``: sketches of
+        # sealed windows are immutable, so the engine caches them across
+        # bindings instead of rescanning the slice per request.
+        self._sketch_provider = sketch_provider
 
     def stream_rows(self) -> int:
         return len(self.batch)
@@ -99,15 +182,23 @@ class EngineBinding(_MemoBinding):
     def _resolve(self, shard: Optional[int], c: int) -> BoundSlice:
         return self._stamp_for(c), window(self.batch, c, self.h), None
 
+    def _compute_sketch(
+        self, shard: Optional[int], c: int, bound: BoundSlice
+    ) -> WindowSketch:
+        if self._sketch_provider is None:
+            return WindowSketch.of(bound[1])
+        return self._sketch_provider(c, bound[0], bound[1])
+
 
 class RouterBinding(_MemoBinding):
     """Sharded binding over a :class:`~repro.storage.shards.ShardRouter`.
 
     Each ``(shard, window)`` resolution is one coherent
-    :meth:`ShardRouter.snapshot_window` read taken under the router lock
-    — stamp, rows and gids can never tear — and the memo extends that
-    coherence across the whole plan: build and execution, and the exact
-    fallback of a cover plan, all see the same pinned triples.
+    :meth:`ShardRouter.snapshot_window_sketch` read taken under the
+    router lock — stamp, rows, gids and zone-map sketch can never tear —
+    and the memo extends that coherence across the whole plan: build and
+    execution, the pruning pass, and the exact fallback of a cover plan,
+    all see the same pinned quadruples.
     """
 
     def __init__(self, router: ShardRouter) -> None:
@@ -125,7 +216,38 @@ class RouterBinding(_MemoBinding):
     def _resolve(self, shard: Optional[int], c: int) -> BoundSlice:
         if shard is None:
             raise ValueError("sharded binding needs an explicit shard index")
-        return self.router.snapshot_window(shard, c)
+        # One locked read pins slice *and* zone map together (the
+        # router maintains the sketch incrementally, so this is O(1));
+        # the sketch memo is pre-filled here so pruning can never
+        # consult a sketch from a different instant than the slice the
+        # pruned scan would have read.
+        stamp, sub, gids, sketch = self.router.snapshot_window_sketch(shard, c)
+        self._sketches[(shard, int(c))] = sketch
+        return stamp, sub, gids
+
+    def peek(self, shard: Optional[int], c: int) -> Tuple[int, int]:
+        # O(1) and lock-free: the incrementally-maintained sketch counts
+        # the slice's rows, so a geometry-pruned candidate costs no
+        # slice materialisation at all.  The pair may tear under a
+        # concurrent ingest, and the memo probe races pinning — both
+        # fine for a display estimate; nothing correctness-bearing
+        # reads it (geometry pruning is data-independent, and the
+        # sketch layer pins via sketch_for).
+        bound = self._memo.get((shard, int(c)))
+        if bound is not None:
+            return bound[0], len(bound[1])
+        sketch = self.router.shard_window_sketch(shard, int(c))
+        return self.router.shard_window_epoch(shard, int(c)), sketch.n_rows
+
+    def peek_window(self, c: int) -> List[Tuple[int, int]]:
+        c = int(c)
+        stats = self.router.window_stats(c)
+        memo = self._memo
+        return [
+            (bound[0], len(bound[1])) if (bound := memo.get((s, c))) is not None
+            else stats[s]
+            for s in range(self.n_shards)
+        ]
 
 
 class ServerSnapshotBinding(_MemoBinding):

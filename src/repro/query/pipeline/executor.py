@@ -54,6 +54,7 @@ from repro.query.pipeline.plan import (
     MergeOp,
     PlanContext,
     PlanReport,
+    PrunedOp,
     ScanOp,
 )
 from repro.query.pipeline.planner import PipelinePlanner
@@ -131,6 +132,8 @@ class PlanExecutor:
         result = self._run(plan, report)
         if report is not None:
             report.total_s += time.perf_counter() - start
+            report.ops_pruned += plan.ops_pruned
+            report.ops_kept += plan.ops_kept
         return result
 
     # -- internals ----------------------------------------------------------
@@ -251,6 +254,8 @@ def build_group_plan(
     seed_cover: Optional[Callable[[int, int, object], None]] = None,
     want_estimates: bool = False,
     groups: Optional[Sequence[Tuple[int, np.ndarray, QueryBatch]]] = None,
+    radius_m: Optional[float] = None,
+    prune: bool = False,
 ) -> ExecutionPlan:
     """Scatter-shaped plan: one op per window group (unsharded/server).
 
@@ -264,6 +269,14 @@ def build_group_plan(
     ``groups`` overrides the window grouping with caller-provided
     ``(window, positions, queries)`` triples (positions must index into
     ``queries``) — the :meth:`QueryEngine.process_groups` path.
+
+    With ``prune=True`` (and a ``radius_m``), a raw-data group whose
+    window zone map proves *every* query disk empty is dropped whole:
+    its queries come back unanswered (NaN), exactly what the scan would
+    have produced.  Only whole groups are pruned — per-query masking
+    would regroup the batch across the policy's vectorisation threshold
+    and change float summation order, breaking bit-stability.  Cover
+    groups are never pruned: a model answers regardless of distance.
     """
     if not len(queries):
         return ExecutionPlan(binding, queries, (), None, policy, method)
@@ -275,8 +288,27 @@ def build_group_plan(
             )
         ]
     ops: List[ResultOp] = []
+    pruned: List[PrunedOp] = []
     for c, positions, group_queries in groups:
         stamp, sub, _ = binding.slice_for(None, c)
+        if (
+            prune
+            and radius_m is not None
+            and method != "model-cover"
+            and method != "auto"
+        ):
+            sketch = binding.sketch_for(None, c)
+            if not sketch.disk_overlaps(
+                group_queries.x, group_queries.y, radius_m
+            ).any():
+                pruned.append(
+                    PrunedOp(
+                        PlanContext(c, None, stamp, len(sub)),
+                        len(group_queries),
+                        "sketch" if len(sub) else "empty",
+                    )
+                )
+                continue
         chosen = method
         if method == "auto":
             if planner is None:
@@ -313,7 +345,9 @@ def build_group_plan(
                     eval_unit_cost=eval_est,
                 )
             )
-    return ExecutionPlan(binding, queries, tuple(ops), None, policy, method)
+    return ExecutionPlan(
+        binding, queries, tuple(ops), None, policy, method, pruned=tuple(pruned)
+    )
 
 
 def build_sharded_plan(
@@ -325,6 +359,7 @@ def build_sharded_plan(
     policy: ExecutionPolicy = VECTORISED_POLICY,
     seed_cover: Optional[Callable[[int, int, int, object], None]] = None,
     want_estimates: bool = False,
+    prune: bool = True,
 ) -> ExecutionPlan:
     """Plan for the region-sharded scatter-gather engine.
 
@@ -333,20 +368,31 @@ def build_sharded_plan(
     owner-shard cover ops with an exact fallback sub-plan.  ``seed_cover``
     is the owner's cover-cache writer ``(shard, window, stamp, processor)``
     the planner seeds when pricing already paid for a fit.
+
+    ``prune=True`` (the default) runs the plan-time scatter-pruning pass
+    on the exact path — grid geometry plus per-(shard, window) zone-map
+    sketches, see :func:`_exact_plan` — so the plan fans out to
+    O(relevant shards) only.  ``prune=False`` compiles the full scatter
+    (every non-empty (shard, window) op gets the whole window's
+    queries); both compile to byte-identical answers, which is the
+    oracle the pruning benchmark and hypothesis suites enforce.
     """
     windows = binding.windows_for_times(queries.t)
     if method == "model-cover":
         return _cover_plan(
             binding, queries, windows, planner, radius_m, policy,
             allow_plan=False, seed_cover=seed_cover, want_estimates=want_estimates,
+            prune=prune,
         )
     if method == "auto" and not planner.profile.needs_exact_average:
         return _cover_plan(
             binding, queries, windows, planner, radius_m, policy,
             allow_plan=True, seed_cover=seed_cover, want_estimates=want_estimates,
+            prune=prune,
         )
     return _exact_plan(
-        binding, queries, windows, method, planner, radius_m, policy, want_estimates
+        binding, queries, windows, method, planner, radius_m, policy,
+        want_estimates, prune=prune,
     )
 
 
@@ -391,28 +437,87 @@ def _exact_plan(
     radius_m: float,
     policy: ExecutionPolicy,
     want_estimates: bool = False,
+    prune: bool = True,
 ) -> ExecutionPlan:
     """Merge-shaped plan: per-(window, shard) hit scans + exact gather.
 
-    Each window's queries scatter only to the shards whose ownership
-    region their disks can reach (:meth:`RegionGrid.disk_cell_ranges`)
-    — the pruning that makes region sharding a heatmap throughput win.
+    The pruning pass (``prune=True``) cuts the O(shards x windows)
+    fan-out down to the ops that can actually contribute hits, in three
+    superset-safe layers:
+
+    1. *window cuts* — a query only ever scatters into its responsible
+       global window's ops (the per-window grouping below), so history
+       windows a continuous stream never touches cost nothing;
+    2. *grid geometry* — per query, only the shards inside the disk's
+       cell-index rectangle (:meth:`RegionGrid.disks_shard_mask`, one
+       vectorised evaluation per window group);
+    3. *zone-map sketches* — the pinned slice's bounding box
+       (:meth:`SnapshotBinding.sketch_for`, coherent with the slice by
+       construction) must be within ``radius_m`` of the query point,
+       which prunes shards whose geometric cell is reachable but whose
+       actual rows cluster far from the query.
+
+    A (shard, window) candidate left with zero queries is dropped from
+    the plan entirely and recorded as a :class:`PrunedOp`.  Dropped
+    scans are exactly those that would have produced an empty hit
+    partial, and the exact gather orders hits canonically by stream
+    position — so pruned and unpruned plans are byte-identical.
+    ``prune=False`` is the full scatter: every window query reaches
+    every non-empty shard slice (the benchmark baseline).
     """
     grid = binding.grid
     ops: List[ScanOp] = []
+    pruned: List[PrunedOp] = []
+    # One vectorised geometry evaluation for the whole batch; the window
+    # loop below just rows into it.
+    reach_all = grid.disks_shard_mask(queries.x, queries.y, radius_m) if prune else None
     for c in np.unique(windows):
         positions = np.flatnonzero(windows == c)
         wq = queries.take(positions)
-        i_lo, i_hi, j_lo, j_hi = grid.disk_cell_ranges(wq.x, wq.y, radius_m)
-        for s in range(binding.n_shards):
+        reach = reach_all[positions] if reach_all is not None else None
+        if reach is None:
+            candidates = range(binding.n_shards)
+        else:
+            # Geometry pruning is data-independent, so shards no query
+            # disk can reach are dropped *before* their slices are ever
+            # resolved — pruned planning, like pruned execution, touches
+            # only the relevant shards.  One vectorised reduction per
+            # window splits candidates from prunees; the records'
+            # stamp/rows are unpinned O(1) peeks.
+            reached = reach.any(axis=0)
+            if not reached.all():
+                stats = binding.peek_window(int(c))
+                for s in np.flatnonzero(~reached):
+                    stamp, n_rows = stats[s]
+                    if n_rows:
+                        pruned.append(
+                            PrunedOp(
+                                PlanContext(int(c), int(s), stamp, n_rows),
+                                len(wq),
+                                "region",
+                            )
+                        )
+            candidates = np.flatnonzero(reached)
+        for s in candidates:
+            s = int(s)
             stamp, sub, _gids = binding.slice_for(s, int(c))
             if not len(sub):
                 continue
-            i, j = s % grid.nx, s // grid.nx
-            mask = (i_lo <= i) & (i <= i_hi) & (j_lo <= j) & (j <= j_hi)
-            if not mask.any():
-                continue
-            local = np.flatnonzero(mask)
+            if reach is not None:
+                sketch = binding.sketch_for(s, int(c))
+                mask = reach[:, s] & sketch.disk_overlaps(wq.x, wq.y, radius_m)
+                if not mask.any():
+                    pruned.append(
+                        PrunedOp(
+                            PlanContext(int(c), s, stamp, len(sub)),
+                            len(wq),
+                            "sketch",
+                        )
+                    )
+                    continue
+                local = np.flatnonzero(mask)
+            else:
+                local = np.arange(len(wq), dtype=np.intp)
             chosen = method
             est = eval_est = None
             if chosen == "auto":
@@ -440,7 +545,9 @@ def _exact_plan(
                 )
             )
     merge = MergeOp(len(queries), binding.stream_rows())
-    return ExecutionPlan(binding, queries, tuple(ops), merge, policy, method)
+    return ExecutionPlan(
+        binding, queries, tuple(ops), merge, policy, method, pruned=tuple(pruned)
+    )
 
 
 def _cover_plan(
@@ -453,13 +560,16 @@ def _cover_plan(
     allow_plan: bool,
     seed_cover: Optional[Callable[[int, int, int, object], None]],
     want_estimates: bool = False,
+    prune: bool = True,
 ) -> ExecutionPlan:
     """Owner-shard cover ops plus the exact fallback sub-plan.
 
     Queries whose owning shard has no tuples in the responsible window
     (or, with ``allow_plan``, whose owner's planner prefers a raw-data
     method) are collected into one :class:`FallbackOp` answered by the
-    exact scatter-gather path instead.
+    exact scatter-gather path instead.  Cover ops themselves are never
+    pruned — a model answers regardless of distance to its training
+    rows — but ``prune`` flows into the exact fallback sub-plan.
     """
     owners = binding.grid.shards_of(queries.x, queries.y)
     ops: List[Union[CoverOp, FallbackOp]] = []
@@ -512,6 +622,7 @@ def _cover_plan(
             radius_m,
             policy,
             want_estimates,
+            prune=prune,
         )
         ops.append(FallbackOp(positions, sub_plan))
     method = "auto" if allow_plan else "model-cover"

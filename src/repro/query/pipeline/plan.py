@@ -37,6 +37,7 @@ Builders in :mod:`repro.query.pipeline.executor` enforce the shape.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
@@ -126,6 +127,29 @@ class FallbackOp:
     kind = "fallback"
 
 
+@dataclass(frozen=True)
+class PrunedOp:
+    """Record of a candidate op the pruning pass proved empty.
+
+    Never executed — kept on the plan so ``explain`` can show *why* a
+    shard was skipped.  ``context.n_rows`` is the pinned slice length
+    the pruned scan would have read (its estimated row cost, marked in
+    :func:`format_plan`); ``reason`` is ``"region"`` when the grid
+    geometry already excluded every query disk, ``"sketch"`` when the
+    zone map's bounding volume proved the remaining queries empty, and
+    ``"empty"`` when the bound slice had no rows at all (unsharded
+    group plans only — the sharded builder skips empty slices
+    silently, as it always has).
+    """
+
+    context: PlanContext
+    n_queries: int
+    reason: str  # "region" | "sketch" | "empty"
+
+    kind = "pruned"
+    method = "-"
+
+
 PlanOp = Union[ScanOp, CoverOp, FallbackOp]
 
 
@@ -171,6 +195,9 @@ class ExecutionPlan:
     merge: Optional[MergeOp] = None
     policy: ExecutionPolicy = ENGINE_POLICY
     method: str = ""  # the method the plan was requested with
+    #: Candidate ops the pruning pass dropped (observability only —
+    #: the executor never touches them).
+    pruned: Tuple[PrunedOp, ...] = ()
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -192,6 +219,30 @@ class ExecutionPlan:
         visit(self, 0)
         return out
 
+    def walk_pruned(self) -> List[Tuple[int, PrunedOp]]:
+        """Every pruned-op record, depth-first, with its nesting depth."""
+        out: List[Tuple[int, PrunedOp]] = []
+
+        def visit(plan: "ExecutionPlan", depth: int) -> None:
+            out.extend((depth, rec) for rec in plan.pruned)
+            for op in plan.ops:
+                if isinstance(op, FallbackOp):
+                    visit(op.plan, depth + 1)
+
+        visit(self, 0)
+        return out
+
+    @property
+    def ops_pruned(self) -> int:
+        """Candidate ops the pruning pass dropped (nested plans included)."""
+        return len(self.walk_pruned())
+
+    @property
+    def ops_kept(self) -> int:
+        """Executable ops that survived planning (fallback wrappers and
+        the merge stage excluded — they are plumbing, not fan-out)."""
+        return sum(1 for _, op in self.walk() if not isinstance(op, FallbackOp))
+
 
 @dataclass
 class PlanReport:
@@ -203,12 +254,49 @@ class PlanReport:
 
     elapsed_s: Dict[int, float] = field(default_factory=dict)
     total_s: float = 0.0
+    #: Fan-out accounting, filled by the executor from the plan: how
+    #: many candidate ops pruning dropped vs how many actually ran.
+    ops_pruned: int = 0
+    ops_kept: int = 0
 
     def record(self, op: PlanOp, elapsed: float) -> None:
         self.elapsed_s[id(op)] = self.elapsed_s.get(id(op), 0.0) + elapsed
 
     def observed(self, op: PlanOp) -> Optional[float]:
         return self.elapsed_s.get(id(op))
+
+
+class PruneStats:
+    """Cumulative pruning counters an engine keeps across plans.
+
+    The per-plan counters live on :class:`ExecutionPlan` /
+    :class:`PlanReport`; this aggregates them engine-side (thread-safe —
+    plans may be built concurrently) so long-running owners can surface
+    a pruning line next to their ``cache_stats``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.plans = 0
+        self.ops_pruned = 0
+        self.ops_kept = 0
+
+    def observe(self, plan: ExecutionPlan) -> None:
+        with self._lock:
+            self.plans += 1
+            self.ops_pruned += plan.ops_pruned
+            self.ops_kept += plan.ops_kept
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "plans": self.plans,
+                "ops_pruned": self.ops_pruned,
+                "ops_kept": self.ops_kept,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PruneStats({self.as_dict()})"
 
 
 def format_plan(plan: ExecutionPlan, report: Optional[PlanReport] = None) -> str:
@@ -222,6 +310,7 @@ def format_plan(plan: ExecutionPlan, report: Optional[PlanReport] = None) -> str
         f"plan: method={plan.method or '?'} queries={plan.n_queries} "
         f"ops={len(plan.walk())} shape="
         + ("merge" if plan.merge is not None else "scatter")
+        + f" pruned={plan.ops_pruned}"
     ]
     header = f"  {'op':<22} {'context':<14} {'queries':>7} {'rows':>7} {'est u/q':>9}"
     if report is not None:
@@ -252,6 +341,24 @@ def format_plan(plan: ExecutionPlan, report: Optional[PlanReport] = None) -> str
         if report is not None:
             line += f" {'-':>11}"
         lines.append(line)
+    # Pruned candidates last: never executed, rows marked with `~` (the
+    # estimated slice the scan would have read had it not been proven
+    # empty by geometry / the zone-map sketch).
+    for depth, rec in plan.walk_pruned():
+        pad = "  " * depth
+        label = f"{pad}pruned[{rec.reason}]"
+        line = (
+            f"  {label:<22} {rec.context.describe():<14} {rec.n_queries:>7} "
+            f"{'~' + str(rec.context.n_rows):>7} {'-':>9}"
+        )
+        if report is not None:
+            line += f" {'-':>11}"
+        lines.append(line)
+    if plan.ops_pruned:
+        lines.append(
+            f"  pruning: {plan.ops_pruned} op(s) pruned, "
+            f"{plan.ops_kept} kept"
+        )
     if report is not None:
         lines.append(f"  total: {report.total_s * 1e3:.2f}ms")
     return "\n".join(lines)

@@ -57,6 +57,7 @@ from repro.query.pipeline.plan import (
     VECTORISED_POLICY,
     ExecutionPlan,
     PlanReport,
+    PruneStats,
     ScanOp,
 )
 from repro.query.pipeline.planner import PipelinePlanner, PlannerFeedback
@@ -85,11 +86,17 @@ class ShardedQueryEngine:
         profile: Optional[QueryProfile] = None,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
         max_workers: Optional[int] = None,
+        prune: bool = True,
     ) -> None:
         if radius_m < 0:
             raise ValueError("radius must be non-negative")
         self.router = router
         self.radius_m = radius_m
+        # Plan-time scatter pruning (geometry + zone-map sketches).
+        # Answers are byte-identical either way; False compiles the full
+        # scatter — the baseline the pruning benchmark measures against.
+        self.prune = prune
+        self._prune_stats = PruneStats()
         self.config = config or AdKMNConfig()
         self.profile = profile or QueryProfile(radius_m=radius_m)
         self._executor = BatchExecutor(max_workers=max_workers)
@@ -141,6 +148,11 @@ class ShardedQueryEngine:
     def planner(self) -> PipelinePlanner:
         """The statistics-backed planner behind ``method="auto"``."""
         return self._planner
+
+    @property
+    def prune_stats(self) -> PruneStats:
+        """Cumulative scatter-pruning counters across every plan built."""
+        return self._prune_stats
 
     def close(self) -> None:
         """Release the worker pool (idempotent; recreated on demand)."""
@@ -218,8 +230,13 @@ class ShardedQueryEngine:
         queries: Sequence[QueryTuple] | QueryBatch,
         method: str = "naive",
         want_estimates: bool = False,
+        prune: Optional[bool] = None,
     ) -> ExecutionPlan:
-        """Compile a query stream against a freshly pinned binding."""
+        """Compile a query stream against a freshly pinned binding.
+
+        ``prune`` overrides the engine's scatter-pruning default for
+        this one plan (the benchmark's unpruned baseline path).
+        """
         if method not in SHARDED_METHODS:
             raise ValueError(
                 f"unknown method {method!r}; known: {SHARDED_METHODS}"
@@ -229,7 +246,7 @@ class ShardedQueryEngine:
             if isinstance(queries, QueryBatch)
             else QueryBatch.from_queries(queries)
         )
-        return build_sharded_plan(
+        plan = build_sharded_plan(
             self.binding(),
             batch,
             method,
@@ -238,7 +255,10 @@ class ShardedQueryEngine:
             policy=VECTORISED_POLICY,
             seed_cover=self._seed_cover,
             want_estimates=want_estimates,
+            prune=self.prune if prune is None else prune,
         )
+        self._prune_stats.observe(plan)
+        return plan
 
     def _plan_executor(self, plan: ExecutionPlan) -> PlanExecutor:
         def materialise(op, bound):

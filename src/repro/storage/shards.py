@@ -39,6 +39,7 @@ from repro.data.windows import window_boundaries_in
 from repro.geo.coords import BoundingBox
 from repro.geo.region import RegionGrid
 from repro.storage.engine import Database
+from repro.storage.sketch import WindowSketch
 
 
 class ShardRouter:
@@ -80,6 +81,15 @@ class ShardRouter:
         # delivered tuples of W_c to that shard.  The stamp the sharded
         # query engine's processor caches key on (sealed windows freeze).
         self._window_epochs: List[Dict[int, int]] = [
+            {} for _ in range(grid.n_regions)
+        ]
+        # Per shard: global window c -> zone-map sketch of exactly the
+        # rows counted by _window_epochs[s][c]'s stamp.  Maintained
+        # incrementally (O(delta rows) per ingest) under the same lock
+        # that advances the stamp, so a sealed window's sketch is
+        # immutable and the open window's sketch is re-stamped with
+        # every content epoch it grows at.
+        self._sketches: List[Dict[int, WindowSketch]] = [
             {} for _ in range(grid.n_regions)
         ]
 
@@ -150,9 +160,19 @@ class ShardRouter:
                 # reverse (extra gids past the committed rows are inert).
                 self._gid_parts[s].append(gids[member])
                 self._gid_cache[s] = None
-                delivered[s] = self._dbs[s].ingest_tuples(batch.select_mask(member))
-                for c in np.unique(gids[member] // self.h):
-                    self._window_epochs[s][int(c)] = self._epoch
+                sub = batch.select_mask(member)
+                delivered[s] = self._dbs[s].ingest_tuples(sub)
+                wins = gids[member] // self.h
+                for c in np.unique(wins):
+                    c = int(c)
+                    self._window_epochs[s][c] = self._epoch
+                    # Widen the window's zone map by exactly the rows
+                    # this delivery added to it — the sketch then always
+                    # describes the rows the fresh stamp counts.
+                    in_c = wins == c
+                    self._sketches[s][c] = self._sketches[s].get(
+                        c, WindowSketch.EMPTY
+                    ).extended(sub.t[in_c], sub.x[in_c], sub.y[in_c], sub.s[in_c])
             if len(boundaries):
                 # positions_s[k] = batch-local row of shard s's k-th tuple;
                 # the number of shard-s tuples before global boundary b is
@@ -235,6 +255,52 @@ class ShardRouter:
                 self.shard_window_epoch(s, c),
                 self.shard_window(s, c),
                 self.shard_window_gids(s, c),
+            )
+
+    def shard_window_sketch(self, s: int, c: int) -> WindowSketch:
+        """Zone-map sketch of shard ``s``'s slice of global window ``c``.
+
+        O(1): the sketch is maintained incrementally at ingest.  Sealed
+        windows' sketches are immutable; the open window's sketch is
+        replaced (sketches themselves are frozen) whenever an ingest
+        grows the slice, in the same locked section that advances the
+        content stamp.  An empty slice maps to
+        :data:`WindowSketch.EMPTY`.
+        """
+        return self._sketches[s].get(int(c), WindowSketch.EMPTY)
+
+    def window_stats(self, c: int) -> List[tuple]:
+        """Unlocked per-shard ``(stamp, n_rows)`` estimates for global
+        window ``c`` (index = shard), read off the maintained sketches
+        in O(shards).  Estimates only — pairs may tear under a
+        concurrent ingest; they feed display records (pruned-op rows in
+        plan explains), never pruning decisions."""
+        c = int(c)
+        stats = []
+        for s in range(self.n_shards):
+            sketch = self._sketches[s].get(c)
+            stats.append(
+                (
+                    self._window_epochs[s].get(c, 0),
+                    sketch.n_rows if sketch is not None else 0,
+                )
+            )
+        return stats
+
+    def snapshot_window_sketch(self, s: int, c: int):
+        """Coherent ``(stamp, slice, gids, sketch)`` quadruple.
+
+        Like :meth:`snapshot_window` with the window's zone map read in
+        the same locked section, so the sketch describes exactly the
+        pinned rows — a pruning decision made from the sketch can never
+        disagree with the slice the scan would read.
+        """
+        with self._lock:
+            return (
+                self.shard_window_epoch(s, c),
+                self.shard_window(s, c),
+                self.shard_window_gids(s, c),
+                self.shard_window_sketch(s, c),
             )
 
     def windows_for_times(self, ts) -> np.ndarray:

@@ -132,6 +132,12 @@ def _run_process_parallel(m, ds, bm):
     m.bench_process_heatmap(bm, ds, processes=2)
 
 
+def _run_scatter_pruning(m, ds, bm):
+    m.N_QUERIES = 20
+    m.bench_pruned_continuous(bm, ds, prune=True)
+    m.bench_pruned_continuous(bm, ds, prune=False)
+
+
 def _run_sharded(m, ds, bm):
     m.GRID_NX, m.GRID_NY = 12, 9
     m.bench_sharded_heatmap(bm, ds, n_shards=2)
@@ -152,6 +158,7 @@ SMOKE_RUNNERS = {
     "bench_fleet_scaling": _run_fleet_scaling,
     "bench_ingest": _run_ingest,
     "bench_process_parallel": _run_process_parallel,
+    "bench_scatter_pruning": _run_scatter_pruning,
     "bench_sharded": _run_sharded,
 }
 
