@@ -6,6 +6,10 @@ Subcommands:
 * ``dataset``  — generate the synthetic lausanne-data and write it to CSV;
 * ``heatmap``  — render the web UI's heatmap for a given hour to a PPM file;
 * ``serve``    — replay a stream into a server and report cover builds;
+* ``recover``  — recover a durable tiered data directory (WAL replay plus
+  completion of any crash-interrupted seal) and report what survived;
+* ``compact``  — tidy a tiered data directory (checkpoint the WAL, drop
+  orphan segments, optionally verify every checksum);
 * ``explain``  — print the execution plan the pipeline chose for a query
   workload (ops, method per window/shard, cost estimates vs observed
   timings, cache and planner-feedback counters).
@@ -141,6 +145,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.processes is not None:
         print("--processes only applies to network mode; add --port", file=sys.stderr)
         return 2
+    if args.data_dir is not None or args.memory_windows is not None:
+        print(
+            "--data-dir/--memory-windows only apply to network mode; add --port",
+            file=sys.stderr,
+        )
+        return 2
     if args.shards > 1:
         from repro.geo.region import RegionGrid
 
@@ -179,7 +189,13 @@ def _serve_network(ds, args) -> int:
     ``--processes N`` executes every plan on a pool of N worker
     processes over shared-memory shard exports (byte-identical answers,
     in-process fallback on worker failure); without it the sharded
-    engine answers in-process.  Runs until interrupted.
+    engine answers in-process.  ``--data-dir`` serves from the durable
+    tier instead of RAM: on start the server *recovers* whatever the
+    directory holds (sealed segments plus the WAL tail) and only ingests
+    the generated dataset into an empty directory, so a restart after a
+    crash resumes from the durable state; ``--memory-windows`` caps the
+    resident sealed-window slices (cold windows fault in from segment
+    files on demand).  Runs until interrupted.
     """
     import asyncio
 
@@ -189,10 +205,32 @@ def _serve_network(ds, args) -> int:
     from repro.server.async_server import AsyncQueryServer, EngineQueryService
     from repro.storage.shards import ShardRouter
 
-    router = ShardRouter(
-        RegionGrid.for_shard_count(ds.covered_bbox(), args.shards), h=args.h
-    )
-    router.ingest(ds.tuples)
+    if args.data_dir is not None:
+        from repro.storage.tiered import TieredShardRouter
+
+        router = TieredShardRouter(
+            RegionGrid.for_shard_count(ds.covered_bbox(), args.shards),
+            h=args.h,
+            data_dir=args.data_dir,
+            memory_windows=args.memory_windows,
+        )
+        recovered = router.global_count()
+        if recovered:
+            print(
+                f"recovered {recovered} tuple(s) from {args.data_dir} "
+                f"({router.sealed_window_count()} sealed window(s)); "
+                f"skipping dataset ingest"
+            )
+        else:
+            router.ingest(ds.tuples)
+    else:
+        if args.memory_windows is not None:
+            print("--memory-windows needs --data-dir", file=sys.stderr)
+            return 2
+        router = ShardRouter(
+            RegionGrid.for_shard_count(ds.covered_bbox(), args.shards), h=args.h
+        )
+        router.ingest(ds.tuples)
     engine = ShardedQueryEngine(router)
     backend = (
         ProcessShardedEngine(engine, processes=args.processes)
@@ -205,9 +243,10 @@ def _serve_network(ds, args) -> int:
         if args.processes is not None
         else "in-process"
     )
+    tier = f", durable tier at {args.data_dir}" if args.data_dir else ""
     print(
-        f"serving {len(ds.tuples)} tuples over {args.shards} shard(s), "
-        f"{mode}; http://127.0.0.1:{args.port} (Ctrl-C to stop)"
+        f"serving {router.global_count()} tuples over {args.shards} shard(s), "
+        f"{mode}{tier}; http://127.0.0.1:{args.port} (Ctrl-C to stop)"
     )
     try:
         asyncio.run(server.serve_forever())
@@ -215,6 +254,67 @@ def _serve_network(ds, args) -> int:
         pass
     finally:
         backend.close()
+        if args.data_dir is not None:
+            router.close()
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Open a tiered data directory, replaying its WAL and completing any
+    interrupted seal, then report (and optionally verify) what survived."""
+    from repro.storage.tiered import TieredShardRouter
+
+    try:
+        router = TieredShardRouter.open(args.data_dir)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        stats = router.tier_stats()
+        print(
+            f"recovered {router.global_count()} tuple(s): "
+            f"{stats['sealed_windows']} sealed window(s) in segment files, "
+            f"{router.global_count() - stats['sealed_windows'] * router.h} "
+            f"tail row(s) from the WAL"
+        )
+        print(
+            f"shards ({router.n_shards}): per-shard tuple counts "
+            f"[{', '.join(str(c) for c in router.shard_counts())}]"
+        )
+        if args.verify:
+            report = router.compact(verify=True)
+            print(
+                f"verified {report['segments_verified']} segment(s); "
+                f"removed {report['orphans_removed']} orphan(s), "
+                f"{report['tmp_removed']} temp file(s)"
+            )
+    finally:
+        router.close()
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    """Tidy a tiered data directory: checkpoint the WAL, drop orphan
+    segments and stray temp files, optionally verify every checksum."""
+    from repro.storage.tiered import TieredShardRouter
+
+    try:
+        router = TieredShardRouter.open(args.data_dir)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        report = router.compact(verify=args.verify)
+        stats = router.tier_stats()
+        print(
+            f"compacted {args.data_dir}: removed {report['orphans_removed']} "
+            f"orphan segment(s) and {report['tmp_removed']} temp file(s); "
+            f"WAL checkpointed at window {stats['sealed_windows']}"
+        )
+        if args.verify:
+            print(f"verified {report['segments_verified']} segment(s)")
+    finally:
+        router.close()
     return 0
 
 
@@ -487,7 +587,46 @@ def build_parser() -> argparse.ArgumentParser:
         "byte-identical to in-process; worker crashes fall back "
         "transparently)",
     )
+    p.add_argument(
+        "--data-dir",
+        default=None,
+        help="network mode: serve from a durable tiered store rooted here "
+        "(sealed windows as segment files + WAL).  Recovers existing "
+        "state on start; only an empty directory gets the generated "
+        "dataset ingested",
+    )
+    p.add_argument(
+        "--memory-windows",
+        type=_positive_int,
+        default=None,
+        help="with --data-dir: cap on resident sealed (shard, window) "
+        "slices; colder ones are evicted and fault back in from their "
+        "segment files on demand (default: unbounded)",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "recover",
+        help="recover a tiered data directory (WAL replay + seal completion)",
+    )
+    p.add_argument("--data-dir", required=True)
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="additionally re-read every live segment, checking all "
+        "checksums, and drop orphan files",
+    )
+    p.set_defaults(func=_cmd_recover)
+
+    p = sub.add_parser(
+        "compact",
+        help="tidy a tiered data directory (checkpoint WAL, drop orphans)",
+    )
+    p.add_argument("--data-dir", required=True)
+    p.add_argument(
+        "--verify", action="store_true", help="also verify every segment checksum"
+    )
+    p.set_defaults(func=_cmd_compact)
 
     p = sub.add_parser(
         "explain",

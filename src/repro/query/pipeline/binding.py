@@ -213,6 +213,26 @@ class RouterBinding(_MemoBinding):
     def windows_for_times(self, ts) -> np.ndarray:
         return self.router.windows_for_times(ts)
 
+    def sketch_for(self, shard: Optional[int], c: int) -> WindowSketch:
+        # Sealed windows short-circuit: their sketches are frozen forever
+        # and always resident on the router, so a pruning decision needs
+        # no slice resolution at all.  On the durable tier that is what
+        # keeps pruning from faulting a cold window in just to skip it;
+        # superset safety is trivial (frozen sketch ≡ the slice's exact
+        # sketch, permanently).  Open windows fall through to the pinned
+        # path, which resolves slice and sketch under one router lock.
+        key = (shard, int(c))
+        with self._memo_lock:
+            sketch = self._sketches.get(key)
+            if sketch is not None:
+                return sketch
+            if key not in self._memo:
+                frozen = self.router.frozen_window_sketch(shard, int(c))
+                if frozen is not None:
+                    self._sketches[key] = frozen
+                    return frozen
+        return super().sketch_for(shard, c)
+
     def _resolve(self, shard: Optional[int], c: int) -> BoundSlice:
         if shard is None:
             raise ValueError("sharded binding needs an explicit shard index")

@@ -500,16 +500,22 @@ def _exact_plan(
             candidates = np.flatnonzero(reached)
         for s in candidates:
             s = int(s)
-            stamp, sub, _gids = binding.slice_for(s, int(c))
-            if not len(sub):
-                continue
             if reach is not None:
+                # Sketch before slice: the sketch is resident (frozen for
+                # sealed windows, pinned-with-slice for open ones), so a
+                # fully pruned candidate never materialises its rows —
+                # on the durable tier, never faults its segment in.  The
+                # sketch counts the slice's rows exactly, so the empty
+                # slice skip below is equivalent to the unpruned path's.
                 sketch = binding.sketch_for(s, int(c))
+                if sketch.is_empty:
+                    continue
                 mask = reach[:, s] & sketch.disk_overlaps(wq.x, wq.y, radius_m)
                 if not mask.any():
+                    stamp, n_rows = binding.peek(s, int(c))
                     pruned.append(
                         PrunedOp(
-                            PlanContext(int(c), s, stamp, len(sub)),
+                            PlanContext(int(c), s, stamp, n_rows),
                             len(wq),
                             "sketch",
                         )
@@ -517,6 +523,11 @@ def _exact_plan(
                     continue
                 local = np.flatnonzero(mask)
             else:
+                local = None
+            stamp, sub, _gids = binding.slice_for(s, int(c))
+            if not len(sub):
+                continue
+            if local is None:
                 local = np.arange(len(wq), dtype=np.intp)
             chosen = method
             est = eval_est = None

@@ -318,6 +318,12 @@ class ProcessPlanExecutor:
         s = op.context.shard
         if s is None:
             raise _Unsupported("process execution needs sharded plan contexts")
+        if not getattr(self.engine.router, "prefix_exportable", True):
+            # Tiered routers page sealed windows to segment files, so no
+            # contiguous in-memory shard prefix exists to export over
+            # shared memory.  The executor's documented fallback runs the
+            # whole plan in-process — byte-identical answers, same plan.
+            raise _Unsupported("router does not export contiguous shard prefixes")
         c = op.context.window_c
         _stamp, sub, _gids = plan.binding.slice_for(s, c)
         router = self.engine.router

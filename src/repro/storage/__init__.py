@@ -14,10 +14,12 @@ from repro.storage.persist import load_database, save_database
 from repro.storage.schema import Column, ColumnType, Schema
 from repro.storage.shards import ShardRouter, single_shard_router
 from repro.storage.table import Table
+from repro.storage.tiered import TieredShardRouter
 
 __all__ = [
     "Database",
     "ShardRouter",
+    "TieredShardRouter",
     "single_shard_router",
     "load_database",
     "save_database",

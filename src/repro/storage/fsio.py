@@ -1,0 +1,88 @@
+"""Filesystem seams the durable tier's crash-safety argument rests on.
+
+Every write-path syscall that a durability claim in this package depends
+on — buffered writes, fsync, atomic rename, directory-entry fsync — goes
+through the module-level functions here instead of calling :mod:`os`
+directly.  That gives the crash-injection harness (``tests/faultfs.py``)
+one interposition point for *all* of them: it can count fsync/rename
+boundaries across a whole workload, kill the "process" at exactly the
+k-th one, or cut a write short to simulate a torn sector, without
+monkeypatching half the standard library.
+
+The functions are deliberately trivial; the value is the seam, not the
+body.  Production code pays one extra function call per syscall.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import BinaryIO, Union
+
+
+def write(f: BinaryIO, data: bytes) -> int:
+    """Buffered file write — the seam torn-write injection cuts short."""
+    return f.write(data)
+
+
+def fsync(f: BinaryIO) -> None:
+    """Flush and fsync an open file — a durability boundary.
+
+    Everything written before a completed ``fsync`` is on stable storage;
+    a crash after it can lose nothing up to here.  The crash-injection
+    matrix enumerates exactly these boundaries.
+    """
+    f.flush()
+    os.fsync(f.fileno())
+
+
+def replace(src: Union[str, Path], dst: Union[str, Path]) -> None:
+    """Atomic rename — the commit point of every atomic file write."""
+    os.replace(src, dst)
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """Best-effort directory-entry fsync (makes a rename itself durable)."""
+    try:
+        dir_fd = os.open(str(path), os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        pass
+
+
+def atomic_write_bytes(path: Union[str, Path], payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically.
+
+    Temp file in the target's directory, write + flush + fsync, then
+    ``os.replace`` over the destination and a best-effort directory
+    fsync.  A crash at any point leaves either the previous complete
+    file or the new complete file, never a torn hybrid — the temp file
+    only becomes visible under ``path`` at the atomic rename.
+
+    The temp file is unlinked in a ``finally`` whenever the rename did
+    not commit, so *any* failure between ``mkstemp`` and ``replace``
+    (disk full mid-write, a failed fsync, an injected crash) leaves no
+    orphan behind.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    committed = False
+    try:
+        with os.fdopen(fd, "wb") as f:
+            write(f, payload)
+            fsync(f)
+        replace(tmp_name, path)
+        committed = True
+    finally:
+        if not committed:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+    fsync_dir(path.parent)

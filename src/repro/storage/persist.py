@@ -32,14 +32,13 @@ Durability contract (see ``README.md`` in this package):
 from __future__ import annotations
 
 import io
-import os
 import struct
-import tempfile
 from pathlib import Path
 from typing import Any, BinaryIO, Dict, Union
 
 import numpy as np
 
+from repro.storage import fsio
 from repro.storage.engine import Database
 from repro.storage.schema import Column, ColumnType, Schema
 
@@ -62,10 +61,22 @@ def _read_str(f: BinaryIO) -> str:
     return _read_exact(f, n).decode("utf-8")
 
 
+class _Truncated(ValueError):
+    """Internal: a read ran past the end of the file mid-section.
+
+    Carries the offset detail; :func:`load_database` re-raises it as a
+    plain :class:`ValueError` prefixed with the file path.
+    """
+
+
 def _read_exact(f: BinaryIO, n: int) -> bytes:
     data = f.read(n)
     if len(data) != n:
-        raise ValueError("truncated database file")
+        offset = f.tell() - len(data)
+        raise _Truncated(
+            f"truncated database file: wanted {n} byte(s) at offset "
+            f"{offset}, file ends after {len(data)}"
+        )
     return data
 
 
@@ -134,31 +145,11 @@ def _atomic_write(path: Path, payload: bytes) -> None:
     """Write ``payload`` to ``path`` atomically: temp file in the same
     directory, flush + fsync, then rename over the destination.  A crash
     at any point leaves either the previous file or the complete new one;
-    the temp file is removed on failure."""
-    fd, tmp_name = tempfile.mkstemp(
-        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "wb") as f:
-            f.write(payload)
-            f.flush()
-            os.fsync(f.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    try:
-        # Make the rename itself durable: fsync the directory entry.
-        dir_fd = os.open(str(path.parent), os.O_RDONLY)
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
-    except OSError:  # pragma: no cover - platform without dir fsync
-        pass
+    the temp file is removed (in a ``finally``) whenever the rename did
+    not commit, so no failure mode can leak it.  Shared with the durable
+    tier's segment and manifest writers via :mod:`repro.storage.fsio`.
+    """
+    fsio.atomic_write_bytes(path, payload)
 
 
 def save_database(db: Database, path: Union[str, Path]) -> None:
@@ -172,56 +163,83 @@ def save_database(db: Database, path: Union[str, Path]) -> None:
 
 
 def load_database(path: Union[str, Path]) -> Database:
-    """Load a database written by :func:`save_database`."""
+    """Load a database written by :func:`save_database`.
+
+    Structural damage is reported as a :class:`ValueError` naming the
+    file and the byte offset the parse failed at: a truncated file (any
+    section ending early) and trailing garbage after the last section
+    are both rejected — a reload either reproduces the saved database
+    exactly or refuses loudly, never silently drops or ignores bytes.
+    """
     path = Path(path)
     with path.open("rb") as f:
-        if _read_exact(f, 4) != _MAGIC:
-            raise ValueError(f"{path}: not an EnviroMeter database file")
-        (version,) = struct.unpack("<I", _read_exact(f, 4))
-        if version not in (1, _VERSION):
-            raise ValueError(f"{path}: unsupported format version {version}")
-        partition_h = None
-        cover_index: dict = {}
-        if version >= 2:
-            (h,) = struct.unpack("<Q", _read_exact(f, 8))
-            partition_h = int(h) or None
-            (n_entries,) = struct.unpack("<I", _read_exact(f, 4))
-            for _ in range(n_entries):
-                window_c, rid = struct.unpack("<qQ", _read_exact(f, 16))
-                cover_index[int(window_c)] = int(rid)
-        (n_tables,) = struct.unpack("<I", _read_exact(f, 4))
-        db = Database()
-        for _ in range(n_tables):
-            name = _read_str(f)
-            (n_cols,) = struct.unpack("<I", _read_exact(f, 4))
-            cols = []
-            for _ in range(n_cols):
-                col_name = _read_str(f)
-                (code,) = struct.unpack("<B", _read_exact(f, 1))
-                cols.append(Column(col_name, _CODE_CTYPES[code]))
-            schema = Schema(tuple(cols))
-            table = db.create_table(name, schema)
-            (n_rows,) = struct.unpack("<Q", _read_exact(f, 8))
-            columns: dict = {}
-            for col in schema.columns:
-                if col.ctype is ColumnType.BYTES:
-                    blobs = []
-                    for _ in range(n_rows):
-                        (blen,) = struct.unpack("<I", _read_exact(f, 4))
-                        blobs.append(_read_exact(f, blen))
-                    columns[col.name] = blobs
-                else:
-                    raw = _read_exact(f, 8 * n_rows)
-                    columns[col.name] = np.frombuffer(raw, dtype=_NUMPY_DTYPES[col.ctype])
-            if schema.has_bytes:
-                # Reassemble rows in insertion order (blob tables are small).
-                for i in range(n_rows):
-                    table.insert(tuple(columns[c.name][i] for c in schema.columns))
-            elif n_rows:
-                # Numeric-only tables load as one vectorized fill per column.
-                table.insert_columns(**columns)
-        if version >= 2:
-            db._restore_partition_state(partition_h, cover_index)
-        else:
-            db._rebuild_cover_index()
+        try:
+            db = _parse_database(f, path)
+            trailing = f.read(1)
+            if trailing:
+                raise ValueError(
+                    f"{path}: trailing garbage after the last section "
+                    f"at byte offset {f.tell() - 1}"
+                )
+        except _Truncated as exc:
+            raise ValueError(f"{path}: {exc}") from None
+        except struct.error as exc:  # defensive: malformed fixed-size field
+            raise ValueError(
+                f"{path}: truncated database file: corrupt section header "
+                f"near byte offset {f.tell()} ({exc})"
+            ) from None
         return db
+
+
+def _parse_database(f: BinaryIO, path: Path) -> Database:
+    """Parse one complete container off ``f`` (shared by the loader)."""
+    if _read_exact(f, 4) != _MAGIC:
+        raise ValueError(f"{path}: not an EnviroMeter database file")
+    (version,) = struct.unpack("<I", _read_exact(f, 4))
+    if version not in (1, _VERSION):
+        raise ValueError(f"{path}: unsupported format version {version}")
+    partition_h = None
+    cover_index: dict = {}
+    if version >= 2:
+        (h,) = struct.unpack("<Q", _read_exact(f, 8))
+        partition_h = int(h) or None
+        (n_entries,) = struct.unpack("<I", _read_exact(f, 4))
+        for _ in range(n_entries):
+            window_c, rid = struct.unpack("<qQ", _read_exact(f, 16))
+            cover_index[int(window_c)] = int(rid)
+    (n_tables,) = struct.unpack("<I", _read_exact(f, 4))
+    db = Database()
+    for _ in range(n_tables):
+        name = _read_str(f)
+        (n_cols,) = struct.unpack("<I", _read_exact(f, 4))
+        cols = []
+        for _ in range(n_cols):
+            col_name = _read_str(f)
+            (code,) = struct.unpack("<B", _read_exact(f, 1))
+            cols.append(Column(col_name, _CODE_CTYPES[code]))
+        schema = Schema(tuple(cols))
+        table = db.create_table(name, schema)
+        (n_rows,) = struct.unpack("<Q", _read_exact(f, 8))
+        columns: dict = {}
+        for col in schema.columns:
+            if col.ctype is ColumnType.BYTES:
+                blobs = []
+                for _ in range(n_rows):
+                    (blen,) = struct.unpack("<I", _read_exact(f, 4))
+                    blobs.append(_read_exact(f, blen))
+                columns[col.name] = blobs
+            else:
+                raw = _read_exact(f, 8 * n_rows)
+                columns[col.name] = np.frombuffer(raw, dtype=_NUMPY_DTYPES[col.ctype])
+        if schema.has_bytes:
+            # Reassemble rows in insertion order (blob tables are small).
+            for i in range(n_rows):
+                table.insert(tuple(columns[c.name][i] for c in schema.columns))
+        elif n_rows:
+            # Numeric-only tables load as one vectorized fill per column.
+            table.insert_columns(**columns)
+    if version >= 2:
+        db._restore_partition_state(partition_h, cover_index)
+    else:
+        db._rebuild_cover_index()
+    return db

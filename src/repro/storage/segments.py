@@ -1,0 +1,303 @@
+"""Immutable, checksummed, column-grouped segment files for sealed windows.
+
+Once a global count-window seals (the write head moves past it), its
+rows can never change — the sealed-window immutability contract in
+``README.md``.  The durable tier exploits that: each ``(shard, window)``
+slice is frozen into one *segment file*, written atomically
+(tmp + fsync + rename via :mod:`repro.storage.fsio`) and never modified
+afterwards, so reads need no locking and crash recovery never has to
+repair a segment — a segment either exists completely or not at all.
+
+On-disk layout (little-endian)::
+
+    b"EMSG"                          magic
+    u32   version (1)
+    u32   header_len
+    u32   crc32(header)
+    header:
+        u32 shard   u64 window_c   u32 h   u64 n_rows   u64 stamp
+        8 x f8      sketch bounds (min/max x, y, t, s)
+        u32 n_groups
+        per group:
+            str   name
+            u8    codec (0 = raw, 1 = zlib)
+            u64   raw_len      u64 comp_len      u32 crc32(raw bytes)
+            u32   n_columns
+            per column: str name, u8 dtype code (0 = <f8, 1 = <i8)
+    group payloads, in directory order
+
+Columns are stored in *groups* that compress and decompress as units —
+the vertical-partitioning idea: the ``core`` group holds the scan
+columns ``(t, x, y, s)``, the ``gids`` group holds the global stream
+positions the exact gather orders by.  A reader asks for just the groups
+it needs (:func:`read_segment` seeks past the rest), and every group is
+independently CRC-checked against its uncompressed bytes, so corruption
+anywhere — header or payload, flipped bit or truncation — surfaces as
+:class:`SegmentCorrupt`, never as silently wrong rows.
+
+The sketch persisted in the header is the window slice's zone map
+(:class:`~repro.storage.sketch.WindowSketch`): recovery adopts it
+without touching the payload, which is what keeps scatter pruning from
+ever faulting a segment in just to skip it.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.data.tuples import TupleBatch
+from repro.storage import fsio
+from repro.storage.sketch import WindowSketch
+
+_MAGIC = b"EMSG"
+_VERSION = 1
+_PREAMBLE = struct.Struct("<4sIII")  # magic, version, header_len, header crc
+_META = struct.Struct("<IQIQQ8d")  # shard, window_c, h, n_rows, stamp, sketch
+_GROUP_HEAD = struct.Struct("<BQQI")  # codec, raw_len, comp_len, crc32(raw)
+
+#: Codec codes in the group directory.
+CODEC_RAW, CODEC_ZLIB = 0, 1
+_DTYPE_CODES = {"<f8": 0, "<i8": 1}
+_CODE_DTYPES = {v: k for k, v in _DTYPE_CODES.items()}
+
+#: The scan column group every query touches.
+CORE_COLUMNS = ("t", "x", "y", "s")
+
+
+class SegmentCorrupt(ValueError):
+    """A segment file failed structural or checksum validation."""
+
+
+@dataclass(frozen=True)
+class SegmentMeta:
+    """Always-resident metadata of one segment (header only)."""
+
+    shard: int
+    window_c: int
+    h: int
+    n_rows: int
+    stamp: int
+    sketch: WindowSketch
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A decoded segment: metadata plus the requested column groups."""
+
+    meta: SegmentMeta
+    groups: Mapping[str, Mapping[str, np.ndarray]]
+
+    def batch(self) -> TupleBatch:
+        core = self.groups["core"]
+        return TupleBatch(core["t"], core["x"], core["y"], core["s"])
+
+    def gids(self) -> np.ndarray:
+        return self.groups["gids"]["gid"]
+
+
+def segment_filename(shard: int, window_c: int) -> str:
+    return f"seg-s{shard:04d}-w{window_c:08d}.seg"
+
+
+def _write_str(buf: io.BytesIO, s: str) -> None:
+    data = s.encode("utf-8")
+    buf.write(struct.pack("<I", len(data)))
+    buf.write(data)
+
+
+def _read_str(data: bytes, offset: int) -> Tuple[str, int]:
+    (n,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    return data[offset : offset + n].decode("utf-8"), offset + n
+
+
+def _pack_group(
+    columns: Mapping[str, np.ndarray], codec: int
+) -> Tuple[bytes, bytes, int, int]:
+    """Directory entry tail + payload for one column group."""
+    raw = b"".join(
+        np.ascontiguousarray(arr).tobytes() for arr in columns.values()
+    )
+    payload = zlib.compress(raw, 6) if codec == CODEC_ZLIB else raw
+    return raw, payload, len(raw), zlib.crc32(raw)
+
+
+def write_segment(
+    path: Union[str, Path],
+    *,
+    shard: int,
+    window_c: int,
+    h: int,
+    stamp: int,
+    batch: TupleBatch,
+    gids: np.ndarray,
+    sketch: WindowSketch,
+    compress: bool = True,
+) -> int:
+    """Atomically write one sealed ``(shard, window)`` slice.
+
+    Returns the file size in bytes.  The write is all-or-nothing: the
+    file only appears under ``path`` after its full content is fsynced
+    (see :func:`repro.storage.fsio.atomic_write_bytes`).
+    """
+    if len(gids) != len(batch):
+        raise ValueError("gids must align with the batch rows")
+    codec = CODEC_ZLIB if compress else CODEC_RAW
+    groups: Sequence[Tuple[str, Dict[str, np.ndarray]]] = (
+        ("core", {name: getattr(batch, name) for name in CORE_COLUMNS}),
+        ("gids", {"gid": np.ascontiguousarray(gids, dtype="<i8")}),
+    )
+    header = io.BytesIO()
+    header.write(
+        _META.pack(
+            shard,
+            window_c,
+            h,
+            len(batch),
+            stamp,
+            sketch.min_x,
+            sketch.max_x,
+            sketch.min_y,
+            sketch.max_y,
+            sketch.min_t,
+            sketch.max_t,
+            sketch.min_s,
+            sketch.max_s,
+        )
+    )
+    header.write(struct.pack("<I", len(groups)))
+    payloads = []
+    for name, columns in groups:
+        typed = {
+            col: np.ascontiguousarray(
+                arr, dtype="<i8" if arr.dtype.kind == "i" else "<f8"
+            )
+            for col, arr in columns.items()
+        }
+        _raw, payload, raw_len, crc = _pack_group(typed, codec)
+        payloads.append(payload)
+        _write_str(header, name)
+        header.write(_GROUP_HEAD.pack(codec, raw_len, len(payload), crc))
+        header.write(struct.pack("<I", len(typed)))
+        for col, arr in typed.items():
+            _write_str(header, col)
+            header.write(
+                struct.pack("<B", _DTYPE_CODES[arr.dtype.str.lstrip("=|")])
+            )
+    header_bytes = header.getvalue()
+    blob = (
+        _PREAMBLE.pack(_MAGIC, _VERSION, len(header_bytes), zlib.crc32(header_bytes))
+        + header_bytes
+        + b"".join(payloads)
+    )
+    fsio.atomic_write_bytes(path, blob)
+    return len(blob)
+
+
+def _parse_header(data: bytes, path: Path):
+    """Validated ``(meta, directory, payload_offset)`` off a file image."""
+    if len(data) < _PREAMBLE.size:
+        raise SegmentCorrupt(f"{path}: truncated segment preamble")
+    magic, version, header_len, header_crc = _PREAMBLE.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise SegmentCorrupt(f"{path}: not a segment file")
+    if version != _VERSION:
+        raise SegmentCorrupt(f"{path}: unsupported segment version {version}")
+    header = data[_PREAMBLE.size : _PREAMBLE.size + header_len]
+    if len(header) != header_len or zlib.crc32(header) != header_crc:
+        raise SegmentCorrupt(f"{path}: segment header failed its checksum")
+    meta_tuple = _META.unpack_from(header, 0)
+    shard, window_c, h, n_rows, stamp = meta_tuple[:5]
+    bounds = meta_tuple[5:]
+    sketch = (
+        WindowSketch(int(n_rows), *bounds) if n_rows else WindowSketch.EMPTY
+    )
+    meta = SegmentMeta(int(shard), int(window_c), int(h), int(n_rows), int(stamp), sketch)
+    offset = _META.size
+    (n_groups,) = struct.unpack_from("<I", header, offset)
+    offset += 4
+    directory = []  # (name, codec, raw_len, comp_len, crc, [(col, dtype)])
+    payload_at = _PREAMBLE.size + header_len
+    for _ in range(n_groups):
+        name, offset = _read_str(header, offset)
+        codec, raw_len, comp_len, crc = _GROUP_HEAD.unpack_from(header, offset)
+        offset += _GROUP_HEAD.size
+        (n_cols,) = struct.unpack_from("<I", header, offset)
+        offset += 4
+        cols = []
+        for _ in range(n_cols):
+            col, offset = _read_str(header, offset)
+            (code,) = struct.unpack_from("<B", header, offset)
+            offset += 1
+            cols.append((col, _CODE_DTYPES[code]))
+        directory.append((name, int(codec), int(raw_len), int(comp_len), int(crc), cols))
+    return meta, directory, payload_at
+
+
+def read_segment_meta(path: Union[str, Path]) -> SegmentMeta:
+    """Header-only read: metadata and sketch, no payload decode."""
+    path = Path(path)
+    with path.open("rb") as f:
+        preamble = f.read(_PREAMBLE.size)
+        if len(preamble) < _PREAMBLE.size:
+            raise SegmentCorrupt(f"{path}: truncated segment preamble")
+        _magic, _version, header_len, _crc = _PREAMBLE.unpack(preamble)
+        data = preamble + f.read(header_len)
+    meta, _directory, _payload_at = _parse_header(data, path)
+    return meta
+
+
+def read_segment(
+    path: Union[str, Path], groups: Sequence[str] = ("core", "gids")
+) -> Segment:
+    """Read and validate the requested column groups of a segment.
+
+    Groups not asked for are never decompressed (their payload bytes are
+    skipped wholesale).  Each decoded group's bytes are verified against
+    the directory's CRC and length before any array is built.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    meta, directory, payload_at = _parse_header(data, path)
+    wanted = set(groups)
+    unknown = wanted - {name for name, *_ in directory}
+    if unknown:
+        raise KeyError(f"{path}: no column group(s) {sorted(unknown)}")
+    decoded: Dict[str, Dict[str, np.ndarray]] = {}
+    offset = payload_at
+    for name, codec, raw_len, comp_len, crc, cols in directory:
+        payload = data[offset : offset + comp_len]
+        offset += comp_len
+        if name not in wanted:
+            continue
+        if len(payload) != comp_len:
+            raise SegmentCorrupt(f"{path}: group {name!r} payload truncated")
+        try:
+            raw = zlib.decompress(payload) if codec == CODEC_ZLIB else payload
+        except zlib.error as exc:
+            raise SegmentCorrupt(
+                f"{path}: group {name!r} failed to decompress ({exc})"
+            ) from None
+        if len(raw) != raw_len or zlib.crc32(raw) != crc:
+            raise SegmentCorrupt(
+                f"{path}: group {name!r} failed its checksum"
+            )
+        arrays: Dict[str, np.ndarray] = {}
+        at = 0
+        for col, dtype in cols:
+            arr = np.frombuffer(raw, dtype=dtype, count=meta.n_rows, offset=at)
+            at += meta.n_rows * 8
+            arrays[col] = arr
+        if at != raw_len:
+            raise SegmentCorrupt(
+                f"{path}: group {name!r} length disagrees with its row count"
+            )
+        decoded[name] = arrays
+    return Segment(meta, decoded)

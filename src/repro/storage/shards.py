@@ -55,6 +55,12 @@ class ShardRouter:
     streams then stay time-sorted too.
     """
 
+    #: The process-parallel executor's shared-memory export path reads
+    #: each shard's rows as one contiguous in-memory prefix; routers
+    #: that page sealed windows out (the durable tier) set this False
+    #: and execute in-process instead.
+    prefix_exportable = True
+
     def __init__(self, grid: RegionGrid, h: int = 240) -> None:
         if h <= 0:
             raise ValueError("window size h must be positive")
@@ -268,6 +274,23 @@ class ShardRouter:
         :data:`WindowSketch.EMPTY`.
         """
         return self._sketches[s].get(int(c), WindowSketch.EMPTY)
+
+    def frozen_window_sketch(self, s: int, c: int) -> Optional[WindowSketch]:
+        """The immutable sketch of a *sealed* global window, else ``None``.
+
+        Once the write head passes ``(c + 1) * h`` rows the window's
+        rows — and therefore its sketch — can never change again, so the
+        sketch can be handed out without the router lock and without
+        materialising the slice.  This is the no-pin path the binding's
+        pruning pass prefers: skipping a window costs a dictionary read,
+        not a slice resolution (and on the durable tier, not a segment
+        fault-in).  Open windows return ``None`` — their sketch must be
+        pinned coherently with the slice.
+        """
+        c = int(c)
+        if c < self._global_rows // self.h:
+            return self._sketches[s].get(c, WindowSketch.EMPTY)
+        return None
 
     def window_stats(self, c: int) -> List[tuple]:
         """Unlocked per-shard ``(stamp, n_rows)`` estimates for global

@@ -1,0 +1,718 @@
+"""Durable tiered shard router: segments + WAL + bounded resident set.
+
+:class:`TieredShardRouter` speaks the same protocol as
+:class:`~repro.storage.shards.ShardRouter` — the query pipeline binds it
+through the identical :class:`~repro.query.pipeline.binding.RouterBinding`
+— but its storage is tiered:
+
+* **Hot tail** — rows of still-open global windows live in memory only
+  (plus the WAL for crash safety), exactly as routed.
+* **Sealed segments** — the moment a global window seals, each shard's
+  slice is frozen into an immutable, checksummed segment file
+  (:mod:`repro.storage.segments`) and the manifest is atomically
+  updated.  Sealed slices then live in a bounded LRU of resident
+  windows; cold ones are evicted and transparently faulted back in when
+  a plan's ``slice_for`` needs their rows.
+* **Always-resident metadata** — per-(shard, window) stamps, row counts
+  and zone-map sketches, the global window cuts, and the first-tuple
+  time per window.  Everything a plan consults *before* touching rows —
+  ``windows_for_times``, geometry pruning, sketch pruning, pruned-op
+  records — reads only this metadata, so pruning never faults a window
+  in just to skip it.
+
+**The tier is invisible to plans.**  Given the same ingest sequence, a
+tiered router and a plain :class:`ShardRouter` resolve every
+``(shard, window)`` to bit-identical rows, gids and sketches — segment
+round-trips preserve the float64 columns exactly, the cuts and routing
+are recomputed by the same code, and ``windows_for_times`` is answered
+from the first-tuple-time table, which is provably equal to the plain
+router's rank computation for a time-sorted stream (the append-only
+sensing contract): the window of time ``t`` is the largest ``c`` with
+``first_t[c] <= t``, clamped to the started windows.
+
+Durability protocol (see ``docs/architecture.md``):
+
+1. ``ingest`` appends the *global* batch to the WAL and fsyncs **before**
+   any in-memory state changes — an acknowledged batch survives a crash.
+2. When windows seal, their per-shard segments are written (each one
+   atomic), **then** the manifest is atomically replaced, **then** the
+   WAL is checkpointed down to the unsealed tail.  A crash between any
+   two steps loses nothing: segments not yet in the manifest are
+   re-written deterministically from the WAL on recovery, and WAL
+   records overlapping sealed rows are skipped by their absolute start
+   row.
+3. Recovery (construction over an existing directory) adopts sealed
+   metadata from the manifest *without reading any segment payload*,
+   replays the WAL tail through the normal routing path, and completes
+   any seal the crash interrupted.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.data.tuples import TupleBatch
+from repro.data.windows import window_boundaries_in
+from repro.geo.coords import BoundingBox
+from repro.geo.region import RegionGrid
+from repro.storage import fsio
+from repro.storage.segments import (
+    read_segment,
+    segment_filename,
+    write_segment,
+)
+from repro.storage.sketch import WindowSketch
+from repro.storage.wal import WriteAheadLog, replay_wal
+
+_MANIFEST = "MANIFEST.json"
+_WAL = "wal.log"
+_SEGMENT_DIR = "segments"
+_MANIFEST_FORMAT = 1
+
+_SKETCH_FIELDS = (
+    "min_x", "max_x", "min_y", "max_y", "min_t", "max_t", "min_s", "max_s",
+)
+
+
+def _sketch_to_json(sketch: WindowSketch) -> List[float]:
+    return [getattr(sketch, f) for f in _SKETCH_FIELDS]
+
+
+def _sketch_from_json(n_rows: int, bounds: List[float]) -> WindowSketch:
+    return WindowSketch(n_rows, *bounds) if n_rows else WindowSketch.EMPTY
+
+
+class TieredShardRouter:
+    """Region-sharded router over a durable segment + WAL tier.
+
+    Drop-in for :class:`~repro.storage.shards.ShardRouter` on the query
+    path (``RouterBinding``/``ShardedQueryEngine`` work unchanged); the
+    process-parallel executor detects ``prefix_exportable = False`` and
+    falls back to in-process execution, which is byte-identical.
+
+    ``memory_windows`` bounds the number of *sealed* ``(shard, window)``
+    slices resident at once (``None`` = unbounded: the tier is then a
+    write-through archive).  The open tail is always resident — it is
+    the working set ingest appends to.  Request-scoped bindings may pin
+    slices past an eviction; the cap bounds the router's cache, and
+    evicted arrays die with the binding that pinned them.
+    """
+
+    #: The shared-memory export path needs a contiguous in-memory prefix
+    #: per shard, which a tiered store deliberately does not keep.
+    prefix_exportable = False
+
+    def __init__(
+        self,
+        grid: RegionGrid,
+        h: int = 240,
+        *,
+        data_dir: Union[str, Path],
+        memory_windows: Optional[int] = None,
+        wal_sync: bool = True,
+        compress: bool = True,
+    ) -> None:
+        if h <= 0:
+            raise ValueError("window size h must be positive")
+        if memory_windows is not None and memory_windows < 1:
+            raise ValueError("memory_windows must be at least 1 (or None)")
+        self.grid = grid
+        self.h = h
+        self.data_dir = Path(data_dir)
+        self.memory_windows = memory_windows
+        self.compress = compress
+        self._segment_dir = self.data_dir / _SEGMENT_DIR
+        self._segment_dir.mkdir(parents=True, exist_ok=True)
+
+        n = grid.n_regions
+        self._lock = threading.RLock()
+        self._global_rows = 0
+        self._epoch = 0
+        self._sealed_c = 0  # windows durably sealed (segments + manifest)
+        self._cuts: List[List[int]] = [[0] for _ in range(n)]
+        self._shard_rows = [0] * n
+        self._window_epochs: List[Dict[int, int]] = [{} for _ in range(n)]
+        self._sketches: List[Dict[int, WindowSketch]] = [{} for _ in range(n)]
+        #: first_ts[c] = timestamp of global window c's first tuple.
+        self._first_ts: List[float] = []
+        #: Open-tail rows per shard: list of (slice, gids) in arrival order.
+        self._tail_parts: List[List[Tuple[TupleBatch, np.ndarray]]] = [
+            [] for _ in range(n)
+        ]
+        self._tail_cache: List[Optional[Tuple[TupleBatch, np.ndarray]]] = [None] * n
+        #: Sealed rows per shard (tail base: shard-local rows below it are
+        #: in segments, at or above it in the tail).
+        self._tail_base = [0] * n
+        #: Resident sealed slices, LRU order: (shard, c) -> (batch, gids).
+        self._resident: "OrderedDict[Tuple[int, int], Tuple[TupleBatch, np.ndarray]]" = OrderedDict()
+        #: (shard, c) -> segment file name, for every sealed slice with rows.
+        self._segment_files: Dict[Tuple[int, int], str] = {}
+        # Tier observability (all monotone counters except resident/peak).
+        self.faults = 0
+        self.evictions = 0
+        self.segments_written = 0
+        self.peak_resident = 0
+
+        manifest = self._load_manifest()
+        if manifest is not None:
+            self._validate_manifest(manifest)
+            self._adopt_manifest(manifest)
+        self._wal = WriteAheadLog(self.data_dir / _WAL, sync=wal_sync)
+        self._recover_wal()
+        self._seal_complete_windows()
+        if manifest is None:
+            # Establish the manifest at creation so the directory is
+            # self-describing from the first byte (`open` needs no args).
+            self._write_manifest()
+
+    # -- construction over an existing directory ---------------------------
+
+    @classmethod
+    def open(
+        cls,
+        data_dir: Union[str, Path],
+        *,
+        memory_windows: Optional[int] = None,
+        wal_sync: bool = True,
+        compress: bool = True,
+    ) -> "TieredShardRouter":
+        """Reopen a data directory, reconstructing grid and ``h`` from
+        its manifest (and recovering WAL/segment state on the way)."""
+        manifest_path = Path(data_dir) / _MANIFEST
+        if not manifest_path.exists():
+            raise ValueError(
+                f"{manifest_path}: no manifest — not a tiered data directory"
+            )
+        try:
+            doc = json.loads(manifest_path.read_text())
+        except ValueError as exc:
+            raise ValueError(
+                f"{manifest_path}: corrupt manifest ({exc})"
+            ) from None
+        g = doc["grid"]
+        grid = RegionGrid(
+            BoundingBox(g["min_x"], g["min_y"], g["max_x"], g["max_y"]),
+            nx=int(g["nx"]),
+            ny=int(g["ny"]),
+        )
+        return cls(
+            grid,
+            h=int(doc["h"]),
+            data_dir=data_dir,
+            memory_windows=memory_windows,
+            wal_sync=wal_sync,
+            compress=compress,
+        )
+
+    def _load_manifest(self) -> Optional[dict]:
+        path = self.data_dir / _MANIFEST
+        if not path.exists():
+            return None
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError as exc:
+            raise ValueError(f"{path}: corrupt manifest ({exc})") from None
+        if doc.get("format") != _MANIFEST_FORMAT:
+            raise ValueError(
+                f"{path}: unsupported manifest format {doc.get('format')!r}"
+            )
+        return doc
+
+    def _validate_manifest(self, doc: dict) -> None:
+        if int(doc["h"]) != self.h:
+            raise ValueError(
+                f"data directory was written with h={doc['h']}, "
+                f"router configured with h={self.h}"
+            )
+        g = doc["grid"]
+        b = self.grid.bounds
+        same = (
+            int(g["nx"]) == self.grid.nx
+            and int(g["ny"]) == self.grid.ny
+            and g["min_x"] == b.min_x
+            and g["min_y"] == b.min_y
+            and g["max_x"] == b.max_x
+            and g["max_y"] == b.max_y
+        )
+        if not same:
+            raise ValueError(
+                "data directory was written with a different region grid; "
+                "reopen with TieredShardRouter.open() or the original grid"
+            )
+
+    def _adopt_manifest(self, doc: dict) -> None:
+        """Adopt sealed-window metadata — no segment payload is read."""
+        sealed = int(doc["sealed_windows"])
+        windows = sorted(doc["windows"], key=lambda w: int(w["c"]))
+        if [int(w["c"]) for w in windows] != list(range(sealed)):
+            raise ValueError(
+                f"{self.data_dir / _MANIFEST}: manifest window list is not "
+                f"the contiguous range 0..{sealed - 1}"
+            )
+        for entry in windows:
+            c = int(entry["c"])
+            self._first_ts.append(float(entry["first_t"]))
+            rows_by_shard = [0] * self.n_shards
+            for shard_entry in entry["shards"]:
+                s = int(shard_entry["s"])
+                rows = int(shard_entry["rows"])
+                rows_by_shard[s] = rows
+                self._window_epochs[s][c] = int(shard_entry["stamp"])
+                self._sketches[s][c] = _sketch_from_json(
+                    rows, shard_entry["sketch"]
+                )
+                self._segment_files[(s, c)] = shard_entry["file"]
+            for s in range(self.n_shards):
+                self._cuts[s].append(self._cuts[s][-1] + rows_by_shard[s])
+        self._sealed_c = sealed
+        self._global_rows = sealed * self.h
+        for s in range(self.n_shards):
+            self._shard_rows[s] = self._cuts[s][-1]
+            self._tail_base[s] = self._cuts[s][-1]
+        stamps = [
+            stamp for per in self._window_epochs for stamp in per.values()
+        ]
+        self._epoch = max(stamps, default=0)
+
+    def _recover_wal(self) -> None:
+        """Replay the WAL tail through the normal routing path.
+
+        Records are skipped up to the sealed boundary (a crash between
+        the manifest update and the WAL checkpoint leaves covered rows
+        in the log); the remainder re-ingests in order, deterministically
+        rebuilding tail rows, cuts, gids, epochs and sketches.
+        """
+        replay = replay_wal(self.data_dir / _WAL)
+        for start_row, batch in replay.records:
+            expected = self._global_rows
+            if start_row > expected:
+                break  # gap: nothing after it can be trusted
+            skip = expected - start_row
+            if skip >= len(batch):
+                continue  # fully covered by sealed segments
+            self._ingest_rows(batch.slice(skip, len(batch)))
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self.grid.n_regions
+
+    def global_count(self) -> int:
+        return self._global_rows
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def shard_counts(self) -> List[int]:
+        return list(self._shard_rows)
+
+    def global_window_count(self) -> int:
+        return (self._global_rows + self.h - 1) // self.h
+
+    def sealed_window_count(self) -> int:
+        """Windows durably frozen into segment files."""
+        return self._sealed_c
+
+    def close(self) -> None:
+        self._wal.close()
+
+    def __enter__(self) -> "TieredShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- ingest ------------------------------------------------------------
+
+    def route(self, batch: TupleBatch) -> np.ndarray:
+        return self.grid.shards_of(batch.x, batch.y)
+
+    def ingest(self, batch: TupleBatch) -> List[int]:
+        """Durably append a batch (WAL first), then seal what completed."""
+        n = len(batch)
+        if not n:
+            return [0] * self.n_shards
+        with self._lock:
+            self._wal.append(self._global_rows, batch)
+            delivered = self._ingest_rows(batch)
+            self._seal_complete_windows()
+        return delivered
+
+    def _ingest_rows(self, batch: TupleBatch) -> List[int]:
+        """In-memory ingest, mirroring :meth:`ShardRouter.ingest` exactly
+        (same routing, cut, gid, epoch and sketch updates) with rows
+        landing in the per-shard tails."""
+        n = len(batch)
+        delivered = [0] * self.n_shards
+        owners = self.route(batch)
+        start = self._global_rows
+        boundaries = window_boundaries_in(start, n, self.h)
+        prior = list(self._shard_rows)
+        gids = np.arange(start, start + n, dtype=np.int64)
+        self._epoch += 1
+        # First-tuple time of every window starting inside this batch —
+        # the always-resident table windows_for_times is answered from.
+        c0 = 0 if start == 0 else -(-start // self.h)
+        c1 = (start + n - 1) // self.h
+        for c in range(c0, c1 + 1):
+            self._first_ts.append(float(batch.t[c * self.h - start]))
+        for s in np.unique(owners):
+            s = int(s)
+            member = owners == s
+            sub = batch.select_mask(member)
+            self._tail_parts[s].append((sub, gids[member]))
+            self._tail_cache[s] = None
+            delivered[s] = len(sub)
+            self._shard_rows[s] += len(sub)
+            wins = gids[member] // self.h
+            for c in np.unique(wins):
+                c = int(c)
+                self._window_epochs[s][c] = self._epoch
+                in_c = wins == c
+                self._sketches[s][c] = self._sketches[s].get(
+                    c, WindowSketch.EMPTY
+                ).extended(sub.t[in_c], sub.x[in_c], sub.y[in_c], sub.s[in_c])
+        if len(boundaries):
+            local_b = np.asarray(boundaries, dtype=np.int64) - start
+            for s in range(self.n_shards):
+                if not delivered[s]:
+                    self._cuts[s].extend([prior[s]] * len(local_b))
+                    continue
+                positions = np.flatnonzero(owners == s)
+                cuts = prior[s] + np.searchsorted(positions, local_b)
+                self._cuts[s].extend(int(cut) for cut in cuts)
+        self._global_rows += n
+        return delivered
+
+    # -- sealing -----------------------------------------------------------
+
+    def _seal_complete_windows(self) -> None:
+        """Freeze every complete-but-unsealed window to the durable tier.
+
+        Order is what makes this crash-safe: per-shard segments first
+        (each atomic), then one atomic manifest replace that commits all
+        of them, then the WAL checkpoint.  Segment content is a pure
+        function of the stream prefix, so re-running an interrupted seal
+        after recovery rewrites byte-identical files.
+        """
+        target = self._global_rows // self.h
+        if target <= self._sealed_c:
+            return
+        sealed_slices: List[Tuple[int, int, TupleBatch, np.ndarray]] = []
+        for c in range(self._sealed_c, target):
+            for s in range(self.n_shards):
+                sub, sgids = self._tail_slice(s, c)
+                if not len(sub):
+                    continue
+                name = segment_filename(s, c)
+                write_segment(
+                    self._segment_dir / name,
+                    shard=s,
+                    window_c=c,
+                    h=self.h,
+                    stamp=self._window_epochs[s][c],
+                    batch=sub,
+                    gids=sgids,
+                    sketch=self._sketches[s][c],
+                    compress=self.compress,
+                )
+                self.segments_written += 1
+                self._segment_files[(s, c)] = name
+                # Own the rows (a copy) so the resident entry does not
+                # pin the whole superseded tail buffer alive.
+                sealed_slices.append(
+                    (s, c, TupleBatch(*(col.copy() for col in (sub.t, sub.x, sub.y, sub.s))), sgids.copy())
+                )
+        self._sealed_c = target
+        self._write_manifest()
+        # Drop sealed rows from the tail fronts.
+        for s in range(self.n_shards):
+            base = self._cut_at(s, target)
+            tail_batch, tail_gids = self._tail_concat(s)
+            keep = base - self._tail_base[s]
+            self._tail_parts[s] = (
+                [(tail_batch.slice(keep, len(tail_batch)), tail_gids[keep:])]
+                if keep < len(tail_batch)
+                else []
+            )
+            self._tail_cache[s] = None
+            self._tail_base[s] = base
+        # Freshly sealed slices enter the resident set (LRU end): the
+        # just-sealed window is the likeliest to be queried next.
+        for s, c, sub, sgids in sealed_slices:
+            self._resident_insert((s, c), (sub, sgids))
+        # Checkpoint the WAL down to the unsealed tail, in global order.
+        self._wal.checkpoint(target * self.h, self._global_tail())
+
+    def _global_tail(self) -> TupleBatch:
+        """The unsealed rows in global stream order (gid-merged)."""
+        parts = [self._tail_concat(s) for s in range(self.n_shards)]
+        batches = [p[0] for p in parts if len(p[0])]
+        gid_parts = [p[1] for p in parts if len(p[1])]
+        if not batches:
+            return TupleBatch.empty()
+        gids = np.concatenate(gid_parts)
+        order = np.argsort(gids, kind="stable")
+        merged = batches[0]
+        for extra in batches[1:]:
+            merged = merged.concat(extra)
+        return merged.take(order)
+
+    def _write_manifest(self) -> None:
+        b = self.grid.bounds
+        windows = []
+        for c in range(self._sealed_c):
+            shards = []
+            for s in range(self.n_shards):
+                key = (s, c)
+                if key not in self._segment_files:
+                    continue
+                sketch = self._sketches[s][c]
+                shards.append(
+                    {
+                        "s": s,
+                        "rows": sketch.n_rows,
+                        "stamp": self._window_epochs[s][c],
+                        "file": self._segment_files[key],
+                        "sketch": _sketch_to_json(sketch),
+                    }
+                )
+            windows.append(
+                {"c": c, "first_t": self._first_ts[c], "shards": shards}
+            )
+        doc = {
+            "format": _MANIFEST_FORMAT,
+            "h": self.h,
+            "grid": {
+                "min_x": b.min_x,
+                "min_y": b.min_y,
+                "max_x": b.max_x,
+                "max_y": b.max_y,
+                "nx": self.grid.nx,
+                "ny": self.grid.ny,
+            },
+            "sealed_windows": self._sealed_c,
+            "windows": windows,
+        }
+        fsio.atomic_write_bytes(
+            self.data_dir / _MANIFEST,
+            (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8"),
+        )
+
+    # -- resident-set management -------------------------------------------
+
+    def _resident_insert(
+        self, key: Tuple[int, int], value: Tuple[TupleBatch, np.ndarray]
+    ) -> None:
+        self._resident[key] = value
+        self._resident.move_to_end(key)
+        if self.memory_windows is not None:
+            while len(self._resident) > self.memory_windows:
+                self._resident.popitem(last=False)
+                self.evictions += 1
+        self.peak_resident = max(self.peak_resident, len(self._resident))
+
+    def _sealed_slice(self, s: int, c: int) -> Tuple[TupleBatch, np.ndarray]:
+        """The (batch, gids) of a sealed slice, faulting it in on a miss."""
+        key = (s, c)
+        cached = self._resident.get(key)
+        if cached is not None:
+            self._resident.move_to_end(key)
+            return cached
+        name = self._segment_files.get(key)
+        if name is None:  # the shard owned no rows of this window
+            return TupleBatch.empty(), np.empty(0, dtype=np.int64)
+        segment = read_segment(self._segment_dir / name)
+        self.faults += 1
+        value = (segment.batch(), segment.gids())
+        self._resident_insert(key, value)
+        return value
+
+    def resident_window_count(self) -> int:
+        """Sealed ``(shard, window)`` slices currently resident."""
+        return len(self._resident)
+
+    def tier_stats(self) -> Dict[str, int]:
+        """Observability counters for tests, benchmarks and the CLI."""
+        return {
+            "sealed_windows": self._sealed_c,
+            "resident_windows": len(self._resident),
+            "peak_resident": self.peak_resident,
+            "memory_windows": self.memory_windows or 0,
+            "faults": self.faults,
+            "evictions": self.evictions,
+            "segments_written": self.segments_written,
+            "wal_appends": self._wal.appends,
+            "wal_checkpoints": self._wal.checkpoints,
+        }
+
+    # -- window access (the RouterBinding protocol) ------------------------
+
+    def _check_window(self, c: int) -> int:
+        c = int(c)
+        if c < 0:
+            raise ValueError("window index c must be non-negative")
+        if c >= self.global_window_count():
+            raise IndexError(
+                f"global window {c} (h={self.h}) starts past the stream end"
+            )
+        return c
+
+    def _cut_at(self, s: int, c: int) -> int:
+        cuts = self._cuts[s]
+        return cuts[c] if c < len(cuts) else self._shard_rows[s]
+
+    def _tail_concat(self, s: int) -> Tuple[TupleBatch, np.ndarray]:
+        cached = self._tail_cache[s]
+        if cached is None:
+            parts = self._tail_parts[s]
+            if not parts:
+                cached = (TupleBatch.empty(), np.empty(0, dtype=np.int64))
+            elif len(parts) == 1:
+                cached = parts[0]
+            else:
+                merged = parts[0][0]
+                for sub, _ in parts[1:]:
+                    merged = merged.concat(sub)
+                cached = (merged, np.concatenate([g for _, g in parts]))
+            self._tail_cache[s] = cached
+        return cached
+
+    def _tail_slice(self, s: int, c: int) -> Tuple[TupleBatch, np.ndarray]:
+        """Rows of global window ``c`` in shard ``s``'s open tail."""
+        start = self._cut_at(s, c) - self._tail_base[s]
+        stop = self._cut_at(s, c + 1) - self._tail_base[s]
+        batch, gids = self._tail_concat(s)
+        return batch.slice(start, stop), gids[start:stop]
+
+    def _window_slice(self, s: int, c: int) -> Tuple[TupleBatch, np.ndarray]:
+        if c < self._sealed_c:
+            return self._sealed_slice(s, c)
+        return self._tail_slice(s, c)
+
+    def shard_window(self, s: int, c: int) -> TupleBatch:
+        with self._lock:
+            return self._window_slice(s, self._check_window(c))[0]
+
+    def shard_window_gids(self, s: int, c: int) -> np.ndarray:
+        with self._lock:
+            return self._window_slice(s, self._check_window(c))[1]
+
+    def shard_windows(self, c: int) -> List[TupleBatch]:
+        return [self.shard_window(s, c) for s in range(self.n_shards)]
+
+    def shard_window_epoch(self, s: int, c: int) -> int:
+        return self._window_epochs[s].get(int(c), 0)
+
+    def shard_window_sketch(self, s: int, c: int) -> WindowSketch:
+        return self._sketches[s].get(int(c), WindowSketch.EMPTY)
+
+    def frozen_window_sketch(self, s: int, c: int) -> Optional[WindowSketch]:
+        """The immutable sketch of a *sealed* window, else ``None``.
+
+        Sealed sketches are always resident (adopted from the manifest
+        or maintained at ingest), so a pruning pass can consult them
+        without faulting the slice in — the cheap path the binding
+        prefers.
+        """
+        c = int(c)
+        if c < self._global_rows // self.h:
+            return self._sketches[s].get(c, WindowSketch.EMPTY)
+        return None
+
+    def window_stats(self, c: int) -> List[tuple]:
+        c = int(c)
+        stats = []
+        for s in range(self.n_shards):
+            sketch = self._sketches[s].get(c)
+            stats.append(
+                (
+                    self._window_epochs[s].get(c, 0),
+                    sketch.n_rows if sketch is not None else 0,
+                )
+            )
+        return stats
+
+    def snapshot_window(self, s: int, c: int):
+        with self._lock:
+            c = self._check_window(c)
+            batch, gids = self._window_slice(s, c)
+            return self.shard_window_epoch(s, c), batch, gids
+
+    def snapshot_window_sketch(self, s: int, c: int):
+        with self._lock:
+            c = self._check_window(c)
+            batch, gids = self._window_slice(s, c)
+            return (
+                self.shard_window_epoch(s, c),
+                batch,
+                gids,
+                self.shard_window_sketch(s, c),
+            )
+
+    def windows_for_times(self, ts) -> np.ndarray:
+        """Global window per query timestamp, from resident metadata only.
+
+        For a time-sorted global stream, the responsible window of time
+        ``t`` — the plain router's ``(rank(t) - 1) // h`` — equals the
+        largest ``c`` whose first tuple is at or before ``t``: the
+        first tuple of window ``c`` is global row ``c*h``, so
+        ``first_t[c] <= t`` iff ``rank(t) > c*h``.  One binary search
+        over the O(#windows) first-times table; no window rows touched.
+        """
+        ts = np.asarray(ts, dtype=np.float64)
+        if not self._global_rows:
+            raise RuntimeError("router has no data")
+        first = np.asarray(self._first_ts, dtype=np.float64)
+        pos = np.searchsorted(first, ts, side="right") - 1
+        limit = max(self.global_window_count() - 1, 0)
+        return np.minimum(np.maximum(pos, 0), limit)
+
+    def window_for_time(self, t: float) -> int:
+        return int(self.windows_for_times((t,))[0])
+
+    def cuts(self, s: int) -> List[int]:
+        return list(self._cuts[s])
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self, verify: bool = False) -> Dict[str, int]:
+        """Tidy the data directory: checkpoint the WAL, drop orphan
+        segment files (left by a crash between segment writes and the
+        manifest commit, and since re-written under their manifest
+        names), remove stray temp files.  ``verify=True`` additionally
+        re-reads every live segment, checking all group checksums.
+
+        Returns counters: ``{"orphans_removed", "tmp_removed",
+        "segments_verified"}``.  Raises
+        :class:`~repro.storage.segments.SegmentCorrupt` if verification
+        fails.
+        """
+        removed = tmp_removed = verified = 0
+        with self._lock:
+            live = set(self._segment_files.values())
+            for path in sorted(self._segment_dir.iterdir()):
+                if path.name.endswith(".tmp"):
+                    path.unlink()
+                    tmp_removed += 1
+                elif path.suffix == ".seg" and path.name not in live:
+                    path.unlink()
+                    removed += 1
+            if verify:
+                for name in sorted(live):
+                    read_segment(self._segment_dir / name)
+                    verified += 1
+            self._wal.checkpoint(self._sealed_c * self.h, self._global_tail())
+        return {
+            "orphans_removed": removed,
+            "tmp_removed": tmp_removed,
+            "segments_verified": verified,
+        }

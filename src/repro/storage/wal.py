@@ -1,0 +1,170 @@
+"""Append-only write-ahead log for the open (unsealed) stream tail.
+
+Sealed windows live in immutable segment files (:mod:`repro.storage.segments`);
+everything past the last sealed boundary exists only in memory.  The WAL
+closes that durability gap: every ingest batch is appended — as one
+checksummed record of the *global* (pre-routing) batch — and fsynced
+*before* the in-memory state changes, so a crash at any instant loses at
+most the batch whose append had not yet returned.
+
+Record layout (little-endian)::
+
+    u32  magic        "WAL1"
+    u64  start_row    global stream position of the record's first tuple
+    u32  n_rows
+    u32  crc32        of the payload bytes
+    payload           t, x, y, s as n_rows raw <f8 arrays, concatenated
+
+Replay semantics (:func:`replay_wal`): records are read sequentially and
+validated (magic, CRC, monotone contiguous ``start_row``); the first
+invalid or incomplete record ends the replay — everything before it is
+the durable prefix, everything from it on is a torn tail from a crash
+mid-append and is discarded.  Logging the *global* batch (rather than
+per-shard slices) makes replay deterministic end-to-end: recovered rows
+are re-ingested through the normal routing path, which reconstructs
+per-shard order, window cuts, gids and sketches bit-for-bit.
+
+After a seal makes rows durable in segments, :meth:`WriteAheadLog.checkpoint`
+atomically replaces the log with a single record holding only the still-
+unsealed tail, so the WAL stays O(open window), not O(stream).  Replay
+tolerates overlap between segments and WAL records (a crash between the
+manifest update and the checkpoint): records carry absolute start rows,
+so the recoverer skips any prefix already covered by sealed segments.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro.data.tuples import TupleBatch
+from repro.storage import fsio
+
+_MAGIC = 0x314C4157  # b"WAL1" read as <u32
+_HEADER = struct.Struct("<IQII")  # magic, start_row, n_rows, payload crc32
+
+
+def _payload(batch: TupleBatch) -> bytes:
+    return b"".join(
+        np.ascontiguousarray(col, dtype="<f8").tobytes()
+        for col in (batch.t, batch.x, batch.y, batch.s)
+    )
+
+
+def _record(start_row: int, batch: TupleBatch) -> bytes:
+    payload = _payload(batch)
+    header = _HEADER.pack(_MAGIC, start_row, len(batch), zlib.crc32(payload))
+    return header + payload
+
+
+class WriteAheadLog:
+    """One append-only log file; every append is durable when it returns.
+
+    ``sync=False`` drops the per-append fsync (crash durability then
+    degrades to the OS page cache) — benchmark use only.
+    """
+
+    def __init__(self, path: Union[str, Path], sync: bool = True) -> None:
+        self.path = Path(path)
+        self.sync = sync
+        self._f = open(self.path, "ab")
+        self.appends = 0
+        self.checkpoints = 0
+
+    def append(self, start_row: int, batch: TupleBatch) -> None:
+        """Durably append one ingest batch starting at ``start_row``."""
+        if self._f is None:
+            raise ValueError("write-ahead log is closed")
+        fsio.write(self._f, _record(start_row, batch))
+        if self.sync:
+            fsio.fsync(self._f)
+        self.appends += 1
+
+    def checkpoint(self, start_row: int, tail: TupleBatch) -> None:
+        """Atomically shrink the log to just the unsealed tail.
+
+        Writes a fresh log holding one record (``tail`` at
+        ``start_row``; an empty tail yields an empty log) to a temp file
+        and renames it over the live log, then reopens for appending.
+        A crash at any point leaves either the old log (a superset —
+        replay skips rows already sealed) or the new one, never a torn
+        log.
+        """
+        if self._f is None:
+            raise ValueError("write-ahead log is closed")
+        payload = _record(start_row, tail) if len(tail) else b""
+        self._f.close()
+        self._f = None
+        fsio.atomic_write_bytes(self.path, payload)
+        self._f = open(self.path, "ab")
+        self.checkpoints += 1
+
+    def close(self) -> None:
+        if self._f is not None:
+            self._f.close()
+            self._f = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class WalReplay:
+    """Outcome of scanning a log: the valid records and tail diagnosis."""
+
+    records: Tuple[Tuple[int, TupleBatch], ...]  # (start_row, batch)
+    valid_bytes: int  # length of the valid prefix
+    torn: bool  # bytes existed past the valid prefix (discarded)
+
+    @property
+    def rows(self) -> int:
+        return sum(len(batch) for _, batch in self.records)
+
+
+def replay_wal(path: Union[str, Path]) -> WalReplay:
+    """Scan a log, returning every record of the valid prefix.
+
+    Stops at the first record that is incomplete, fails its CRC, has a
+    bad magic, or jumps backwards past its predecessor's coverage in a
+    non-contiguous way (``start_row`` beyond the previous record's end).
+    A missing file replays as empty.
+    """
+    path = Path(path)
+    if not path.exists():
+        return WalReplay((), 0, False)
+    data = path.read_bytes()
+    records: List[Tuple[int, TupleBatch]] = []
+    offset = 0
+    next_expected: int | None = None
+    while True:
+        if offset + _HEADER.size > len(data):
+            break
+        magic, start_row, n_rows, crc = _HEADER.unpack_from(data, offset)
+        if magic != _MAGIC:
+            break
+        body_len = 4 * 8 * n_rows
+        end = offset + _HEADER.size + body_len
+        if end > len(data):
+            break
+        payload = data[offset + _HEADER.size : end]
+        if zlib.crc32(payload) != crc:
+            break
+        if next_expected is not None and start_row > next_expected:
+            # A gap means lost records — nothing after it can be trusted.
+            break
+        cols = [
+            np.frombuffer(payload, dtype="<f8", count=n_rows, offset=i * 8 * n_rows)
+            for i in range(4)
+        ]
+        records.append((int(start_row), TupleBatch(*cols)))
+        next_expected = int(start_row) + n_rows
+        offset = end
+    return WalReplay(tuple(records), offset, torn=offset < len(data))

@@ -1,0 +1,132 @@
+"""Reusable crash-injection harness for the durable tier.
+
+Every durability-bearing syscall in the storage layer goes through the
+seams in :mod:`repro.storage.fsio` (buffered write, fsync, atomic
+rename, directory fsync).  :class:`FaultInjector` interposes on all of
+them at once and simulates a process kill at an exact point in the
+write sequence:
+
+* ``count`` mode runs a workload untouched while counting its
+  *boundaries* (every fsync and rename — the points where durability
+  state changes), so a test can enumerate the whole crash matrix;
+* ``crash_at=k`` raises :class:`SimulatedCrash` at the k-th boundary,
+  either *before* the syscall executes (the write never became durable)
+  or *after* it (durable, but nothing later ran);
+* ``torn=True`` additionally cuts the last buffered write short at the
+  crash point — the torn-sector case WAL replay must detect.
+
+A simulated crash abandons the workload mid-flight, exactly like a
+kill: nothing that would have run after the chosen syscall runs.  The
+oracle then reopens the directory and asserts recovery yields exactly
+the durable prefix (see ``tests/test_crash_injection.py``).
+
+Use as a context manager so the seams are always restored::
+
+    with FaultInjector(crash_at=3, mode="after") as inj:
+        try:
+            workload()
+        except SimulatedCrash:
+            ...
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.storage import fsio
+
+
+class SimulatedCrash(BaseException):
+    """The injected process kill.
+
+    A ``BaseException`` so no library-level ``except Exception`` can
+    absorb it and keep writing past the simulated kill point; cleanup
+    handlers (``finally`` blocks) still run, which only ever removes
+    temp files a real crash would have left invisible to recovery.
+    """
+
+
+class FaultInjector:
+    """Counts durability boundaries and kills the writer at one of them."""
+
+    def __init__(
+        self,
+        crash_at: Optional[int] = None,
+        mode: str = "before",
+        torn: bool = False,
+    ) -> None:
+        if mode not in ("before", "after"):
+            raise ValueError("mode must be 'before' or 'after'")
+        self.crash_at = crash_at
+        self.mode = mode
+        self.torn = torn
+        self.boundaries = 0  # fsync/rename calls seen so far
+        self.crashed = False
+        self._last_write: Optional[tuple] = None  # (file, data) of last write
+        self._originals = None
+
+    # -- seam wrappers -----------------------------------------------------
+
+    def _boundary(self, execute, describe) -> None:
+        """Count one durability boundary, crashing if it is the chosen one."""
+        k = self.boundaries
+        self.boundaries += 1
+        if self.crash_at is not None and k == self.crash_at and not self.crashed:
+            self.crashed = True
+            if self.torn and self._last_write is not None:
+                # Re-model the preceding buffered write as torn: the
+                # file already contains the full data (buffered writes
+                # apply immediately), so truncate the file back to cut
+                # the tail of that write in half.
+                f, data = self._last_write
+                try:
+                    f.flush()
+                    f.truncate(f.tell() - (len(data) - len(data) // 2))
+                except (OSError, ValueError):  # closed/unseekable: skip
+                    pass
+            if self.mode == "after" and not self.torn:
+                execute()
+            raise SimulatedCrash(f"boundary {k}: {describe}")
+        execute()
+
+    def _write(self, f, data):
+        self._last_write = (f, data)
+        return self._orig_write(f, data)
+
+    def _fsync(self, f):
+        self._boundary(lambda: self._orig_fsync(f), f"fsync {getattr(f, 'name', f)}")
+
+    def _replace(self, src, dst):
+        self._boundary(lambda: self._orig_replace(src, dst), f"rename -> {dst}")
+
+    def _fsync_dir(self, path):
+        # Directory fsync is best-effort (never a correctness boundary);
+        # let it through uncounted so matrices stay platform-stable.
+        self._orig_fsync_dir(path)
+
+    # -- install / restore -------------------------------------------------
+
+    def __enter__(self) -> "FaultInjector":
+        self._orig_write = fsio.write
+        self._orig_fsync = fsio.fsync
+        self._orig_replace = fsio.replace
+        self._orig_fsync_dir = fsio.fsync_dir
+        fsio.write = self._write
+        fsio.fsync = self._fsync
+        fsio.replace = self._replace
+        fsio.fsync_dir = self._fsync_dir
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        fsio.write = self._orig_write
+        fsio.fsync = self._orig_fsync
+        fsio.replace = self._orig_replace
+        fsio.fsync_dir = self._orig_fsync_dir
+
+
+def count_boundaries(workload) -> int:
+    """Run ``workload`` once, untouched, returning how many durability
+    boundaries (fsyncs and renames) it crosses — the crash-matrix size."""
+    with FaultInjector(crash_at=None) as injector:
+        workload()
+    return injector.boundaries

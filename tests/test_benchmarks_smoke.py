@@ -143,6 +143,10 @@ def _run_sharded(m, ds, bm):
     m.bench_sharded_heatmap(bm, ds, n_shards=2)
 
 
+def _run_tiered(m, ds, bm):
+    m.bench_tiered_hot_window(bm, ds, replicas=2)
+
+
 SMOKE_RUNNERS = {
     "bench_ablation_adaptive_methods": _run_ablation_adaptive_methods,
     "bench_ablation_cache_ttl": _run_ablation_cache_ttl,
@@ -160,6 +164,7 @@ SMOKE_RUNNERS = {
     "bench_process_parallel": _run_process_parallel,
     "bench_scatter_pruning": _run_scatter_pruning,
     "bench_sharded": _run_sharded,
+    "bench_tiered": _run_tiered,
 }
 
 

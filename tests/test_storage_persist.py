@@ -228,3 +228,100 @@ class TestCorruption:
         path.write_bytes(b"EMDB" + (99).to_bytes(4, "little") + b"\x00" * 4)
         with pytest.raises(ValueError, match="version"):
             load_database(path)
+
+
+class TestErrorPaths:
+    """Satellite coverage: corrupt inputs fail with actionable messages
+    (path + offset), and trailing garbage is rejected instead of being
+    silently ignored."""
+
+    def _saved(self, tmp_path):
+        db = Database.for_enviro_meter(partition_h=4)
+        t = np.arange(6, dtype=float)
+        db.ingest_tuples(TupleBatch(t, t + 1.0, t + 2.0, np.full(6, 400.0)))
+        db.store_cover_blob(0, 3.0, b"cover")
+        path = tmp_path / "state.emdb"
+        save_database(db, path)
+        return path
+
+    def test_every_truncation_fails_loudly(self, tmp_path):
+        """Any truncation point yields ValueError — never a partial load,
+        never a raw struct/numpy error."""
+        path = self._saved(tmp_path)
+        pristine = path.read_bytes()
+        for length in range(len(pristine)):
+            path.write_bytes(pristine[:length])
+            with pytest.raises(ValueError):
+                load_database(path)
+
+    def test_truncation_message_names_path_and_offset(self, tmp_path):
+        path = self._saved(tmp_path)
+        pristine = path.read_bytes()
+        path.write_bytes(pristine[: len(pristine) - 3])
+        with pytest.raises(ValueError) as excinfo:
+            load_database(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "offset" in message
+        assert "truncated" in message
+
+    def test_trailing_garbage_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        path.write_bytes(path.read_bytes() + b"\x00garbage")
+        with pytest.raises(ValueError, match="trailing garbage"):
+            load_database(path)
+
+    def test_single_trailing_byte_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        path.write_bytes(path.read_bytes() + b"\x00")
+        with pytest.raises(ValueError, match="byte offset"):
+            load_database(path)
+
+
+class TestGoldenBlob:
+    """A hard-coded byte image of the current on-disk format: if the
+    writer ever drifts (or a reader branch for old versions rots), this
+    fails even though fresh round-trips still pass."""
+
+    # Database.for_enviro_meter(partition_h=4), five tuples
+    # t=10..50, x=1..5, y=6..10, s=400..440, one cover blob
+    # (window 0, valid_until 12.5, b"model-bytes"), serialized 2026-08.
+    GOLDEN_HEX = (
+        "454d444202000000040000000000000001000000000000000000000000000000"
+        "00000000020000000b0000006d6f64656c5f636f766572030000000800000077"
+        "696e646f775f63010b00000076616c69645f756e74696c000a000000636f7665"
+        "725f626c6f62020100000000000000000000000000000000000000000029400b"
+        "0000006d6f64656c2d62797465730a0000007261775f7475706c657304000000"
+        "0100000074000100000078000100000079000100000073000500000000000000"
+        "000000000000244000000000000034400000000000003e400000000000004440"
+        "0000000000004940000000000000f03f00000000000000400000000000000840"
+        "0000000000001040000000000000144000000000000018400000000000001c40"
+        "0000000000002040000000000000224000000000000024400000000000007940"
+        "0000000000a079400000000000407a400000000000e07a400000000000807b40"
+    )
+
+    def _golden_db(self):
+        db = Database.for_enviro_meter(partition_h=4)
+        db.ingest_tuples(
+            TupleBatch(
+                np.array([10.0, 20.0, 30.0, 40.0, 50.0]),
+                np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+                np.array([6.0, 7.0, 8.0, 9.0, 10.0]),
+                np.array([400.0, 410.0, 420.0, 430.0, 440.0]),
+            )
+        )
+        db.store_cover_blob(0, 12.5, b"model-bytes")
+        return db
+
+    def test_golden_blob_loads(self, tmp_path):
+        path = tmp_path / "golden.emdb"
+        path.write_bytes(bytes.fromhex(self.GOLDEN_HEX))
+        db = load_database(path)
+        batch = db.raw_tuples()
+        assert batch.t.tolist() == [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert batch.s.tolist() == [400.0, 410.0, 420.0, 430.0, 440.0]
+        assert db.partition_h == 4
+        assert db.cover_blob_for_window(0) == (0, 12.5, b"model-bytes")
+
+    def test_writer_still_produces_the_golden_bytes(self):
+        assert serialize_database(self._golden_db()).hex() == self.GOLDEN_HEX

@@ -1,0 +1,241 @@
+"""Tests for repro.storage.segments — the immutable sealed-window files.
+
+The durable tier's correctness rests on two properties of this format:
+round-trips are *byte-exact* (float64 columns, NaN/inf payloads and all),
+and any single corrupted or missing byte surfaces as
+:class:`SegmentCorrupt` rather than silently wrong rows.  Both are
+checked exhaustively here: hypothesis drives the round-trip over random
+lengths and pathological floats, and the corruption tests flip / drop
+*every byte offset* of a small segment.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.tuples import TupleBatch
+from repro.storage.segments import (
+    CORE_COLUMNS,
+    SegmentCorrupt,
+    read_segment,
+    read_segment_meta,
+    segment_filename,
+    write_segment,
+)
+from repro.storage.sketch import WindowSketch
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+_floats = st.floats(
+    allow_nan=True, allow_infinity=True, width=64
+)  # full float64 range, NaN and ±inf included
+
+
+def _batch(n: int, seed: int = 0) -> TupleBatch:
+    rng = np.random.default_rng(seed)
+    return TupleBatch(
+        np.cumsum(rng.uniform(0.5, 5.0, n)),
+        rng.uniform(0.0, 100.0, n),
+        rng.uniform(0.0, 100.0, n),
+        rng.uniform(350.0, 600.0, n),
+    )
+
+
+def _write(path, batch, gids=None, **kwargs) -> int:
+    if gids is None:
+        gids = np.arange(len(batch), dtype=np.int64)
+    defaults = dict(
+        shard=3, window_c=17, h=240, stamp=42, sketch=WindowSketch.of(batch)
+    )
+    defaults.update(kwargs)
+    return write_segment(path, batch=batch, gids=gids, **defaults)
+
+
+class TestRoundTrip:
+    def test_columns_and_gids_byte_exact(self, tmp_path):
+        batch = _batch(100)
+        gids = np.arange(500, 600, dtype=np.int64)
+        path = tmp_path / segment_filename(3, 17)
+        size = _write(path, batch, gids)
+        assert size == path.stat().st_size
+        seg = read_segment(path)
+        out = seg.batch()
+        for name in CORE_COLUMNS:
+            assert getattr(out, name).tobytes() == getattr(batch, name).tobytes()
+        assert seg.gids().tobytes() == gids.tobytes()
+        assert seg.gids().dtype == np.dtype("<i8")
+
+    def test_meta_round_trip(self, tmp_path):
+        batch = _batch(7)
+        sketch = WindowSketch.of(batch)
+        path = tmp_path / "a.seg"
+        _write(path, batch, shard=5, window_c=9, h=100, stamp=1234, sketch=sketch)
+        meta = read_segment_meta(path)
+        assert (meta.shard, meta.window_c, meta.h) == (5, 9, 100)
+        assert (meta.n_rows, meta.stamp) == (7, 1234)
+        assert meta.sketch == sketch
+        # Header-only read agrees with the full read.
+        assert read_segment(path).meta == meta
+
+    def test_empty_slice_round_trips(self, tmp_path):
+        path = tmp_path / "empty.seg"
+        _write(path, TupleBatch.empty(), sketch=WindowSketch.EMPTY)
+        seg = read_segment(path)
+        assert seg.meta.n_rows == 0
+        assert len(seg.batch()) == 0
+        assert len(seg.gids()) == 0
+        assert seg.meta.sketch is WindowSketch.EMPTY
+
+    def test_uncompressed_round_trips(self, tmp_path):
+        batch = _batch(50)
+        path = tmp_path / "raw.seg"
+        _write(path, batch, compress=False)
+        out = read_segment(path).batch()
+        assert out.t.tobytes() == batch.t.tobytes()
+
+    def test_compression_shrinks_redundant_payloads(self, tmp_path):
+        n = 2000
+        batch = TupleBatch(
+            np.arange(n, dtype=float),
+            np.zeros(n),
+            np.zeros(n),
+            np.full(n, 400.0),
+        )
+        raw = _write(tmp_path / "raw.seg", batch, compress=False)
+        packed = _write(tmp_path / "zip.seg", batch, compress=True)
+        assert packed < raw
+
+    @_SETTINGS
+    @given(
+        rows=st.lists(
+            st.tuples(_floats, _floats, _floats, _floats), min_size=1, max_size=60
+        ),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        compress=st.booleans(),
+    )
+    def test_random_payloads_round_trip_exactly(
+        self, tmp_path, rows, seed, compress
+    ):
+        """Any float64 payload — NaN, ±inf, -0.0 — reads back bit-identical."""
+        cols = [np.array(col, dtype=np.float64) for col in zip(*rows)]
+        batch = TupleBatch(*cols)
+        rng = np.random.default_rng(seed)
+        gids = np.sort(rng.choice(10**6, size=len(batch), replace=False)).astype(
+            np.int64
+        )
+        path = tmp_path / "prop.seg"
+        _write(path, batch, gids, compress=compress)
+        seg = read_segment(path)
+        out = seg.batch()
+        for name in CORE_COLUMNS:
+            assert getattr(out, name).tobytes() == getattr(batch, name).tobytes()
+        assert seg.gids().tobytes() == gids.tobytes()
+        assert seg.meta.n_rows == len(batch)
+
+    def test_gid_batch_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="align"):
+            _write(tmp_path / "bad.seg", _batch(5), np.arange(4, dtype=np.int64))
+
+
+class TestSelectiveRead:
+    def test_core_only_skips_gids(self, tmp_path):
+        path = tmp_path / "a.seg"
+        _write(path, _batch(20))
+        seg = read_segment(path, groups=("core",))
+        assert set(seg.groups) == {"core"}
+        assert len(seg.batch()) == 20
+        with pytest.raises(KeyError):
+            seg.gids()
+
+    def test_gids_only_skips_core(self, tmp_path):
+        path = tmp_path / "a.seg"
+        _write(path, _batch(20))
+        seg = read_segment(path, groups=("gids",))
+        assert set(seg.groups) == {"gids"}
+        assert len(seg.gids()) == 20
+
+    def test_unknown_group_rejected(self, tmp_path):
+        path = tmp_path / "a.seg"
+        _write(path, _batch(5))
+        with pytest.raises(KeyError, match="models"):
+            read_segment(path, groups=("core", "models"))
+
+    def test_skipped_group_is_not_validated(self, tmp_path):
+        """Corruption confined to an unread group stays invisible — the
+        reader never touches those payload bytes (that is the point of
+        column groups); reading the group does detect it."""
+        path = tmp_path / "a.seg"
+        _write(path, _batch(20), compress=False)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # last byte: inside the trailing gids payload
+        path.write_bytes(bytes(data))
+        read_segment(path, groups=("core",))  # fine
+        with pytest.raises(SegmentCorrupt):
+            read_segment(path, groups=("gids",))
+
+
+class TestCorruptionDetection:
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_every_single_byte_flip_is_detected(self, tmp_path, compress):
+        """Flip each byte of a small segment in turn: every read must fail
+        loudly with SegmentCorrupt — magic, version, header, directory and
+        payload corruption alike."""
+        path = tmp_path / "a.seg"
+        _write(path, _batch(6, seed=3), compress=compress)
+        pristine = path.read_bytes()
+        for offset in range(len(pristine)):
+            data = bytearray(pristine)
+            data[offset] ^= 0xFF
+            path.write_bytes(bytes(data))
+            with pytest.raises(SegmentCorrupt):
+                read_segment(path)
+        path.write_bytes(pristine)
+        read_segment(path)  # the pristine image still reads
+
+    def test_every_truncation_is_detected(self, tmp_path):
+        path = tmp_path / "a.seg"
+        _write(path, _batch(6, seed=4), compress=False)
+        pristine = path.read_bytes()
+        for length in range(len(pristine)):
+            path.write_bytes(pristine[:length])
+            with pytest.raises(SegmentCorrupt):
+                read_segment(path)
+
+    def test_truncated_meta_read_is_detected(self, tmp_path):
+        path = tmp_path / "a.seg"
+        _write(path, _batch(6))
+        pristine = path.read_bytes()
+        path.write_bytes(pristine[:10])
+        with pytest.raises(SegmentCorrupt):
+            read_segment_meta(path)
+
+    def test_not_a_segment_file(self, tmp_path):
+        path = tmp_path / "junk.seg"
+        path.write_bytes(b"NOPE" + b"\x00" * 64)
+        with pytest.raises(SegmentCorrupt, match="not a segment file"):
+            read_segment(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "a.seg"
+        _write(path, _batch(3))
+        data = bytearray(path.read_bytes())
+        data[4] = 99  # version field of the preamble
+        path.write_bytes(bytes(data))
+        with pytest.raises(SegmentCorrupt, match="version"):
+            read_segment(path)
+
+
+class TestAtomicity:
+    def test_no_temp_files_after_write(self, tmp_path):
+        path = tmp_path / "a.seg"
+        _write(path, _batch(10))
+        assert [p.name for p in tmp_path.iterdir()] == ["a.seg"]
+
+    def test_filename_layout(self):
+        assert segment_filename(3, 17) == "seg-s0003-w00000017.seg"
+        assert segment_filename(0, 0) == "seg-s0000-w00000000.seg"

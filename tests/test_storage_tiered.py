@@ -1,0 +1,413 @@
+"""Tests for repro.storage.tiered — the durable, bounded-memory tier.
+
+Two oracles anchor everything here:
+
+* **Tier invisibility** — a :class:`TieredShardRouter` must resolve
+  every ``(shard, window)`` to bit-identical rows, gids and sketches as
+  a plain in-memory :class:`ShardRouter` fed the same stream, and every
+  query engine built over it must return byte-identical answers — hot
+  or cold, capped or uncapped, sharded or not, pruning on, and through
+  the process-parallel front end.
+* **Durable recovery** — closing and reopening the data directory must
+  reconstruct exactly the same state, including the unsealed tail that
+  only the WAL holds.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import TupleBatch
+from repro.geo.coords import BoundingBox
+from repro.geo.region import RegionGrid
+from repro.query.base import QueryBatch
+from repro.query.pipeline.binding import RouterBinding
+from repro.query.pipeline.parallel import ProcessShardedEngine
+from repro.query.sharded import ShardedQueryEngine
+from repro.storage.segments import SegmentCorrupt
+from repro.storage.shards import ShardRouter
+from repro.storage.tiered import TieredShardRouter
+
+BOUNDS = BoundingBox(0.0, 0.0, 6000.0, 4000.0)
+RADIUS_M = 1500.0
+
+
+def make_stream(n: int, seed: int = 0) -> TupleBatch:
+    rng = np.random.default_rng(seed)
+    return TupleBatch(
+        np.cumsum(rng.uniform(1.0, 30.0, n)),
+        rng.uniform(-500.0, 6500.0, n),  # includes out-of-bounds positions
+        rng.uniform(-500.0, 4500.0, n),
+        rng.uniform(350.0, 600.0, n),
+    )
+
+
+def fill(router, stream: TupleBatch, pieces: int = 5) -> None:
+    step = max(1, len(stream) // pieces)
+    for start in range(0, len(stream), step):
+        router.ingest(stream.slice(start, min(start + step, len(stream))))
+
+
+def make_pair(tmp_path, stream, *, nx=2, ny=2, h=150, cap=None, pieces=5):
+    """A tiered router and a plain router fed the identical batches."""
+    grid = RegionGrid(BOUNDS, nx=nx, ny=ny)
+    tiered = TieredShardRouter(
+        grid, h=h, data_dir=tmp_path / "tier", memory_windows=cap
+    )
+    plain = ShardRouter(grid, h=h)
+    fill(tiered, stream, pieces)
+    fill(plain, stream, pieces)
+    return tiered, plain
+
+
+def assert_same_state(tiered, plain, epochs: bool = True) -> None:
+    """Every protocol surface a plan consults must agree bit-for-bit.
+
+    ``epochs=False`` skips the epoch stamps: they are cache keys, not
+    content, and a recovered router legitimately re-stamps the replayed
+    tail (the sealed stamps stay frozen either way).
+    """
+    assert tiered.n_shards == plain.n_shards
+    assert tiered.global_count() == plain.global_count()
+    assert tiered.shard_counts() == plain.shard_counts()
+    assert tiered.global_window_count() == plain.global_window_count()
+    for s in range(plain.n_shards):
+        assert tiered.cuts(s) == plain.cuts(s)
+    for c in range(plain.global_window_count()):
+        for s in range(plain.n_shards):
+            a, b = tiered.shard_window(s, c), plain.shard_window(s, c)
+            for name in ("t", "x", "y", "s"):
+                assert getattr(a, name).tobytes() == getattr(b, name).tobytes()
+            assert (
+                tiered.shard_window_gids(s, c).tobytes()
+                == plain.shard_window_gids(s, c).tobytes()
+            )
+            assert tiered.shard_window_sketch(s, c) == plain.shard_window_sketch(
+                s, c
+            )
+        if epochs:
+            assert tiered.window_stats(c) == plain.window_stats(c)
+        else:
+            assert [rows for _, rows in tiered.window_stats(c)] == [
+                rows for _, rows in plain.window_stats(c)
+            ]
+
+
+def assert_same_answers(a, b) -> None:
+    assert a.values.tobytes() == b.values.tobytes()
+    np.testing.assert_array_equal(a.answered, b.answered)
+    np.testing.assert_array_equal(a.support, b.support)
+
+
+def probe_queries(stream: TupleBatch, n: int = 80, seed: int = 1) -> QueryBatch:
+    rng = np.random.default_rng(seed)
+    t0, t1 = float(stream.t[0]), float(stream.t[-1])
+    return QueryBatch(
+        rng.uniform(t0, t1, n),
+        rng.uniform(BOUNDS.min_x, BOUNDS.max_x, n),
+        rng.uniform(BOUNDS.min_y, BOUNDS.max_y, n),
+    )
+
+
+class TestProtocolEquivalence:
+    def test_matches_plain_router_bit_for_bit(self, tmp_path):
+        stream = make_stream(2000)
+        tiered, plain = make_pair(tmp_path, stream, h=150, cap=3)
+        with tiered:
+            assert_same_state(tiered, plain)
+            assert tiered.sealed_window_count() == 2000 // 150
+            # Time routing agrees everywhere, including out-of-range times.
+            ts = np.concatenate(
+                [
+                    [stream.t[0] - 100.0, stream.t[-1] + 100.0],
+                    np.linspace(stream.t[0], stream.t[-1], 97),
+                ]
+            )
+            np.testing.assert_array_equal(
+                tiered.windows_for_times(ts), plain.windows_for_times(ts)
+            )
+
+    def test_single_shard(self, tmp_path):
+        stream = make_stream(700, seed=5)
+        tiered, plain = make_pair(tmp_path, stream, nx=1, ny=1, h=100, cap=2)
+        with tiered:
+            assert_same_state(tiered, plain)
+
+    def test_epochs_track_plain_router_live(self, tmp_path):
+        stream = make_stream(900, seed=2)
+        tiered, plain = make_pair(tmp_path, stream, h=120)
+        with tiered:
+            for c in range(plain.global_window_count()):
+                for s in range(plain.n_shards):
+                    assert tiered.shard_window_epoch(
+                        s, c
+                    ) == plain.shard_window_epoch(s, c)
+
+    def test_window_bounds_checked_like_plain(self, tmp_path):
+        tiered = TieredShardRouter(
+            RegionGrid(BOUNDS, nx=2, ny=1), h=50, data_dir=tmp_path / "t"
+        )
+        with tiered:
+            tiered.ingest(make_stream(60))
+            with pytest.raises(ValueError):
+                tiered.shard_window(0, -1)
+            with pytest.raises(IndexError):
+                tiered.shard_window(0, 2)
+
+    def test_empty_router_has_no_time_routing(self, tmp_path):
+        with TieredShardRouter(
+            RegionGrid(BOUNDS, nx=1, ny=1), h=10, data_dir=tmp_path / "t"
+        ) as tiered:
+            with pytest.raises(RuntimeError, match="no data"):
+                tiered.windows_for_times([1.0])
+
+    def test_constructor_validation(self, tmp_path):
+        grid = RegionGrid(BOUNDS, nx=1, ny=1)
+        with pytest.raises(ValueError, match="h must be positive"):
+            TieredShardRouter(grid, h=0, data_dir=tmp_path / "a")
+        with pytest.raises(ValueError, match="memory_windows"):
+            TieredShardRouter(
+                grid, h=10, data_dir=tmp_path / "b", memory_windows=0
+            )
+
+
+class TestDurableRecovery:
+    def test_reopen_recovers_identical_state(self, tmp_path):
+        stream = make_stream(1300, seed=3)
+        tiered, plain = make_pair(tmp_path, stream, h=150, cap=3, pieces=7)
+        tiered.close()
+        # 1300 = 8 * 150 + 100: the last 100 rows exist only in the WAL.
+        with TieredShardRouter.open(tmp_path / "tier", memory_windows=3) as again:
+            assert again.h == 150
+            assert again.sealed_window_count() == 8
+            assert_same_state(again, plain, epochs=False)
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        stream = make_stream(800, seed=4)
+        tiered, plain = make_pair(tmp_path, stream, h=90)
+        tiered.close()
+        for _ in range(3):
+            with TieredShardRouter.open(tmp_path / "tier") as again:
+                assert_same_state(again, plain, epochs=False)
+
+    def test_ingest_continues_after_reopen(self, tmp_path):
+        stream = make_stream(1000, seed=6)
+        grid = RegionGrid(BOUNDS, nx=2, ny=2)
+        first, rest = stream.slice(0, 640), stream.slice(640, 1000)
+        with TieredShardRouter(
+            grid, h=100, data_dir=tmp_path / "tier"
+        ) as tiered:
+            fill(tiered, first, pieces=3)
+        plain = ShardRouter(grid, h=100)
+        plain.ingest(stream)
+        with TieredShardRouter.open(tmp_path / "tier") as again:
+            fill(again, rest, pieces=2)
+            assert again.global_count() == 1000
+            for c in range(plain.global_window_count()):
+                for s in range(4):
+                    assert (
+                        again.shard_window_gids(s, c).tobytes()
+                        == plain.shard_window_gids(s, c).tobytes()
+                    )
+                    assert again.shard_window(s, c).t.tobytes() == plain.shard_window(
+                        s, c
+                    ).t.tobytes()
+
+    def test_open_without_manifest_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no manifest"):
+            TieredShardRouter.open(tmp_path / "nothing")
+
+    def test_wrong_h_rejected(self, tmp_path):
+        grid = RegionGrid(BOUNDS, nx=1, ny=1)
+        TieredShardRouter(grid, h=50, data_dir=tmp_path / "t").close()
+        with pytest.raises(ValueError, match="h=50"):
+            TieredShardRouter(grid, h=60, data_dir=tmp_path / "t")
+
+    def test_wrong_grid_rejected(self, tmp_path):
+        TieredShardRouter(
+            RegionGrid(BOUNDS, nx=2, ny=2), h=50, data_dir=tmp_path / "t"
+        ).close()
+        with pytest.raises(ValueError, match="different region grid"):
+            TieredShardRouter(
+                RegionGrid(BOUNDS, nx=4, ny=1), h=50, data_dir=tmp_path / "t"
+            )
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        TieredShardRouter(
+            RegionGrid(BOUNDS, nx=1, ny=1), h=50, data_dir=tmp_path / "t"
+        ).close()
+        (tmp_path / "t" / "MANIFEST.json").write_text("{not json")
+        with pytest.raises(ValueError, match="corrupt manifest"):
+            TieredShardRouter.open(tmp_path / "t")
+
+    def test_future_manifest_format_rejected(self, tmp_path):
+        TieredShardRouter(
+            RegionGrid(BOUNDS, nx=1, ny=1), h=50, data_dir=tmp_path / "t"
+        ).close()
+        path = tmp_path / "t" / "MANIFEST.json"
+        doc = json.loads(path.read_text())
+        doc["format"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="unsupported manifest format"):
+            TieredShardRouter.open(tmp_path / "t")
+
+
+class TestBoundedResidency:
+    """Satellite: long ingest under a small cap — memory stays bounded and
+    answers are byte-identical to an uncapped, all-resident engine."""
+
+    def test_resident_cap_holds_throughout_ingest_and_queries(self, tmp_path):
+        cap = 4
+        stream = make_stream(6000, seed=7)
+        grid = RegionGrid(BOUNDS, nx=2, ny=2)
+        tiered = TieredShardRouter(
+            grid, h=200, data_dir=tmp_path / "tier", memory_windows=cap
+        )
+        with tiered:
+            step = 500
+            for start in range(0, len(stream), step):
+                tiered.ingest(stream.slice(start, start + step))
+                assert tiered.resident_window_count() <= cap
+            assert tiered.sealed_window_count() == 30
+            stats = tiered.tier_stats()
+            assert stats["peak_resident"] <= cap
+            assert stats["evictions"] > 0
+            assert stats["segments_written"] > 30  # ~one per (shard, window)
+
+            plain = ShardRouter(grid, h=200)
+            for start in range(0, len(stream), step):
+                plain.ingest(stream.slice(start, start + step))
+
+            hot = ShardedQueryEngine(tiered, radius_m=RADIUS_M)
+            cold = ShardedQueryEngine(plain, radius_m=RADIUS_M)
+            try:
+                queries = probe_queries(stream, n=120)
+                assert_same_answers(
+                    hot.continuous_query_batch(queries),
+                    cold.continuous_query_batch(queries),
+                )
+                assert tiered.resident_window_count() <= cap
+                t_probe = float(stream.t[len(stream) // 3])
+                grid_hot = hot.heatmap_grid(t_probe, BOUNDS, nx=8, ny=6)
+                grid_cold = cold.heatmap_grid(t_probe, BOUNDS, nx=8, ny=6)
+                assert grid_hot.tobytes() == grid_cold.tobytes()
+                p_hot = hot.point_query(t_probe, 3000.0, 2000.0)
+                p_cold = cold.point_query(t_probe, 3000.0, 2000.0)
+                assert p_hot.value == p_cold.value
+                assert p_hot.support == p_cold.support
+                assert tiered.resident_window_count() <= cap
+                assert tiered.tier_stats()["peak_resident"] <= cap
+                assert tiered.faults > 0  # cold windows really were faulted in
+            finally:
+                hot.close()
+                cold.close()
+
+    @pytest.mark.parametrize("nx,ny", [(1, 1), (2, 2)])
+    def test_hot_equals_cold_after_recovery(self, tmp_path, nx, ny):
+        """The full oracle chain: capped + recovered == plain in-memory."""
+        stream = make_stream(2400, seed=8)
+        tiered, plain = make_pair(
+            tmp_path, stream, nx=nx, ny=ny, h=160, cap=2, pieces=6
+        )
+        tiered.close()
+        reopened = TieredShardRouter.open(tmp_path / "tier", memory_windows=2)
+        hot = ShardedQueryEngine(reopened, radius_m=RADIUS_M)
+        cold = ShardedQueryEngine(plain, radius_m=RADIUS_M)
+        try:
+            queries = probe_queries(stream, n=90, seed=11)
+            assert_same_answers(
+                hot.continuous_query_batch(queries),
+                cold.continuous_query_batch(queries),
+            )
+            assert reopened.resident_window_count() <= 2
+        finally:
+            hot.close()
+            cold.close()
+            reopened.close()
+
+    def test_process_front_end_falls_back_and_matches(self, tmp_path):
+        """`prefix_exportable = False` routes the process executor to its
+        in-process fallback — answers must still be byte-identical."""
+        stream = make_stream(1500, seed=9)
+        tiered, plain = make_pair(tmp_path, stream, h=150, cap=3)
+        hot = ShardedQueryEngine(tiered, radius_m=RADIUS_M)
+        cold = ShardedQueryEngine(plain, radius_m=RADIUS_M)
+        try:
+            queries = probe_queries(stream, n=40, seed=12)
+            with ProcessShardedEngine(hot, processes=2) as facade:
+                assert_same_answers(
+                    facade.continuous_query_batch(queries),
+                    cold.continuous_query_batch(queries),
+                )
+        finally:
+            hot.close()
+            cold.close()
+            tiered.close()
+
+    def test_pruning_reads_sketches_without_faulting(self, tmp_path):
+        """Scatter pruning consults sealed sketches from resident metadata:
+        probing every sealed sketch via the binding must not fault a
+        single segment in."""
+        stream = make_stream(2000, seed=10)
+        tiered, _ = make_pair(tmp_path, stream, h=100, cap=1)
+        with tiered:
+            # Drain the resident set down to the cap with a full sweep.
+            for c in range(tiered.sealed_window_count()):
+                for s in range(tiered.n_shards):
+                    tiered.shard_window(s, c)
+            faults_before = tiered.faults
+            binding = RouterBinding(tiered)
+            for c in range(tiered.sealed_window_count()):
+                for s in range(tiered.n_shards):
+                    sketch = binding.sketch_for(s, c)
+                    assert sketch == tiered.shard_window_sketch(s, c)
+            assert tiered.faults == faults_before
+
+
+class TestMaintenance:
+    def test_compact_removes_orphans_and_temp_files(self, tmp_path):
+        stream = make_stream(600, seed=13)
+        tiered, _ = make_pair(tmp_path, stream, h=100)
+        with tiered:
+            seg_dir = tmp_path / "tier" / "segments"
+            (seg_dir / "seg-s0099-w00000099.seg").write_bytes(b"orphan")
+            (seg_dir / "leftover.tmp").write_bytes(b"tmp")
+            report = tiered.compact(verify=True)
+            assert report["orphans_removed"] == 1
+            assert report["tmp_removed"] == 1
+            assert report["segments_verified"] == len(
+                [p for p in seg_dir.iterdir() if p.suffix == ".seg"]
+            )
+            assert not (seg_dir / "leftover.tmp").exists()
+
+    def test_compact_verify_detects_segment_corruption(self, tmp_path):
+        stream = make_stream(600, seed=14)
+        tiered, _ = make_pair(tmp_path, stream, h=100)
+        with tiered:
+            seg_dir = tmp_path / "tier" / "segments"
+            victim = sorted(p for p in seg_dir.iterdir() if p.suffix == ".seg")[0]
+            data = bytearray(victim.read_bytes())
+            data[-1] ^= 0xFF
+            victim.write_bytes(bytes(data))
+            with pytest.raises(SegmentCorrupt):
+                tiered.compact(verify=True)
+
+    def test_tier_stats_shape(self, tmp_path):
+        stream = make_stream(500, seed=15)
+        tiered, _ = make_pair(tmp_path, stream, h=100, cap=2)
+        with tiered:
+            stats = tiered.tier_stats()
+            assert set(stats) == {
+                "sealed_windows",
+                "resident_windows",
+                "peak_resident",
+                "memory_windows",
+                "faults",
+                "evictions",
+                "segments_written",
+                "wal_appends",
+                "wal_checkpoints",
+            }
+            assert stats["sealed_windows"] == 5
+            assert stats["memory_windows"] == 2

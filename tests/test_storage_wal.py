@@ -1,0 +1,206 @@
+"""Tests for repro.storage.wal — the append-only write-ahead log.
+
+The WAL's contract is prefix durability: replay returns exactly the
+records of the longest valid prefix, and *any* torn tail — a crash mid
+append, at every possible byte length — is detected and discarded, never
+misparsed.  The truncation test enumerates every byte length of a
+multi-record log and checks replay yields precisely the records that
+fully fit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import TupleBatch
+from repro.storage.wal import WriteAheadLog, replay_wal
+
+_HEADER_SIZE = 20  # <IQII
+
+
+def _batch(n: int, seed: int = 0) -> TupleBatch:
+    rng = np.random.default_rng(seed)
+    return TupleBatch(
+        np.cumsum(rng.uniform(0.5, 5.0, n)),
+        rng.uniform(0.0, 100.0, n),
+        rng.uniform(0.0, 100.0, n),
+        rng.uniform(350.0, 600.0, n),
+    )
+
+
+def _assert_batches_equal(a: TupleBatch, b: TupleBatch) -> None:
+    for name in ("t", "x", "y", "s"):
+        assert getattr(a, name).tobytes() == getattr(b, name).tobytes()
+
+
+class TestAppendReplay:
+    def test_round_trip_multiple_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        batches = [_batch(5, 0), _batch(3, 1), _batch(8, 2)]
+        with WriteAheadLog(path) as wal:
+            row = 0
+            for batch in batches:
+                wal.append(row, batch)
+                row += len(batch)
+            assert wal.appends == 3
+        replay = replay_wal(path)
+        assert not replay.torn
+        assert replay.valid_bytes == path.stat().st_size
+        assert [start for start, _ in replay.records] == [0, 5, 8]
+        assert replay.rows == 16
+        for (_, got), want in zip(replay.records, batches):
+            _assert_batches_equal(got, want)
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        replay = replay_wal(tmp_path / "nope.log")
+        assert replay.records == ()
+        assert replay.rows == 0
+        assert not replay.torn
+
+    def test_empty_file_replays_empty(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"")
+        replay = replay_wal(path)
+        assert replay.records == ()
+        assert not replay.torn
+
+    def test_append_after_close_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.close()
+        with pytest.raises(ValueError, match="closed"):
+            wal.append(0, _batch(1))
+
+    def test_reopen_appends_after_existing_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(0, _batch(4, 0))
+        with WriteAheadLog(path) as wal:
+            wal.append(4, _batch(2, 1))
+        replay = replay_wal(path)
+        assert [start for start, _ in replay.records] == [0, 4]
+        assert replay.rows == 6
+
+
+class TestTornTail:
+    def _log_with_boundaries(self, path):
+        """A 3-record log plus the byte offsets where records end."""
+        batches = [_batch(4, 0), _batch(2, 1), _batch(5, 2)]
+        boundaries = [0]
+        with WriteAheadLog(path) as wal:
+            row = 0
+            for batch in batches:
+                wal.append(row, batch)
+                row += len(batch)
+                boundaries.append(
+                    boundaries[-1] + _HEADER_SIZE + 4 * 8 * len(batch)
+                )
+        assert path.stat().st_size == boundaries[-1]
+        return batches, boundaries
+
+    def test_every_truncation_length_recovers_the_durable_prefix(self, tmp_path):
+        """For every possible torn-tail length, replay returns exactly the
+        records that fully fit, flags the torn remainder, and never
+        raises."""
+        path = tmp_path / "wal.log"
+        batches, boundaries = self._log_with_boundaries(path)
+        pristine = path.read_bytes()
+        for length in range(len(pristine) + 1):
+            path.write_bytes(pristine[:length])
+            replay = replay_wal(path)
+            n_complete = sum(1 for b in boundaries[1:] if b <= length)
+            assert len(replay.records) == n_complete
+            assert replay.valid_bytes == boundaries[n_complete]
+            assert replay.torn == (length > boundaries[n_complete])
+            for (_, got), want in zip(replay.records, batches):
+                _assert_batches_equal(got, want)
+
+    def test_corrupt_payload_ends_the_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _, boundaries = self._log_with_boundaries(path)
+        data = bytearray(path.read_bytes())
+        data[boundaries[1] + _HEADER_SIZE + 3] ^= 0xFF  # record 2's payload
+        path.write_bytes(bytes(data))
+        replay = replay_wal(path)
+        assert len(replay.records) == 1
+        assert replay.valid_bytes == boundaries[1]
+        assert replay.torn
+
+    def test_corrupt_header_ends_the_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        _, boundaries = self._log_with_boundaries(path)
+        data = bytearray(path.read_bytes())
+        data[boundaries[1]] ^= 0xFF  # record 2's magic
+        path.write_bytes(bytes(data))
+        replay = replay_wal(path)
+        assert len(replay.records) == 1
+        assert replay.torn
+
+    def test_gap_in_start_rows_ends_the_replay(self, tmp_path):
+        """A record starting past its predecessor's coverage means records
+        were lost; nothing after the gap can be trusted."""
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(0, _batch(4, 0))
+            wal.append(10, _batch(2, 1))  # rows 4..9 are missing
+        replay = replay_wal(path)
+        assert len(replay.records) == 1
+        assert replay.rows == 4
+        assert replay.torn
+
+    def test_overlapping_start_rows_are_kept(self, tmp_path):
+        """Overlap (a checkpoint/seal race) is legal — the recoverer skips
+        already-covered rows by absolute start_row; replay keeps both."""
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(0, _batch(4, 0))
+            wal.append(2, _batch(3, 1))
+        replay = replay_wal(path)
+        assert [start for start, _ in replay.records] == [0, 2]
+        assert not replay.torn
+
+
+class TestCheckpoint:
+    def test_checkpoint_keeps_only_the_tail(self, tmp_path):
+        path = tmp_path / "wal.log"
+        tail = _batch(3, 9)
+        with WriteAheadLog(path) as wal:
+            wal.append(0, _batch(10, 0))
+            wal.append(10, _batch(10, 1))
+            wal.checkpoint(16, tail)
+            assert wal.checkpoints == 1
+        replay = replay_wal(path)
+        assert len(replay.records) == 1
+        start, got = replay.records[0]
+        assert start == 16
+        _assert_batches_equal(got, tail)
+
+    def test_checkpoint_with_empty_tail_empties_the_log(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(0, _batch(10, 0))
+            wal.checkpoint(10, TupleBatch.empty())
+        assert path.stat().st_size == 0
+        assert replay_wal(path).records == ()
+
+    def test_appends_continue_after_checkpoint(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(0, _batch(10, 0))
+            wal.checkpoint(8, _batch(2, 1))
+            wal.append(10, _batch(4, 2))
+        replay = replay_wal(path)
+        assert [start for start, _ in replay.records] == [8, 10]
+        assert replay.rows == 6
+        assert not replay.torn
+
+    def test_checkpoint_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(0, _batch(5, 0))
+            wal.checkpoint(5, TupleBatch.empty())
+        assert [p.name for p in tmp_path.iterdir()] == ["wal.log"]
+
+    def test_unsynced_mode_still_replays(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path, sync=False) as wal:
+            wal.append(0, _batch(6, 0))
+        assert replay_wal(path).rows == 6
