@@ -145,6 +145,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.processes is not None:
         print("--processes only applies to network mode; add --port", file=sys.stderr)
         return 2
+    if args.subscriptions:
+        print(
+            "--subscriptions only applies to network mode; add --port",
+            file=sys.stderr,
+        )
+        return 2
     if args.data_dir is not None or args.memory_windows is not None:
         print(
             "--data-dir/--memory-windows only apply to network mode; add --port",
@@ -205,6 +211,17 @@ def _serve_network(ds, args) -> int:
     from repro.server.async_server import AsyncQueryServer, EngineQueryService
     from repro.storage.shards import ShardRouter
 
+    # --subscriptions holds back the tail of the dataset so a live
+    # trickle-ingest writer has something to push through the registry.
+    tail = None
+    head = ds.tuples
+    if args.subscriptions:
+        holdback = len(ds.tuples) // 10
+        if holdback:
+            cut = len(ds.tuples) - holdback
+            head = ds.tuples.slice(0, cut)
+            tail = ds.tuples.slice(cut, len(ds.tuples))
+
     if args.data_dir is not None:
         from repro.storage.tiered import TieredShardRouter
 
@@ -221,8 +238,9 @@ def _serve_network(ds, args) -> int:
                 f"({router.sealed_window_count()} sealed window(s)); "
                 f"skipping dataset ingest"
             )
+            tail = None  # durable state is the truth: nothing to trickle
         else:
-            router.ingest(ds.tuples)
+            router.ingest(head)
     else:
         if args.memory_windows is not None:
             print("--memory-windows needs --data-dir", file=sys.stderr)
@@ -230,33 +248,74 @@ def _serve_network(ds, args) -> int:
         router = ShardRouter(
             RegionGrid.for_shard_count(ds.covered_bbox(), args.shards), h=args.h
         )
-        router.ingest(ds.tuples)
+        router.ingest(head)
     engine = ShardedQueryEngine(router)
     backend = (
         ProcessShardedEngine(engine, processes=args.processes)
         if args.processes is not None
         else engine
     )
-    server = AsyncQueryServer(EngineQueryService(backend), port=args.port)
+    subscriptions = None
+    if args.subscriptions:
+        from repro.query.subscriptions import registry_for
+
+        subscriptions = registry_for(backend)
+    server = AsyncQueryServer(
+        EngineQueryService(backend, subscriptions=subscriptions), port=args.port
+    )
+    stop_trickle = None
+    if subscriptions is not None and tail is not None and len(tail.t):
+        stop_trickle = _start_trickle(router, subscriptions, tail)
     mode = (
         f"{args.processes} worker process(es)"
         if args.processes is not None
         else "in-process"
     )
     tier = f", durable tier at {args.data_dir}" if args.data_dir else ""
+    subs = (
+        ", standing subscriptions on /ws"
+        f" ({len(tail.t) if tail is not None else 0} tuple(s) trickling live)"
+        if args.subscriptions
+        else ""
+    )
     print(
         f"serving {router.global_count()} tuples over {args.shards} shard(s), "
-        f"{mode}{tier}; http://127.0.0.1:{args.port} (Ctrl-C to stop)"
+        f"{mode}{tier}{subs}; http://127.0.0.1:{args.port} (Ctrl-C to stop)"
     )
     try:
         asyncio.run(server.serve_forever())
     except KeyboardInterrupt:
         pass
     finally:
+        if stop_trickle is not None:
+            stop_trickle.set()
         backend.close()
         if args.data_dir is not None:
             router.close()
     return 0
+
+
+def _start_trickle(router, registry, tail, interval_s: float = 2.0):
+    """Feed the held-back dataset tail into the store in small batches
+    from a daemon thread, notifying the subscription registry after each
+    one — the free-running ingest writer that makes standing
+    subscriptions move.  Returns the stop event."""
+    import threading
+
+    stop = threading.Event()
+    step = max(1, len(tail.t) // 50)
+
+    def run() -> None:
+        for start in range(0, len(tail.t), step):
+            if stop.wait(interval_s):
+                return
+            router.ingest(tail.slice(start, min(start + step, len(tail.t))))
+            registry.notify_ingest()
+
+    threading.Thread(
+        target=run, daemon=True, name="subscription-trickle"
+    ).start()
+    return stop
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -602,6 +661,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --data-dir: cap on resident sealed (shard, window) "
         "slices; colder ones are evicted and fault back in from their "
         "segment files on demand (default: unbounded)",
+    )
+    p.add_argument(
+        "--subscriptions",
+        action="store_true",
+        help="network mode: accept standing queries over /ws "
+        "({\"mode\": \"subscribe\"} frames, pushed delta updates); holds "
+        "back the last 10%% of the generated dataset and trickle-ingests "
+        "it live so registered routes receive updates (skipped when "
+        "--data-dir recovered existing state)",
     )
     p.set_defaults(func=_cmd_serve)
 

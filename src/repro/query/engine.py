@@ -335,12 +335,16 @@ class QueryEngine:
         policy: ExecutionPolicy = ENGINE_POLICY,
         want_estimates: bool = False,
         prune: Optional[bool] = None,
+        binding: Optional[EngineBinding] = None,
     ) -> ExecutionPlan:
         """Compile a query stream into an execution plan (one op per
         window group) against a freshly pinned snapshot binding.
 
         ``prune`` overrides the engine's zone-map pruning default for
-        this one plan."""
+        this one plan; ``binding`` reuses an externally pinned snapshot
+        (the subscription maintenance path, which must build several
+        plans against one coherent view) instead of pinning a fresh
+        one."""
         if method != "auto" and method not in METHODS:
             raise ValueError(
                 f"unknown method {method!r}; known: {METHODS + ('auto',)}"
@@ -351,7 +355,8 @@ class QueryEngine:
             else QueryBatch.from_queries(queries)
         )
         plan = build_group_plan(
-            self.binding(), batch, method, policy,
+            binding if binding is not None else self.binding(),
+            batch, method, policy,
             planner=self._planner,
             # An auto model-cover verdict's pricing fit seeds the cover
             # cache, so execution never runs the same fit twice.  The

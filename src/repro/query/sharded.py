@@ -231,11 +231,14 @@ class ShardedQueryEngine:
         method: str = "naive",
         want_estimates: bool = False,
         prune: Optional[bool] = None,
+        binding: Optional[RouterBinding] = None,
     ) -> ExecutionPlan:
         """Compile a query stream against a freshly pinned binding.
 
         ``prune`` overrides the engine's scatter-pruning default for
-        this one plan (the benchmark's unpruned baseline path).
+        this one plan (the benchmark's unpruned baseline path);
+        ``binding`` reuses an externally pinned snapshot (the
+        subscription maintenance path) instead of pinning a fresh one.
         """
         if method not in SHARDED_METHODS:
             raise ValueError(
@@ -247,7 +250,7 @@ class ShardedQueryEngine:
             else QueryBatch.from_queries(queries)
         )
         plan = build_sharded_plan(
-            self.binding(),
+            binding if binding is not None else self.binding(),
             batch,
             method,
             self._planner,

@@ -1,0 +1,948 @@
+"""Standing subscriptions with epoch-delta maintenance (Query 1, standing).
+
+The paper's Query 1 is a *standing* continuous query: a mobile object
+registers a route once and receives pollution updates as data streams in
+(Section 2.2).  This module adds that registration layer over every
+query backend the repo already has: a :class:`SubscriptionRegistry`
+holds (route, interval, method) standing queries, answers each once at
+registration, and thereafter delivers *incremental* updates — only the
+query tuples whose answers actually changed, found without re-executing
+the untouched ones.
+
+Maintenance is epoch-driven, in three pruning layers:
+
+1. **Epoch gate** — a maintenance pass against a view whose ingest
+   epoch, window-cut token and row count are unchanged is *quiet*:
+   O(1), no per-subscription work at all.
+2. **Window marks** — every window a subscription's query tuples map to
+   is registered in an inverted index keyed by the window's *content
+   stamp* (the per-window epochs of PR 4).  A pass compares each
+   registered window's current ``(stamp, rows)`` mark against the one
+   recorded when the stored answers were computed; only subscriptions
+   referencing a changed window become candidates — O(distinct
+   registered windows) per non-quiet pass, not O(subscriptions).
+3. **Delta sketches** — for *exact* methods (naive / index scans), the
+   rows appended to a dirty window since its recorded mark are
+   summarised by a :class:`~repro.storage.sketch.WindowSketch` zone map
+   (the PR 7 pruning machinery).  A query tuple whose radius disk
+   provably cannot reach the delta's bounding box kept its answer
+   bit-for-bit (the exact gather is purely spatial within the
+   responsible window, and existing rows never change), so it is
+   skipped without execution.  Model-cover / auto answers depend on the
+   whole window's fit, so any content change re-executes the window's
+   tuples.
+
+Dirty slices re-execute through the existing plan pipeline against one
+pinned snapshot binding — always on the canonical vectorised policy, so
+a maintenance subset's answers are byte-identical to a from-scratch
+re-execution of the full batch (the per-query exact merge and the
+per-point cover evaluation are both independent of which other queries
+share the plan).  The replay-oracle suite in
+``tests/test_subscriptions.py`` enforces exactly that, and
+``benchmarks/bench_subscriptions.py`` gates the quiet-epoch cost.
+
+Window assignment follows the repo's count-window convention
+(:func:`repro.data.windows.windows_for_times` over a time-ordered
+append-only stream): a query tuple's window can only change while it
+maps to the open tail window (or, on the sharded server, while it is
+answered by a nearest-populated *fallback* shard).  Such subscriptions
+are tracked as *unstable* and re-assigned only when the view's
+window-cut token changes — stable subscriptions never pay assignment
+again.
+
+Four backends plug in behind one pinned-view protocol:
+
+* :func:`engine_backend` — an unsharded
+  :class:`~repro.query.engine.QueryEngine` (any method incl. exact);
+* :func:`sharded_engine_backend` — a
+  :class:`~repro.query.sharded.ShardedQueryEngine` (exact whenever no
+  ingest overlaps the pass; under a free-running writer the unpinned
+  mark reads make it eventually consistent, like the sharded server's
+  ``handle_with_epoch``);
+* :func:`server_backend` / :func:`sharded_server_backend` — the
+  EnviroMeter servers (model-cover answers against their pinned
+  storage snapshots).
+
+:func:`registry_for` dispatches any of those targets (including the
+concurrent/process wrappers) to the right backend.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.query.base import QueryBatch
+from repro.query.continuous import uniform_query_tuples, waypoint_trajectory
+from repro.storage.sketch import WindowSketch
+
+__all__ = [
+    "MaintenanceStats",
+    "Subscription",
+    "SubscriptionRegistry",
+    "SubscriptionSpec",
+    "SubscriptionUpdate",
+    "engine_backend",
+    "registry_for",
+    "server_backend",
+    "sharded_engine_backend",
+    "sharded_server_backend",
+]
+
+#: Composite key stride for sharded-server windows: ``key = shard *
+#: _SHARD_STRIDE + window`` (windows comfortably fit 32 bits).
+_SHARD_STRIDE = 1 << 32
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class SubscriptionSpec:
+    """One standing continuous query: a route, a cadence, a method.
+
+    ``route`` follows the web interface's waypoint convention; the
+    query-tuple stream is the uniform-interval stream of Query 1 (same
+    duration convention as :class:`~repro.client.fleet.FleetMember`:
+    ``count * interval_s`` seconds from ``t_start``).  ``method=None``
+    picks the backend's default.
+    """
+
+    route: Tuple[Tuple[float, float], ...]
+    t_start: float
+    interval_s: float = 60.0
+    count: int = 30
+    method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if len(self.route) < 2:
+            raise ValueError("a subscription route needs at least two waypoints")
+        if self.interval_s <= 0:
+            raise ValueError("subscription interval must be positive")
+        if self.count < 1:
+            raise ValueError("a subscription needs at least one query tuple")
+
+    def query_batch(self) -> QueryBatch:
+        """The subscription's uniform query-tuple stream, columnar."""
+        duration = self.count * self.interval_s
+        traj = waypoint_trajectory(
+            [tuple(p) for p in self.route], self.t_start, self.t_start + duration
+        )
+        queries = uniform_query_tuples(
+            traj, self.t_start, self.interval_s, self.count
+        )
+        return QueryBatch.from_queries(queries)
+
+
+@dataclass(frozen=True)
+class SubscriptionUpdate:
+    """One delivered increment of a subscription's answer.
+
+    ``kind`` is ``"initial"`` (the full answer at registration; indices
+    cover every query tuple) or ``"delta"`` (only the positions whose
+    ``(value, support)`` changed).  ``epoch`` and ``rows`` identify the
+    backend state the answers were computed at — ``rows`` is the pinned
+    stream length, which is what lets the replay oracle rebuild the
+    exact ingested prefix and re-derive the same answers from scratch.
+    """
+
+    subscription_id: int
+    seq: int
+    epoch: int
+    rows: int
+    kind: str
+    indices: np.ndarray
+    values: np.ndarray
+    support: np.ndarray
+
+    def to_json(self, queries: Optional[QueryBatch] = None) -> Dict[str, Any]:
+        """JSON-safe dict (NaN values serialise as null); with
+        ``queries`` the changes also carry each tuple's position."""
+        changes = []
+        for k, i in enumerate(self.indices):
+            value = float(self.values[k])
+            change: Dict[str, Any] = {
+                "i": int(i),
+                "value": value if np.isfinite(value) else None,
+                "support": int(self.support[k]),
+            }
+            if queries is not None:
+                change["x"] = float(queries.x[i])
+                change["y"] = float(queries.y[i])
+            changes.append(change)
+        return {
+            "subscription": self.subscription_id,
+            "seq": self.seq,
+            "epoch": self.epoch,
+            "rows": self.rows,
+            "kind": self.kind,
+            "changes": changes,
+        }
+
+
+@dataclass
+class MaintenanceStats:
+    """Cumulative counters of the registry's maintenance work."""
+
+    maintains: int = 0
+    quiet_passes: int = 0
+    keys_checked: int = 0
+    subs_reexecuted: int = 0
+    queries_reexecuted: int = 0
+    queries_skipped_sketch: int = 0
+    updates_delivered: int = 0
+
+
+class Subscription:
+    """Registry-internal state of one standing query (read-only to
+    callers; the registry mutates it under its lock)."""
+
+    __slots__ = (
+        "id",
+        "spec",
+        "method",
+        "exact",
+        "batch",
+        "keys",
+        "values",
+        "support",
+        "seq",
+        "unstable",
+        "pending",
+        "initial",
+    )
+
+    def __init__(
+        self, sub_id: int, spec: SubscriptionSpec, method: str, exact: bool,
+        batch: QueryBatch,
+    ) -> None:
+        self.id = sub_id
+        self.spec = spec
+        self.method = method
+        self.exact = exact
+        self.batch = batch
+        self.keys = np.full(len(batch), -1, dtype=np.int64)
+        self.values = np.full(len(batch), np.nan)
+        self.support = np.zeros(len(batch), dtype=np.int64)
+        self.seq = 0
+        self.unstable = True
+        self.pending: deque = deque()
+        self.initial: Optional[SubscriptionUpdate] = None
+
+    def answer(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Copies of the last delivered ``(values, support)`` arrays."""
+        return self.values.copy(), self.support.copy()
+
+
+# -- pinned backend views ---------------------------------------------------
+#
+# One view per maintenance pass: a coherent pin of the backend's storage
+# (the same snapshot-binding discipline the plan pipeline uses), plus
+# the window bookkeeping maintenance needs.  A view resolves:
+#
+#   epoch        ingest epoch of the pinned state
+#   rows         pinned stream length (the replay oracle's prefix)
+#   token()      window-cut token; unchanged => no query can remap
+#   assign(b)    (window keys, unstable mask) for a query batch
+#   mark(key)    cheap (stamp, rows) mark for change detection
+#   pinned_mark(key)  the exact mark of the *pinned* slice (committed
+#                     after the pass, so a skipped window can never be
+#                     marked past the rows that were actually examined)
+#   delta_sketch(key, prev_mark)  zone map of rows appended since the
+#                     recorded mark (None => treat the window as fully
+#                     dirty)
+#   execute(b, keys, method)  canonical vectorised (values, support)
+
+
+class _EngineView:
+    """Pinned view of an unsharded :class:`QueryEngine`.
+
+    The binding is captured with a seqlock on the engine epoch so the
+    (epoch, binding) pair is coherent even against a free-running
+    refresher.
+    """
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+        while True:
+            e0 = engine.epoch
+            binding = engine.binding()
+            if engine.epoch == e0:
+                break
+        self._binding = binding
+        self.epoch = e0
+        self.rows = binding.stream_rows()
+        self._n_windows = max(1, -(-self.rows // engine.h))
+
+    def token(self):
+        return self._n_windows
+
+    def assign(self, batch: QueryBatch) -> Tuple[np.ndarray, np.ndarray]:
+        keys = self._binding.windows_for_times(batch.t).astype(np.int64)
+        return keys, keys >= self._n_windows - 1
+
+    def mark(self, key: int):
+        stamp, sub, _ = self._binding.slice_for(None, int(key))
+        return (stamp, len(sub))
+
+    def pinned_mark(self, key: int):
+        return self.mark(key)
+
+    def delta_sketch(self, key: int, prev_mark) -> Optional[WindowSketch]:
+        _stamp, sub, _ = self._binding.slice_for(None, int(key))
+        n0 = int(prev_mark[1])
+        if n0 >= len(sub):
+            return WindowSketch.EMPTY
+        return WindowSketch.of(sub.slice(n0, len(sub)))
+
+    def execute(self, batch: QueryBatch, keys: np.ndarray, method: str):
+        from repro.query.pipeline.plan import VECTORISED_POLICY
+
+        plan = self._engine.plan(
+            batch, method, policy=VECTORISED_POLICY, binding=self._binding
+        )
+        result = self._engine.execute(plan)
+        return _result_arrays(result)
+
+
+class _ShardedEngineView:
+    """Pinned view of a :class:`ShardedQueryEngine` (RouterBinding).
+
+    The router binding pins (shard, window) slices lazily and the cheap
+    marks are unpinned reads, so exactness holds whenever no ingest
+    overlaps the pass; a racing writer can at worst delay an update to
+    the next pass (eventual consistency — the same caveat the sharded
+    server documents for ``handle_with_epoch``).
+    """
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+        router = engine.router
+        self._binding = engine.binding()
+        self.epoch = router.epoch
+        self.rows = router.global_count()
+        self._n_windows = router.global_window_count()
+        self._n_shards = router.n_shards
+
+    def token(self):
+        return self._n_windows
+
+    def assign(self, batch: QueryBatch) -> Tuple[np.ndarray, np.ndarray]:
+        n = len(batch)
+        if not self.rows:
+            return np.full(n, -1, dtype=np.int64), np.ones(n, dtype=bool)
+        keys = self._binding.windows_for_times(batch.t).astype(np.int64)
+        return keys, keys >= self._n_windows - 1
+
+    def mark(self, key: int):
+        return tuple(self._binding.peek_window(int(key)))
+
+    def pinned_mark(self, key: int):
+        return tuple(
+            (stamp, len(sub))
+            for stamp, sub, _ in (
+                self._binding.slice_for(s, int(key))
+                for s in range(self._n_shards)
+            )
+        )
+
+    def delta_sketch(self, key: int, prev_mark) -> Optional[WindowSketch]:
+        merged = WindowSketch.EMPTY
+        for s in range(self._n_shards):
+            _stamp, sub, _ = self._binding.slice_for(s, int(key))
+            n0 = int(prev_mark[s][1])
+            if len(sub) > n0:
+                merged = merged.merge(WindowSketch.of(sub.slice(n0, len(sub))))
+        return merged
+
+    def execute(self, batch: QueryBatch, keys: np.ndarray, method: str):
+        plan = self._engine.plan(batch, method, binding=self._binding)
+        result = self._engine.execute(plan)
+        return _result_arrays(result)
+
+
+class _ServerView:
+    """Pinned view of an :class:`EnviroMeterServer` storage snapshot."""
+
+    def __init__(self, server) -> None:
+        self._server = server
+        self._snap = server.snapshot()
+        self.epoch = self._snap.epoch
+        self.rows = len(self._snap)
+        self._h = server.h
+        self._n_windows = max(1, -(-self.rows // self._h))
+
+    def token(self):
+        return self._n_windows
+
+    def assign(self, batch: QueryBatch) -> Tuple[np.ndarray, np.ndarray]:
+        n = len(batch)
+        if not self.rows:
+            return np.full(n, -1, dtype=np.int64), np.ones(n, dtype=bool)
+        keys = self._snap.windows_for_times(batch.t).astype(np.int64)
+        return keys, keys >= self._n_windows - 1
+
+    def mark(self, key: int):
+        c = int(key)
+        if c >= self._n_windows or not self.rows:
+            return (0, 0)
+        return (self._snap.window_epoch(c), len(self._snap.window(c)))
+
+    def pinned_mark(self, key: int):
+        return self.mark(key)
+
+    def delta_sketch(self, key: int, prev_mark) -> Optional[WindowSketch]:
+        return None  # model-cover only: window-level dirtiness
+
+    def execute(self, batch: QueryBatch, keys: np.ndarray, method: str):
+        result = self._server.execute_plan(batch, self._snap)
+        return _result_arrays(result)
+
+
+class _ShardedServerView:
+    """Pinned view of a :class:`ShardedEnviroMeterServer` fleet.
+
+    Pins one storage snapshot per populated shard at construction.  Keys
+    are composite ``shard * 2**32 + window`` over the *resolved* shard —
+    the owner, or the nearest-populated fallback for cold regions.  A
+    fallback-answered query stays unstable (its resolved shard changes
+    the moment its own region gets data), alongside the usual open-tail
+    instability.
+    """
+
+    def __init__(self, server) -> None:
+        self._server = server
+        self.epoch = server.epoch
+        self._h = server.h
+        self._snaps = {
+            s: shard.snapshot()
+            for s, shard in enumerate(server.shards)
+            if shard.has_data()
+        }
+        self.rows = sum(len(snap) for snap in self._snaps.values())
+        self._n_windows = {
+            s: max(1, -(-len(snap) // self._h)) for s, snap in self._snaps.items()
+        }
+
+    def token(self):
+        return (
+            tuple(sorted(self._snaps)),
+            tuple(self._n_windows[s] for s in sorted(self._snaps)),
+        )
+
+    def assign(self, batch: QueryBatch) -> Tuple[np.ndarray, np.ndarray]:
+        n = len(batch)
+        keys = np.full(n, -1, dtype=np.int64)
+        if not self._snaps:
+            return keys, np.ones(n, dtype=bool)
+        owners = self._server.grid.shards_of(batch.x, batch.y)
+        resolved = np.array(
+            [
+                int(s) if int(s) in self._snaps
+                else self._server._shard_index_for(
+                    float(batch.x[i]), float(batch.y[i])
+                )
+                for i, s in enumerate(owners)
+            ],
+            dtype=np.int64,
+        )
+        unstable = resolved != owners
+        for s in np.unique(resolved):
+            s = int(s)
+            snap = self._snaps[s]
+            members = np.flatnonzero(resolved == s)
+            cs = snap.windows_for_times(batch.t[members]).astype(np.int64)
+            keys[members] = s * _SHARD_STRIDE + cs
+            unstable[members] |= cs >= self._n_windows[s] - 1
+        return keys, unstable
+
+    def mark(self, key: int):
+        s, c = divmod(int(key), _SHARD_STRIDE)
+        snap = self._snaps.get(s)
+        if snap is None or c >= self._n_windows[s]:
+            return (0, 0)
+        return (snap.window_epoch(c), len(snap.window(c)))
+
+    def pinned_mark(self, key: int):
+        return self.mark(key)
+
+    def delta_sketch(self, key: int, prev_mark) -> Optional[WindowSketch]:
+        return None  # model-cover only: window-level dirtiness
+
+    def execute(self, batch: QueryBatch, keys: np.ndarray, method: str):
+        values = np.full(len(batch), np.nan)
+        support = np.zeros(len(batch), dtype=np.int64)
+        shards = keys // _SHARD_STRIDE
+        for s in np.unique(shards):
+            s = int(s)
+            members = np.flatnonzero(shards == s)
+            result = self._server.shards[s].execute_plan(
+                batch.take(members), self._snaps[s]
+            )
+            vals, sup = _result_arrays(result)
+            values[members] = vals
+            support[members] = sup
+        return values, support
+
+
+def _result_arrays(result) -> Tuple[np.ndarray, np.ndarray]:
+    """(values, support) with unanswered positions normalised to NaN —
+    the canonical delivered form every diff compares bitwise."""
+    values = np.where(result.answered, result.values, np.nan)
+    return values, np.asarray(result.support, dtype=np.int64).copy()
+
+
+# -- backends ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Backend:
+    """Pluggable backend: how to pin a view, which methods are legal."""
+
+    pin: Callable[[], Any]
+    methods: Tuple[str, ...]
+    default_method: str
+    radius_m: Optional[float]
+    notify: Optional[Callable[[], None]] = None
+
+    def resolve_method(self, method: Optional[str]) -> str:
+        method = method or self.default_method
+        if method not in self.methods:
+            raise ValueError(
+                f"unknown subscription method {method!r}; known: {self.methods}"
+            )
+        return method
+
+    @staticmethod
+    def is_exact(method: str) -> bool:
+        """Exact methods answer from raw window rows, so spatial delta
+        pruning is sound; model-cover/auto answers depend on the whole
+        window's fit (auto's verdict is deterministic per content stamp,
+        so window-level skipping still is)."""
+        return method not in ("model-cover", "auto")
+
+
+def engine_backend(engine) -> _Backend:
+    """Backend over an unsharded :class:`~repro.query.engine.QueryEngine`."""
+    from repro.query.engine import METHODS
+
+    return _Backend(
+        pin=lambda: _EngineView(engine),
+        methods=METHODS + ("auto",),
+        default_method="model-cover",
+        radius_m=engine.radius_m,
+    )
+
+
+def sharded_engine_backend(engine) -> _Backend:
+    """Backend over a :class:`~repro.query.sharded.ShardedQueryEngine`."""
+    from repro.query.sharded import SHARDED_METHODS
+
+    return _Backend(
+        pin=lambda: _ShardedEngineView(engine),
+        methods=SHARDED_METHODS,
+        default_method="naive",
+        radius_m=engine.radius_m,
+    )
+
+
+def server_backend(server) -> _Backend:
+    """Backend over an :class:`~repro.server.server.EnviroMeterServer`."""
+    return _Backend(
+        pin=lambda: _ServerView(server),
+        methods=("model-cover",),
+        default_method="model-cover",
+        radius_m=None,
+    )
+
+
+def sharded_server_backend(server) -> _Backend:
+    """Backend over a :class:`~repro.server.server.ShardedEnviroMeterServer`."""
+    return _Backend(
+        pin=lambda: _ShardedServerView(server),
+        methods=("model-cover",),
+        default_method="model-cover",
+        radius_m=None,
+    )
+
+
+def registry_for(target) -> "SubscriptionRegistry":
+    """A registry over any supported query backend.
+
+    Dispatches engines, servers, and their concurrent/process wrappers
+    (``ConcurrentEnviroMeterServer`` via ``.inner``,
+    ``ProcessShardedEngine`` via ``.engine`` — subscription maintenance
+    always runs against the in-process engine; plan execution for
+    interactive requests keeps whatever wrapper the caller serves from).
+    """
+    from repro.query.engine import QueryEngine
+    from repro.query.sharded import ShardedQueryEngine
+    from repro.server.server import (
+        ConcurrentEnviroMeterServer,
+        EnviroMeterServer,
+        ShardedEnviroMeterServer,
+    )
+
+    if isinstance(target, ConcurrentEnviroMeterServer):
+        target = target.inner
+    if (
+        not isinstance(target, (QueryEngine, ShardedQueryEngine))
+        and isinstance(getattr(target, "engine", None), ShardedQueryEngine)
+    ):
+        target = target.engine  # ProcessShardedEngine and friends
+    if isinstance(target, QueryEngine):
+        return SubscriptionRegistry(engine_backend(target))
+    if isinstance(target, ShardedQueryEngine):
+        return SubscriptionRegistry(sharded_engine_backend(target))
+    if isinstance(target, EnviroMeterServer):
+        return SubscriptionRegistry(server_backend(target))
+    if isinstance(target, ShardedEnviroMeterServer):
+        return SubscriptionRegistry(sharded_server_backend(target))
+    raise TypeError(
+        f"no subscription backend for {type(target).__name__}"
+    )
+
+
+# -- the registry ------------------------------------------------------------
+
+
+class SubscriptionRegistry:
+    """Standing queries over one backend, maintained epoch-delta-wise.
+
+    Thread-safe: registration, maintenance and polling serialise on one
+    lock; :meth:`notify_ingest` (called from writer threads after an
+    ingest) only fires listeners and never blocks on maintenance.
+
+    Invariant: after every :meth:`maintain` (and after the implicit pass
+    :meth:`register` runs before admitting a new subscription), every
+    stored answer is consistent with the pass's pinned view and with the
+    recorded window marks — which is what makes the mark comparison of
+    the *next* pass sound for every subscription at once.
+    """
+
+    def __init__(self, backend: _Backend) -> None:
+        self._backend = backend
+        self._lock = threading.RLock()
+        self._subs: Dict[int, Subscription] = {}
+        self._by_key: Dict[int, Set[int]] = {}
+        self._marks: Dict[int, Any] = {}
+        self._unstable: Set[int] = set()
+        self._ids = itertools.count(1)
+        self._epoch: Optional[int] = None
+        self._token: Any = None
+        self._rows: Optional[int] = None
+        self._stats = MaintenanceStats()
+        self._listeners: List[Callable[[], None]] = []
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def stats(self) -> MaintenanceStats:
+        return self._stats
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def subscription(self, sub_id: int) -> Subscription:
+        with self._lock:
+            try:
+                return self._subs[sub_id]
+            except KeyError:
+                raise KeyError(f"no subscription {sub_id}") from None
+
+    def subscription_ids(self) -> List[int]:
+        with self._lock:
+            return sorted(self._subs)
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, spec: SubscriptionSpec) -> Subscription:
+        """Admit a standing query; its ``initial`` update holds the full
+        answer at the registration view.
+
+        The pass first brings *every existing* subscription current at
+        the same pinned view (their deltas queue as usual), so the new
+        subscription's marks can be recorded against answers that are
+        already consistent with them.
+        """
+        with self._lock:
+            method = self._backend.resolve_method(spec.method)
+            view = self._backend.pin()
+            self._maintain_at(view)
+            sub = Subscription(
+                next(self._ids), spec, method,
+                exact=self._backend.is_exact(method), batch=spec.query_batch(),
+            )
+            self._subs[sub.id] = sub
+            keys, unstable = view.assign(sub.batch)
+            new_keys = self._reindex(sub, keys)
+            sub.unstable = bool(unstable.any())
+            if sub.unstable:
+                self._unstable.add(sub.id)
+            if view.rows:
+                sub.values, sub.support = view.execute(
+                    sub.batch, sub.keys, sub.method
+                )
+            for key in new_keys:
+                self._marks[key] = view.pinned_mark(key)
+            sub.initial = SubscriptionUpdate(
+                subscription_id=sub.id,
+                seq=0,
+                epoch=view.epoch,
+                rows=view.rows,
+                kind="initial",
+                indices=np.arange(len(sub.batch), dtype=np.intp),
+                values=sub.values.copy(),
+                support=sub.support.copy(),
+            )
+            return sub
+
+    def subscribe(
+        self,
+        route: Sequence[Tuple[float, float]],
+        t_start: float,
+        interval_s: float = 60.0,
+        count: int = 30,
+        method: Optional[str] = None,
+    ) -> Subscription:
+        """:meth:`register` from plain route fields (the server API)."""
+        return self.register(
+            SubscriptionSpec(
+                route=tuple((float(x), float(y)) for x, y in route),
+                t_start=float(t_start),
+                interval_s=float(interval_s),
+                count=int(count),
+                method=method,
+            )
+        )
+
+    def unregister(self, sub_id: int) -> None:
+        with self._lock:
+            sub = self._subs.pop(sub_id, None)
+            if sub is None:
+                return
+            self._unstable.discard(sub_id)
+            self._reindex(sub, np.full(len(sub.batch), -1, dtype=np.int64))
+
+    def _reindex(self, sub: Subscription, keys: np.ndarray) -> List[int]:
+        """Move ``sub`` to a new key assignment in the inverted index;
+        returns keys that were not registered by anyone before (their
+        marks must be recorded at the current view by the caller)."""
+        old = {int(k) for k in np.unique(sub.keys) if k >= 0}
+        new = {int(k) for k in np.unique(keys) if k >= 0}
+        # Keys kept across the re-assignment keep their recorded marks:
+        # dropping and re-recording one here would fast-forward it past
+        # positions still holding answers computed at the old mark.
+        for key in old - new:
+            owners = self._by_key.get(key)
+            if owners is not None:
+                owners.discard(sub.id)
+                if not owners:
+                    del self._by_key[key]
+                    self._marks.pop(key, None)
+        new_keys: List[int] = []
+        for key in new - old:
+            owners = self._by_key.setdefault(key, set())
+            if not owners and key not in self._marks:
+                new_keys.append(key)
+            owners.add(sub.id)
+        sub.keys = keys.astype(np.int64, copy=True)
+        return new_keys
+
+    # -- maintenance --------------------------------------------------------
+
+    def maintain(self) -> List[SubscriptionUpdate]:
+        """One epoch-delta maintenance pass against a fresh pinned view.
+
+        Returns the updates delivered this pass (each is also queued on
+        its subscription for :meth:`poll`).  A pass at an unchanged
+        epoch/token/row-count is quiet: O(1)."""
+        with self._lock:
+            return self._maintain_at(self._backend.pin())
+
+    def poll(
+        self, sub_id: int, maintain: bool = True
+    ) -> List[SubscriptionUpdate]:
+        """Drain one subscription's queued updates (optionally running a
+        maintenance pass first — the server poll path)."""
+        with self._lock:
+            if maintain:
+                self._maintain_at(self._backend.pin())
+            sub = self.subscription(sub_id)
+            drained = list(sub.pending)
+            sub.pending.clear()
+            return drained
+
+    def _maintain_at(self, view) -> List[SubscriptionUpdate]:
+        stats = self._stats
+        stats.maintains += 1
+        token = view.token()
+        if (
+            view.epoch == self._epoch
+            and token == self._token
+            and view.rows == self._rows
+        ):
+            stats.quiet_passes += 1
+            return []
+        # 1. Re-assign the unstable subscriptions (only they can remap —
+        #    open-tail times, cold-shard fallbacks, empty-backend waits);
+        #    remapped positions re-execute unconditionally.  Stable
+        #    subscriptions never pay assignment again.
+        forced: Dict[int, np.ndarray] = {}
+        if self._unstable:
+            for sid in list(self._unstable):
+                sub = self._subs[sid]
+                keys, unstable = view.assign(sub.batch)
+                changed = keys != sub.keys
+                if changed.any():
+                    for key in self._reindex(sub, keys):
+                        # Newly referenced windows are marked below from
+                        # the same pinned view the re-execution reads.
+                        self._marks[key] = view.pinned_mark(key)
+                    forced[sid] = changed
+                sub.unstable = bool(unstable.any())
+                if not sub.unstable:
+                    self._unstable.discard(sid)
+        # 2. Mark diff over the registered windows: O(distinct keys).
+        dirty_keys: Dict[int, Any] = {}
+        for key, mark in self._marks.items():
+            stats.keys_checked += 1
+            if view.mark(key) != mark:
+                dirty_keys[key] = mark
+        candidates = set(forced)
+        for key in dirty_keys:
+            candidates |= self._by_key.get(key, set())
+        # 3. Per-candidate dirty mask (delta-sketch pruned for exact
+        #    methods), then one canonical re-execution of the dirty
+        #    subset.
+        updates: List[SubscriptionUpdate] = []
+        delta_cache: Dict[int, Optional[WindowSketch]] = {}
+        for sid in sorted(candidates):
+            sub = self._subs[sid]
+            mask = forced.get(sid)
+            mask = (
+                np.zeros(len(sub.batch), dtype=bool)
+                if mask is None
+                else mask.copy()
+            )
+            for key in np.unique(sub.keys):
+                key = int(key)
+                if key not in dirty_keys:
+                    continue
+                kmask = (sub.keys == key) & ~mask
+                if not kmask.any():
+                    continue
+                if sub.exact and self._backend.radius_m is not None:
+                    delta = delta_cache.get(key, _MISSING)
+                    if delta is _MISSING:
+                        delta = view.delta_sketch(key, dirty_keys[key])
+                        delta_cache[key] = delta
+                    if delta is not None:
+                        idx = np.flatnonzero(kmask)
+                        reach = delta.disk_overlaps(
+                            sub.batch.x[idx],
+                            sub.batch.y[idx],
+                            self._backend.radius_m,
+                        )
+                        stats.queries_skipped_sketch += int((~reach).sum())
+                        kmask = np.zeros_like(mask)
+                        kmask[idx[reach]] = True
+                mask |= kmask
+            update = self._reexecute(view, sub, mask)
+            if update is not None:
+                updates.append(update)
+        # Commit marks from the pinned slices that were actually
+        # examined — never from an unpinned estimate that might run
+        # ahead of them.
+        for key in dirty_keys:
+            if key in self._marks:
+                self._marks[key] = view.pinned_mark(key)
+        self._epoch, self._token, self._rows = view.epoch, token, view.rows
+        return updates
+
+    def _reexecute(
+        self, view, sub: Subscription, mask: np.ndarray
+    ) -> Optional[SubscriptionUpdate]:
+        if not mask.any():
+            return None
+        idx = np.flatnonzero(mask)
+        stats = self._stats
+        stats.subs_reexecuted += 1
+        stats.queries_reexecuted += len(idx)
+        values, support = view.execute(
+            sub.batch.take(idx), sub.keys[idx], sub.method
+        )
+        old_values = sub.values[idx]
+        old_support = sub.support[idx]
+        same = (
+            (old_values == values)
+            | (np.isnan(old_values) & np.isnan(values))
+        ) & (old_support == support)
+        sub.values[idx] = values
+        sub.support[idx] = support
+        changed = idx[~same]
+        if not len(changed):
+            return None
+        sub.seq += 1
+        update = SubscriptionUpdate(
+            subscription_id=sub.id,
+            seq=sub.seq,
+            epoch=view.epoch,
+            rows=view.rows,
+            kind="delta",
+            indices=changed.astype(np.intp),
+            values=sub.values[changed].copy(),
+            support=sub.support[changed].copy(),
+        )
+        sub.pending.append(update)
+        stats.updates_delivered += 1
+        return update
+
+    # -- oracle / bench support ---------------------------------------------
+
+    def reference_answers(
+        self, batch: QueryBatch, method: Optional[str] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """From-scratch canonical answers for a query batch at a fresh
+        pinned view — the baseline the replay oracle and the naive
+        re-execution benchmark compare against (same vectorised path
+        maintenance uses, so equality is bitwise)."""
+        method = self._backend.resolve_method(method)
+        view = self._backend.pin()
+        keys, _unstable = view.assign(batch)
+        if not view.rows:
+            return (
+                np.full(len(batch), np.nan),
+                np.zeros(len(batch), dtype=np.int64),
+            )
+        return view.execute(batch, keys, method)
+
+    # -- push-path bridge ---------------------------------------------------
+
+    def add_listener(self, listener: Callable[[], None]) -> None:
+        """Register an ingest-notification callback (must be cheap and
+        thread-safe — e.g. an ``asyncio`` wake-up scheduled with
+        ``call_soon_threadsafe``)."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[], None]) -> None:
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def notify_ingest(self) -> None:
+        """Tell listeners data arrived.  Called by the owning backend
+        after each ingest; maintenance itself runs in whoever answers
+        the notification (a poller or the WebSocket pusher), never on
+        the ingest thread."""
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener()

@@ -14,9 +14,32 @@ Routes:
   "duration_s"?, "updates"?}``;
 * ``POST /query/heatmap``     — ``{"t", "bounds": [min_x, min_y, max_x,
   max_y], "nx"?, "ny"?}``;
-* ``GET  /ws``                — WebSocket; each text frame is a JSON
+* ``GET  /ws``                — WebSocket; each text message is a JSON
   request ``{"mode": "point" | "continuous" | "heatmap", ...}`` with the
   same fields as the matching POST body, answered by one JSON text frame.
+  Fragmented client messages are reassembled per RFC 6455 (continuation
+  frames, control frames interleaved mid-message) up to ``_MAX_BODY``.
+
+When the service carries a
+:class:`~repro.query.subscriptions.SubscriptionRegistry` (its
+``subscriptions`` attribute), ``/ws`` additionally accepts standing
+queries:
+
+* ``{"mode": "subscribe", "route", "t_start", "interval_s"?,
+  "updates"?, "method"?}`` — registers the route and answers one
+  ``{"mode": "subscribed", "subscription", "seq": 0, "changes": [...]}``
+  frame holding the full initial answer;
+* after each ingest the server pushes ``{"mode": "update", ...}``
+  frames carrying only the changed readings (delta maintenance runs in
+  the executor, never on the event loop or the ingest thread);
+* ``{"mode": "unsubscribe", "subscription": id}`` — stops the pushes.
+
+Request limits (documented contract, enforced with 400s): heatmap
+``nx``/``ny`` at most ``_MAX_GRID_AXIS`` (512) cells per axis,
+``updates`` at most ``_MAX_UPDATES`` (10 000) points per route,
+``duration_s``/``interval_s`` must be positive finite numbers, bodies at
+most ``_MAX_BODY`` bytes, and ``Content-Length`` must be a plain
+non-negative integer.
 
 Concurrency model: the event loop only parses frames and routes; every
 query runs in the default thread-pool executor
@@ -59,6 +82,12 @@ from repro.query.base import QueryBatch
 _WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
 _MAX_HEADER = 16 * 1024
 _MAX_BODY = 4 * 1024 * 1024
+# Request limits: a heatmap allocates nx*ny float64 cells and a
+# continuous query evaluates one tuple per update, so both are capped
+# well below anything that could balloon server memory.  Documented in
+# docs/architecture.md ("Request limits").
+_MAX_GRID_AXIS = 512
+_MAX_UPDATES = 10_000
 
 __all__ = [
     "AsyncQueryServer",
@@ -91,10 +120,26 @@ def _number(params: Dict[str, Any], key: str) -> float:
     return float(value)
 
 
-def _optional_int(params: Dict[str, Any], key: str, default: int) -> int:
+def _positive_number(params: Dict[str, Any], key: str, default: float) -> float:
+    value = params.get(key, default)
+    if (
+        not isinstance(value, (int, float))
+        or isinstance(value, bool)
+        or not math.isfinite(value)
+        or value <= 0
+    ):
+        raise HttpError(400, f"field {key!r} must be a positive number")
+    return float(value)
+
+
+def _optional_int(
+    params: Dict[str, Any], key: str, default: int, maximum: int
+) -> int:
     value = params.get(key, default)
     if not isinstance(value, int) or isinstance(value, bool) or value < 1:
         raise HttpError(400, f"field {key!r} must be a positive integer")
+    if value > maximum:
+        raise HttpError(400, f"field {key!r} must be at most {maximum}")
     return value
 
 
@@ -128,12 +173,18 @@ def _bounds(params: Dict[str, Any]) -> BoundingBox:
 
 
 class WebAppService:
-    """The three modes served by an in-process ``WebInterface``."""
+    """The three modes served by an in-process ``WebInterface``.
+
+    ``subscriptions`` optionally carries a
+    :class:`~repro.query.subscriptions.SubscriptionRegistry` over the
+    same backend, enabling ``{"mode": "subscribe"}`` on ``/ws``.
+    """
 
     modes = ("point", "continuous", "heatmap")
 
-    def __init__(self, web) -> None:
+    def __init__(self, web, subscriptions=None) -> None:
         self.web = web
+        self.subscriptions = subscriptions
 
     def point(self, params: Dict[str, Any]) -> Dict[str, Any]:
         reading = self.web.point_query(
@@ -151,8 +202,8 @@ class WebAppService:
         readings = self.web.continuous_query(
             _route(params),
             t_start=_number(params, "t_start"),
-            duration_s=float(params.get("duration_s", 1800.0)),
-            updates=_optional_int(params, "updates", 30),
+            duration_s=_positive_number(params, "duration_s", 1800.0),
+            updates=_optional_int(params, "updates", 30, _MAX_UPDATES),
         )
         return {
             "mode": "continuous",
@@ -169,8 +220,8 @@ class WebAppService:
 
     def heatmap(self, params: Dict[str, Any]) -> Dict[str, Any]:
         bounds = _bounds(params)
-        nx = _optional_int(params, "nx", 40)
-        ny = _optional_int(params, "ny", 30)
+        nx = _optional_int(params, "nx", 40, _MAX_GRID_AXIS)
+        ny = _optional_int(params, "ny", 30, _MAX_GRID_AXIS)
         hm = self.web.heatmap(_number(params, "t"), bounds, nx=nx, ny=ny)
         markers = self.web.centroid_markers(_number(params, "t"))
         return {
@@ -197,9 +248,10 @@ class EngineQueryService:
 
     modes = ("point", "continuous", "heatmap")
 
-    def __init__(self, engine, method: str = "naive") -> None:
+    def __init__(self, engine, method: str = "naive", subscriptions=None) -> None:
         self.engine = engine
         self.method = method
+        self.subscriptions = subscriptions
 
     def point(self, params: Dict[str, Any]) -> Dict[str, Any]:
         result = self.engine.point_query(
@@ -222,8 +274,8 @@ class EngineQueryService:
 
         route = _route(params)
         t_start = _number(params, "t_start")
-        duration_s = float(params.get("duration_s", 1800.0))
-        updates = _optional_int(params, "updates", 30)
+        duration_s = _positive_number(params, "duration_s", 1800.0)
+        updates = _optional_int(params, "updates", 30, _MAX_UPDATES)
         traj = waypoint_trajectory(route, t_start, t_start + duration_s)
         interval = duration_s / max(updates - 1, 1)
         queries = uniform_query_tuples(traj, t_start, interval, updates)
@@ -245,8 +297,8 @@ class EngineQueryService:
 
     def heatmap(self, params: Dict[str, Any]) -> Dict[str, Any]:
         bounds = _bounds(params)
-        nx = _optional_int(params, "nx", 40)
-        ny = _optional_int(params, "ny", 30)
+        nx = _optional_int(params, "nx", 40, _MAX_GRID_AXIS)
+        ny = _optional_int(params, "ny", 30, _MAX_GRID_AXIS)
         grid = self.engine.heatmap_grid(
             _number(params, "t"), bounds, nx=nx, ny=ny, method=self.method
         )
@@ -327,7 +379,18 @@ class AsyncQueryServer:
                     await self._serve_websocket(reader, writer, headers)
                     return
                 body = b""
-                length = int(headers.get("content-length", "0") or "0")
+                raw_length = headers.get("content-length", "").strip() or "0"
+                # int() is looser than the RFC (accepts "+1", "1_0",
+                # unicode digits): require plain ASCII digits.
+                if not (raw_length.isascii() and raw_length.isdigit()):
+                    await self._respond(
+                        writer,
+                        400,
+                        {"error": "invalid Content-Length header"},
+                        close=True,
+                    )
+                    return
+                length = int(raw_length)
                 if length:
                     if length > _MAX_BODY:
                         await self._respond(
@@ -369,6 +432,8 @@ class AsyncQueryServer:
                 return 200, {
                     "status": "ok",
                     "modes": list(getattr(self.service, "modes", ())),
+                    "subscriptions": getattr(self.service, "subscriptions", None)
+                    is not None,
                 }
             if method == "POST" and path.startswith("/query/"):
                 mode = path[len("/query/") :]
@@ -425,38 +490,105 @@ class AsyncQueryServer:
             ).encode("latin-1")
         )
         await writer.drain()
-        while True:
-            try:
-                opcode, payload = await self._read_frame(reader)
-            except (asyncio.IncompleteReadError, ConnectionError, ValueError):
-                return
-            if opcode == 0x8:  # close
-                await self._send_frame(writer, 0x8, payload[:2])
-                return
-            if opcode == 0x9:  # ping
-                await self._send_frame(writer, 0xA, payload)
-                continue
-            if opcode != 0x1:  # only text frames carry requests
-                continue
-            reply = await self._ws_reply(payload)
-            await self._send_frame(
-                writer, 0x1, json.dumps(reply).encode("utf-8")
-            )
+        send_lock = asyncio.Lock()
+        session = _WsSubscriptionSession(self, writer, send_lock)
+        try:
+            while True:
+                try:
+                    message = await self._read_message(reader, writer, send_lock)
+                except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+                    return
+                if message is None:  # peer sent close
+                    return
+                reply = await self._ws_reply(message, session)
+                await self._send_text(writer, send_lock, reply)
+        finally:
+            await session.close()
 
-    async def _ws_reply(self, payload: bytes) -> Dict[str, Any]:
+    async def _ws_reply(
+        self, payload: bytes, session: "_WsSubscriptionSession"
+    ) -> Dict[str, Any]:
         try:
             request = json.loads(payload.decode("utf-8"))
             if not isinstance(request, dict) or "mode" not in request:
                 raise HttpError(400, "frame must be a JSON object with 'mode'")
-            return await self._answer(str(request["mode"]), request)
+            mode = str(request["mode"])
+            if mode == "subscribe":
+                return await session.subscribe(request)
+            if mode == "unsubscribe":
+                return await session.unsubscribe(request)
+            return await self._answer(mode, request)
         except HttpError as exc:
             return {"error": exc.message}
         except Exception as exc:  # noqa: BLE001
             return {"error": f"{type(exc).__name__}: {exc}"}
 
+    async def _read_message(
+        self, reader, writer, send_lock: asyncio.Lock
+    ) -> Optional[bytes]:
+        """Read one complete text message, reassembling fragments.
+
+        RFC 6455 §5.4: a message is one non-FIN data frame followed by
+        continuation frames (opcode 0x0) until a FIN; control frames may
+        interleave mid-message but may not themselves be fragmented.
+        Returns the reassembled text payload, ``None`` when the peer
+        closes, skips complete binary messages, and raises
+        :class:`ValueError` on protocol violations (the caller drops the
+        connection, as before).
+        """
+        in_progress: Optional[int] = None  # opcode of the open message
+        parts: List[bytes] = []
+        total = 0
+        while True:
+            fin, opcode, payload = await self._read_frame(reader)
+            if opcode >= 0x8:
+                # Control frames: never fragmented, payload <= 125.
+                if not fin or len(payload) > 125:
+                    raise ValueError("malformed control frame")
+                if opcode == 0x8:  # close
+                    async with send_lock:
+                        await self._send_frame(writer, 0x8, payload[:2])
+                    return None
+                if opcode == 0x9:  # ping
+                    async with send_lock:
+                        await self._send_frame(writer, 0xA, payload)
+                    continue
+                if opcode == 0xA:  # unsolicited pong
+                    continue
+                raise ValueError(f"unknown control opcode {opcode:#x}")
+            if opcode in (0x1, 0x2):
+                if in_progress is not None:
+                    raise ValueError("data frame inside a fragmented message")
+                if fin:
+                    if opcode == 0x1:
+                        return payload
+                    continue  # complete binary message: not a request
+                in_progress = opcode
+                parts = [payload]
+                total = len(payload)
+            elif opcode == 0x0:
+                if in_progress is None:
+                    raise ValueError("continuation frame with no message open")
+                parts.append(payload)
+                total += len(payload)
+                if fin:
+                    message = b"".join(parts)
+                    kind, in_progress, parts, total = in_progress, None, [], 0
+                    if kind == 0x1:
+                        return message
+                    continue  # reassembled binary message: skipped
+            else:
+                raise ValueError(f"unsupported opcode {opcode:#x}")
+            if total > _MAX_BODY:
+                raise ValueError("message too large")
+
     @staticmethod
-    async def _read_frame(reader) -> Tuple[int, bytes]:
+    async def _read_frame(reader) -> Tuple[bool, int, bytes]:
         b0, b1 = await reader.readexactly(2)
+        fin = bool(b0 & 0x80)
+        if b0 & 0x70:
+            # No extension negotiated, so RSV1-3 must be zero (§5.2).
+            raise ValueError("reserved bits set")
         opcode = b0 & 0x0F
         masked = bool(b1 & 0x80)
         length = b1 & 0x7F
@@ -473,7 +605,15 @@ class AsyncQueryServer:
         data = bytearray(await reader.readexactly(length))
         for i in range(length):
             data[i] ^= mask[i % 4]
-        return opcode, bytes(data)
+        return fin, opcode, bytes(data)
+
+    async def _send_text(
+        self, writer, send_lock: asyncio.Lock, payload: Dict[str, Any]
+    ) -> None:
+        async with send_lock:
+            await self._send_frame(
+                writer, 0x1, json.dumps(payload).encode("utf-8")
+            )
 
     @staticmethod
     async def _send_frame(writer, opcode: int, payload: bytes) -> None:
@@ -487,6 +627,115 @@ class AsyncQueryServer:
             head += bytes([127]) + struct.pack(">Q", n)
         writer.write(head + payload)
         await writer.drain()
+
+
+class _WsSubscriptionSession:
+    """Standing-subscription state for one ``/ws`` connection.
+
+    The ingest-hook → asyncio bridge: the registry's ingest listener
+    sets an :class:`asyncio.Event` via ``call_soon_threadsafe``; the
+    pusher task answers it by running one delta-maintenance pass in the
+    executor (never on the event loop) and pushing each owned
+    subscription's queued updates as ``{"mode": "update"}`` text frames
+    under the connection's send lock, so pushes interleave safely with
+    request replies and pongs.
+    """
+
+    def __init__(
+        self, server: AsyncQueryServer, writer, send_lock: asyncio.Lock
+    ) -> None:
+        self._server = server
+        self._writer = writer
+        self._send_lock = send_lock
+        self._registry = getattr(server.service, "subscriptions", None)
+        self._owned: Dict[int, Any] = {}  # sub id -> Subscription
+        self._wake = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        self._listener = None
+        self._pusher: Optional[asyncio.Task] = None
+
+    async def subscribe(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self._registry is None:
+            raise HttpError(
+                400, "subscriptions are not enabled on this backend"
+            )
+        route = _route(request)
+        t_start = _number(request, "t_start")
+        interval_s = _positive_number(request, "interval_s", 60.0)
+        count = _optional_int(request, "updates", 30, _MAX_UPDATES)
+        method = request.get("method")
+        if method is not None and not isinstance(method, str):
+            raise HttpError(400, "field 'method' must be a string")
+        registry = self._registry
+        try:
+            sub = await self._loop.run_in_executor(
+                None,
+                lambda: registry.subscribe(
+                    route,
+                    t_start,
+                    interval_s=interval_s,
+                    count=count,
+                    method=method,
+                ),
+            )
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
+        self._owned[sub.id] = sub
+        self._ensure_pusher()
+        reply: Dict[str, Any] = {"mode": "subscribed"}
+        reply.update(sub.initial.to_json(queries=sub.batch))
+        return reply
+
+    async def unsubscribe(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        sub_id = request.get("subscription")
+        if not isinstance(sub_id, int) or isinstance(sub_id, bool):
+            raise HttpError(400, "field 'subscription' must be an integer id")
+        sub = self._owned.pop(sub_id, None)
+        if sub is None:
+            raise HttpError(400, f"unknown subscription {sub_id}")
+        self._registry.unregister(sub_id)
+        return {"mode": "unsubscribed", "subscription": sub_id}
+
+    def _ensure_pusher(self) -> None:
+        if self._pusher is None:
+            loop = self._loop
+            wake = self._wake
+            self._listener = lambda: loop.call_soon_threadsafe(wake.set)
+            self._registry.add_listener(self._listener)
+            self._pusher = loop.create_task(self._push_loop())
+
+    async def _push_loop(self) -> None:
+        try:
+            while True:
+                await self._wake.wait()
+                self._wake.clear()
+                await self._loop.run_in_executor(
+                    None, self._registry.maintain
+                )
+                for sub_id, sub in list(self._owned.items()):
+                    for update in self._registry.poll(sub_id, maintain=False):
+                        frame: Dict[str, Any] = {"mode": "update"}
+                        frame.update(update.to_json(queries=sub.batch))
+                        await self._server._send_text(
+                            self._writer, self._send_lock, frame
+                        )
+        except (ConnectionError, OSError):
+            pass  # client went away; close() tears the rest down
+
+    async def close(self) -> None:
+        if self._pusher is not None:
+            self._pusher.cancel()
+            try:
+                await self._pusher
+            except asyncio.CancelledError:
+                pass
+            self._pusher = None
+        if self._listener is not None:
+            self._registry.remove_listener(self._listener)
+            self._listener = None
+        for sub_id in list(self._owned):
+            del self._owned[sub_id]
+            self._registry.unregister(sub_id)
 
 
 class BackgroundServer:

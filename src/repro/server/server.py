@@ -112,6 +112,7 @@ class EnviroMeterServer:
         self._covers = ProcessorCache(DEFAULT_COVER_CACHE_CAPACITY)
         self._served_covers = 0
         self._served_values = 0
+        self._subscriptions = None
 
     # -- ingestion ----------------------------------------------------------
 
@@ -129,6 +130,8 @@ class EnviroMeterServer:
             n = self.db.ingest_tuples(batch)
             self._builder.invalidate_many(self.db.last_touched_windows)
             self._snapshot = self.db.snapshot()
+        if n and self._subscriptions is not None:
+            self._subscriptions.notify_ingest()
         return n
 
     def snapshot(self) -> StorageSnapshot:
@@ -311,6 +314,38 @@ class EnviroMeterServer:
             self._served_covers += 1
         return ModelCoverResponse(blob=cover.to_blob())
 
+    # -- standing subscriptions ----------------------------------------------
+
+    @property
+    def subscriptions(self):
+        """The server's lazily created
+        :class:`~repro.query.subscriptions.SubscriptionRegistry` (ingest
+        notifies it so pollers and push bridges wake up)."""
+        if self._subscriptions is None:
+            from repro.query.subscriptions import registry_for
+
+            self._subscriptions = registry_for(self)
+        return self._subscriptions
+
+    def subscribe(
+        self,
+        route,
+        t_start: float,
+        interval_s: float = 60.0,
+        count: int = 30,
+    ):
+        """Register a standing continuous query (model-cover answers);
+        returns the :class:`~repro.query.subscriptions.Subscription`,
+        whose ``initial`` update holds the full answer at registration."""
+        return self.subscriptions.subscribe(
+            route, t_start, interval_s=interval_s, count=count
+        )
+
+    def poll_updates(self, sub_id: int, maintain: bool = True):
+        """Drain a subscription's queued delta updates, running one
+        epoch-delta maintenance pass first by default."""
+        return self.subscriptions.poll(sub_id, maintain=maintain)
+
     # -- introspection -------------------------------------------------------------
 
     @property
@@ -397,6 +432,7 @@ class ShardedEnviroMeterServer:
         self._executor = BatchExecutor(max_workers=max_workers)
         self._ingest_lock = threading.Lock()
         self._epoch = 0
+        self._subscriptions = None
 
     @property
     def n_shards(self) -> int:
@@ -436,7 +472,40 @@ class ShardedEnviroMeterServer:
                 lambda part: self.shards[part[0]].ingest(part[1]), parts
             )
             self._epoch += 1
+        if self._subscriptions is not None:
+            self._subscriptions.notify_ingest()
         return sum(delivered)
+
+    # -- standing subscriptions ----------------------------------------------
+
+    @property
+    def subscriptions(self):
+        """The fleet-wide subscription registry (see
+        :attr:`EnviroMeterServer.subscriptions`); maintenance pins one
+        storage snapshot per populated shard, and cold-region
+        subscriptions follow the nearest-populated fallback until their
+        own region gets data."""
+        if self._subscriptions is None:
+            from repro.query.subscriptions import registry_for
+
+            self._subscriptions = registry_for(self)
+        return self._subscriptions
+
+    def subscribe(
+        self,
+        route,
+        t_start: float,
+        interval_s: float = 60.0,
+        count: int = 30,
+    ):
+        """Register a standing continuous query against the fleet."""
+        return self.subscriptions.subscribe(
+            route, t_start, interval_s=interval_s, count=count
+        )
+
+    def poll_updates(self, sub_id: int, maintain: bool = True):
+        """Drain a subscription's queued delta updates."""
+        return self.subscriptions.poll(sub_id, maintain=maintain)
 
     # -- request dispatch ----------------------------------------------------
 
@@ -635,6 +704,26 @@ class ConcurrentEnviroMeterServer:
             epochs[pos : pos + len(chunk)] = epoch
             pos += len(chunk)
         return responses, epochs
+
+    # -- standing subscriptions (delegated to the inner server) ---------------
+
+    @property
+    def subscriptions(self):
+        return self.inner.subscriptions
+
+    def subscribe(
+        self,
+        route,
+        t_start: float,
+        interval_s: float = 60.0,
+        count: int = 30,
+    ):
+        return self.inner.subscribe(
+            route, t_start, interval_s=interval_s, count=count
+        )
+
+    def poll_updates(self, sub_id: int, maintain: bool = True):
+        return self.inner.poll_updates(sub_id, maintain=maintain)
 
     # -- introspection (replay-stats interface) ------------------------------
 

@@ -143,6 +143,10 @@ def _run_sharded(m, ds, bm):
     m.bench_sharded_heatmap(bm, ds, n_shards=2)
 
 
+def _run_subscriptions(m, ds, bm):
+    m.bench_quiet_epoch_maintain(bm, ds, n_subs=4)
+
+
 def _run_tiered(m, ds, bm):
     m.bench_tiered_hot_window(bm, ds, replicas=2)
 
@@ -164,6 +168,7 @@ SMOKE_RUNNERS = {
     "bench_process_parallel": _run_process_parallel,
     "bench_scatter_pruning": _run_scatter_pruning,
     "bench_sharded": _run_sharded,
+    "bench_subscriptions": _run_subscriptions,
     "bench_tiered": _run_tiered,
 }
 

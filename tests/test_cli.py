@@ -111,3 +111,16 @@ class TestExplain:
         out = capsys.readouterr().out
         assert "plan: method=auto" in out
         assert "/s" in out  # per-shard contexts rendered
+
+
+class TestServeSubscriptions:
+    def test_subscriptions_require_network_mode(self, capsys):
+        rc = main(["serve", "--days", "1", "--subscriptions"])
+        assert rc == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_parser_accepts_flag(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--subscriptions"]
+        )
+        assert args.subscriptions

@@ -150,3 +150,45 @@ class TestRegionalFleet:
         # Shard-local traffic: every member is answered, and the request
         # volume aggregates across the per-region servers.
         assert report.server_covers_served == server.served_covers
+
+
+class TestSubscriptionFleet:
+    def test_run_subscriptions_delivers_and_prunes(self, small_batch, t_start):
+        import numpy as np
+
+        cut = int(0.8 * len(small_batch))
+        srv = EnviroMeterServer(h=240)
+        srv.ingest(small_batch.slice(0, cut))
+        members = [
+            member("tail-rider", n_queries=10),
+            member("side-rider", n_queries=10),
+        ]
+        t_tail = float(small_batch.t[cut - 1])
+        sim = FleetSimulator(srv)
+        step = (len(small_batch) - cut + 2) // 3
+        batches = [
+            small_batch.slice(lo, min(lo + step, len(small_batch)))
+            for lo in range(cut, len(small_batch), step)
+        ]
+        report = sim.run_subscriptions(
+            members, t_tail, ingest_batches=batches
+        )
+        assert {m.name for m in report.members} == {"tail-rider", "side-rider"}
+        assert report.maintenance_passes >= len(batches)
+        # Delta maintenance re-executes at most the dirty slices, never
+        # the naive every-member-every-poll total.
+        naive_total = len(batches) * sum(m.n_queries for m in members)
+        assert report.queries_reexecuted < naive_total
+        for m in report.members:
+            sub = srv.subscriptions.subscription(m.subscription_id)
+            ref_v, ref_s = srv.subscriptions.reference_answers(
+                sub.batch, sub.method
+            )
+            v, s = sub.answer()
+            assert np.array_equal(v, ref_v, equal_nan=True)
+            assert np.array_equal(s, ref_s)
+
+    def test_run_subscriptions_rejects_duplicate_names(self, server, t_start):
+        sim = FleetSimulator(server)
+        with pytest.raises(ValueError):
+            sim.run_subscriptions([member("a"), member("a")], t_start)
