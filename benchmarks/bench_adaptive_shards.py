@@ -1,0 +1,371 @@
+"""Adaptive shard management versus a static grid under skewed traffic.
+
+Not a paper figure — this measures the adaptive layer added on top of
+region sharding (``repro/storage/rebalance.py``): a Zipf-skewed
+"downtown" mix of ingest and disk queries against a 36-cell (6x6) grid,
+answered twice from identically-ingested stores:
+
+* **static** — the plain :class:`~repro.geo.region.RegionGrid` layout:
+  the downtown cell's shard holds most of the city's rows, so most
+  queries scan one huge slice while 35 shards idle;
+* **adaptive** — the same router after the
+  :class:`~repro.storage.rebalance.ShardRebalancer` has watched the
+  load tracker and acted: hot cells split into sub-tiles (smaller
+  scans, tighter zone-map sketches), still-hot sub-tiles get read
+  replicas (one scan fanned over pool threads).
+
+Answers are byte-identical by construction — a re-cut moves rows
+between slots without touching the global stream, and the exact gather
+is canonical in stream position — and the oracle enforces it on every
+run, *under a free-running ingest writer*: a plan pinned before the
+rebalance must keep answering with exactly its pinned bytes through a
+split, a replica-split plan, and the re-merge, while fresh plans agree
+with a never-rebalanced router holding the same stream.
+
+Run standalone for the headline numbers::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive_shards.py
+
+which also checks the acceptance bar: adaptive p50 scatter latency at
+least 2x better than the static grid on the skewed mix.  ``--smoke``
+shrinks the workload for CI and lowers the bar to 1.3x.  Either mode
+writes the machine-readable ``BENCH_adaptive_shards.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.tuples import TupleBatch
+from repro.geo.coords import BoundingBox
+from repro.geo.region import RegionGrid
+from repro.query.base import QueryBatch
+from repro.query.sharded import ShardedQueryEngine
+from repro.storage.rebalance import ShardRebalancer
+from repro.storage.shards import ShardRouter
+
+try:  # pytest / smoke-test import (repo root on sys.path)
+    from benchmarks.conftest import rng_for, shard_histogram, write_bench_json
+except ImportError:  # standalone: python benchmarks/bench_adaptive_shards.py
+    from conftest import rng_for, shard_histogram, write_bench_json
+
+GRID_NX, GRID_NY = 6, 6  # the paper-style 36-cell city grid
+N_SHARDS = GRID_NX * GRID_NY
+BOUNDS = BoundingBox(0.0, 0.0, 6000.0, 6000.0)
+ZIPF_EXPONENT = 2.5  # cell-popularity skew; rank 1 ("downtown") ~ 75 %
+N_TUPLES = 60_000
+ORACLE_WINDOWS = 8  # the identity oracle exercises real window cuts
+RADIUS_M = 120.0
+N_BATCHES = 30  # latency sample size (p50 over per-batch times)
+BATCH_QUERIES = 150
+WORKERS = 4
+ACCEPT_SPEEDUP = 2.0
+ACCEPT_SPEEDUP_SMOKE = 1.3
+
+
+def zipf_cell_weights(rng: np.random.Generator) -> np.ndarray:
+    """Zipf popularity over the 36 cells, downtown pinned to the centre.
+
+    The rank-1 cell is the one containing the city centre (that is what
+    "downtown" means here); the remaining ranks are shuffled across the
+    other cells so the skew is spatially irregular, like a real city.
+    """
+    ranks = np.arange(1, N_SHARDS + 1, dtype=np.float64)
+    weights = ranks ** -ZIPF_EXPONENT
+    weights /= weights.sum()
+    centre = (GRID_NY // 2) * GRID_NX + GRID_NX // 2
+    order = np.concatenate(
+        ([centre], rng.permutation([k for k in range(N_SHARDS) if k != centre]))
+    )
+    out = np.empty(N_SHARDS)
+    out[order] = weights
+    return out
+
+
+def _cell_points(rng, cells: np.ndarray):
+    """Uniform positions inside each query/tuple's Zipf-chosen cell."""
+    cw, ch = BOUNDS.width / GRID_NX, BOUNDS.height / GRID_NY
+    ix, iy = cells % GRID_NX, cells // GRID_NX
+    x = BOUNDS.min_x + (ix + rng.random(len(cells))) * cw
+    y = BOUNDS.min_y + (iy + rng.random(len(cells))) * ch
+    return x, y
+
+
+def downtown_stream(n_tuples: int, label: str) -> TupleBatch:
+    """The skewed ingest stream: Zipf cells, time-ordered."""
+    rng = rng_for(label)
+    weights = zipf_cell_weights(rng_for(label + ":cells"))
+    cells = rng.choice(N_SHARDS, size=n_tuples, p=weights)
+    x, y = _cell_points(rng, cells)
+    return TupleBatch(
+        np.arange(n_tuples, dtype=np.float64),  # 1 Hz city feed
+        x, y, rng.uniform(10.0, 80.0, n_tuples),
+    )
+
+
+def downtown_queries(n_queries: int, t_lo: float, t_hi: float, label: str) -> QueryBatch:
+    """Disk queries drawn from the same Zipf cell mix as the stream."""
+    rng = rng_for(label)
+    weights = zipf_cell_weights(rng_for(label.split("#")[0] + ":qcells"))
+    cells = rng.choice(N_SHARDS, size=n_queries, p=weights)
+    x, y = _cell_points(rng, cells)
+    return QueryBatch(rng.uniform(t_lo, t_hi, n_queries), x, y)
+
+
+def city_engine(
+    n_tuples: int, stream: TupleBatch | None = None, windows: int = 1
+) -> ShardedQueryEngine:
+    """Router + engine over the 6x6 grid, h cut for ``windows`` global
+    windows.  The latency phase uses one day-scale window (scan cost —
+    the term adaptivity attacks — dominates, as in ``bench_sharded``);
+    the rebalance oracle uses several so re-cuts cross real window
+    boundaries."""
+    router = ShardRouter(
+        RegionGrid(BOUNDS, nx=GRID_NX, ny=GRID_NY),
+        h=max(n_tuples // windows, 1),
+    )
+    if stream is not None:
+        router.ingest(stream)
+    return ShardedQueryEngine(
+        router, radius_m=RADIUS_M, max_workers=WORKERS
+    )
+
+
+def identical(a, b) -> bool:
+    return (
+        a.values.tobytes() == b.values.tobytes()
+        and a.support.tobytes() == b.support.tobytes()
+        and a.answered.tobytes() == b.answered.tobytes()
+    )
+
+
+def drive_load(engine: ShardedQueryEngine, queries: QueryBatch) -> None:
+    """One workload round purely to feed the load tracker."""
+    engine.continuous_query_batch(queries)
+
+
+def p50_batch_latency(engine, batches) -> float:
+    """Median per-batch plan+execute wall time — planning is part of the
+    scatter cost adaptivity changes (pruned fan-out over more, smaller
+    shards), so it stays inside the timed region."""
+    times = []
+    for batch in batches:
+        t0 = time.perf_counter()
+        engine.execute(engine.plan(batch, "naive"))
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+# -- pytest-benchmark entry points -----------------------------------------
+
+
+@pytest.mark.parametrize("adaptive", (False, True))
+def bench_adaptive_scatter(benchmark, adaptive):
+    stream = downtown_stream(N_TUPLES, "bench_adaptive_scatter")
+    engine = city_engine(N_TUPLES, stream)
+    batch = downtown_queries(
+        BATCH_QUERIES * 4, 0.0, float(N_TUPLES), "bench_adaptive_scatter#q"
+    )
+    if adaptive:
+        drive_load(engine, batch)
+        ShardRebalancer(engine.router, engine=engine).run()
+    engine.continuous_query_batch(batch)  # warm caches
+    benchmark.group = f"adaptive vs static, {N_SHARDS}-cell Zipf downtown mix"
+    benchmark.extra_info["adaptive"] = adaptive
+    benchmark(lambda: engine.execute(engine.plan(batch, "naive")))
+    engine.close()
+
+
+# -- the byte-identity oracle ----------------------------------------------
+
+
+def rebalance_oracle(n_tuples: int) -> dict:
+    """Pre-split == post-split == replica reads == post-merge, under a
+    free-running ingest writer.
+
+    Two routers ingest the same head of the stream.  One plan is built
+    (pinning every slice it scans) before any rebalancing; a writer
+    thread then free-runs the stream tail into the adaptive router
+    while the hot cell is split, queried through replicas, and merged
+    back — the pinned plan must keep answering byte-identically at
+    every stage.  Finally the static router catches up on the tail and
+    fresh plans on both routers must agree: a rebalanced layout answers
+    exactly like one that never rebalanced.
+    """
+    stream = downtown_stream(n_tuples, "bench_adaptive_shards:oracle")
+    head_n = int(n_tuples * 0.9)
+    head, tail = stream.slice(0, head_n), stream.slice(head_n, n_tuples)
+    adaptive = city_engine(n_tuples, head, windows=ORACLE_WINDOWS)
+    static = city_engine(n_tuples, head, windows=ORACLE_WINDOWS)
+    queries = downtown_queries(120, 0.0, float(head_n), "bench_adaptive_shards:oq")
+
+    checks: dict = {}
+    pinned = adaptive.plan(queries, "naive")
+    baseline = adaptive.execute(pinned)
+    checks["static_agrees_pre"] = identical(
+        baseline, static.execute(static.plan(queries, "naive"))
+    )
+
+    stop = threading.Event()
+
+    def writer():
+        step = max(len(tail.t) // 40, 1)
+        for start in range(0, len(tail.t), step):
+            if stop.is_set():
+                return
+            adaptive.router.ingest(tail.slice(start, min(start + step, len(tail.t))))
+            time.sleep(0.001)
+
+    thread = threading.Thread(target=writer, name="oracle-ingest")
+    thread.start()
+    try:
+        # Split downtown (the hottest shard by row count — ingest load).
+        hot = int(np.argmax(adaptive.router.shard_counts()))
+        new_ids = adaptive.router.split_shard(hot)
+        checks["pinned_post_split"] = identical(baseline, adaptive.execute(pinned))
+
+        # Replica reads: same pinned binding, replica-split vs plain plan.
+        binding = adaptive.binding()
+        plain = adaptive.plan(queries, "naive", binding=binding)
+        adaptive.set_replicas({s: 3 for s in new_ids})
+        split_plan = adaptive.plan(queries, "naive", binding=binding)
+        checks["replica_reads"] = identical(
+            adaptive.execute(plain), adaptive.execute(split_plan)
+        )
+        adaptive.set_replicas({})
+
+        # Merge downtown back; the pinned plan still answers its bytes.
+        cell = adaptive.router.grid.cell_of_shard(new_ids[0])
+        adaptive.router.merge_cell(cell)
+        checks["pinned_post_merge"] = identical(baseline, adaptive.execute(pinned))
+    finally:
+        stop.set()
+        thread.join()
+
+    # Catch the writer's tail up on the static router: fresh plans on a
+    # split-and-merged layout answer exactly like a never-rebalanced one.
+    ingested = adaptive.router.global_count() - head_n
+    if ingested:
+        static.router.ingest(tail.slice(0, ingested))
+    late = downtown_queries(120, 0.0, float(n_tuples), "bench_adaptive_shards:ol")
+    checks["static_agrees_post"] = identical(
+        adaptive.execute(adaptive.plan(late, "naive")),
+        static.execute(static.plan(late, "naive")),
+    )
+    adaptive.close()
+    static.close()
+    checks["ok"] = all(checks.values())
+    return checks
+
+
+# -- standalone report ------------------------------------------------------
+
+
+def main(smoke: bool = False) -> int:
+    n_tuples = 24_000 if smoke else N_TUPLES
+    n_batches = 10 if smoke else N_BATCHES
+    batch_queries = 100 if smoke else BATCH_QUERIES
+    bar = ACCEPT_SPEEDUP_SMOKE if smoke else ACCEPT_SPEEDUP
+    print(
+        f"Zipf downtown mix on the {GRID_NX}x{GRID_NY} grid: {n_tuples} tuples, "
+        f"exponent {ZIPF_EXPONENT}, radius {RADIUS_M:.0f} m"
+        f"{' (smoke)' if smoke else ''}"
+    )
+
+    oracle = rebalance_oracle(n_tuples)
+    print("\nbyte-identity oracle (free-running ingest writer):")
+    for name, ok in oracle.items():
+        if name != "ok":
+            print(f"  {name:<20} {'OK' if ok else 'BROKEN'}")
+
+    stream = downtown_stream(n_tuples, "bench_adaptive_shards")
+    batches = [
+        downtown_queries(
+            batch_queries, 0.0, float(n_tuples), f"bench_adaptive_shards#{i}"
+        )
+        for i in range(n_batches)
+    ]
+    load = downtown_queries(
+        batch_queries * 8, 0.0, float(n_tuples), "bench_adaptive_shards#load"
+    )
+
+    static = city_engine(n_tuples, stream)
+    adaptive = city_engine(n_tuples, stream)
+    drive_load(adaptive, load)
+    actions = ShardRebalancer(adaptive.router, engine=adaptive).run()
+    print(f"\nrebalancer actions ({len(actions)}):")
+    for a in actions:
+        detail = (
+            f"shard {a.shard} -> {list(a.new_shards)}" if a.kind == "split"
+            else str(a.replicas) if a.kind == "replicas"
+            else f"cell {a.cell} -> shard {a.shard}"
+        )
+        print(f"  {a.kind:<9} {detail} (skew {a.skew:.1f})")
+
+    # Same frozen batches, both engines warmed on the first one.
+    static.continuous_query_batch(batches[0])
+    adaptive.continuous_query_batch(batches[0])
+    sample = identical(
+        static.execute(static.plan(batches[0], "naive")),
+        adaptive.execute(adaptive.plan(batches[0], "naive")),
+    )
+    p50_static = p50_batch_latency(static, batches)
+    p50_adaptive = p50_batch_latency(adaptive, batches)
+    speedup = p50_static / p50_adaptive
+    print(
+        f"\np50 scatter latency over {n_batches} batches of {batch_queries}:\n"
+        f"  static   {p50_static * 1e3:>8.2f} ms/batch\n"
+        f"  adaptive {p50_adaptive * 1e3:>8.2f} ms/batch   ({speedup:.2f}x)"
+    )
+    histogram = shard_histogram(adaptive.router)
+    replicas = adaptive.replicas
+    static.close()
+    adaptive.close()
+
+    path = write_bench_json(
+        "adaptive_shards",
+        {
+            "benchmark": "adaptive_shards",
+            "mode": "smoke" if smoke else "full",
+            "workload": {
+                "grid": [GRID_NX, GRID_NY],
+                "zipf_exponent": ZIPF_EXPONENT,
+                "tuples": n_tuples,
+                "radius_m": RADIUS_M,
+                "n_batches": n_batches,
+                "batch_queries": batch_queries,
+                "workers": WORKERS,
+            },
+            "rebalance_actions": [
+                {"kind": a.kind, "shard": a.shard, "cell": a.cell,
+                 "new_shards": list(a.new_shards), "replicas": a.replicas,
+                 "skew": a.skew}
+                for a in actions
+            ],
+            "replicas": {str(s): r for s, r in replicas.items()},
+            "p50_static_s": p50_static,
+            "p50_adaptive_s": p50_adaptive,
+            "speedup_p50": speedup,
+            "oracle": oracle,
+            "sample_byte_identical": sample,
+            "accept_speedup": bar,
+            "shard_histogram": histogram,
+        },
+    )
+    print(f"wrote {path.name}")
+
+    ok = oracle["ok"] and sample and speedup >= bar
+    print(
+        f"\nacceptance (byte-identity through rebalance and adaptive p50 >= "
+        f"{bar:.1f}x static): {'PASS' if ok else 'FAIL'} ({speedup:.2f}x)"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(smoke="--smoke" in sys.argv[1:]))

@@ -37,9 +37,19 @@ from repro.query.base import QueryBatch
 from repro.query.pipeline.parallel import ProcessPlanExecutor
 
 try:  # pytest / smoke-test import (repo root on sys.path)
-    from benchmarks.conftest import rng_for, sharded_day_engine, write_bench_json
+    from benchmarks.conftest import (
+        rng_for,
+        shard_histogram,
+        sharded_day_engine,
+        write_bench_json,
+    )
 except ImportError:  # standalone: python benchmarks/bench_scatter_pruning.py
-    from conftest import rng_for, sharded_day_engine, write_bench_json
+    from conftest import (
+        rng_for,
+        shard_histogram,
+        sharded_day_engine,
+        write_bench_json,
+    )
 
 DAYS = 30
 N_SHARDS = 36
@@ -233,6 +243,7 @@ def main(smoke: bool = False) -> int:
         f"process-parallel path (pruned plan, 2 workers): "
         f"{'OK' if process_ok else 'BROKEN'}"
     )
+    histogram = shard_histogram(engine.router)
     engine.close()
 
     speedup = times["continuous"]["speedup"]
@@ -254,6 +265,7 @@ def main(smoke: bool = False) -> int:
             "results": times,
             "process_path_identical": process_ok,
             "accept_speedup": bar,
+            "shard_histogram": histogram,
         },
     )
     print(f"wrote {path.name}")

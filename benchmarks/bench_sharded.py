@@ -30,9 +30,19 @@ from repro.eval.timing import time_callable
 from repro.query.sharded import ShardedQueryEngine
 
 try:  # pytest / smoke-test import (repo root on sys.path)
-    from benchmarks.conftest import day_fixture, sharded_day_engine, write_bench_json
+    from benchmarks.conftest import (
+        day_fixture,
+        shard_histogram,
+        sharded_day_engine,
+        write_bench_json,
+    )
 except ImportError:  # standalone: python benchmarks/bench_sharded.py
-    from conftest import day_fixture, sharded_day_engine, write_bench_json
+    from conftest import (
+        day_fixture,
+        shard_histogram,
+        sharded_day_engine,
+        write_bench_json,
+    )
 
 SHARD_COUNTS = (1, 2, 4)
 GRID_NX, GRID_NY = 64, 48
@@ -121,9 +131,11 @@ def main(smoke: bool = False) -> int:
     print(f"\nheatmap grid {nx}x{ny}, radius {RADIUS_M:.0f} m, day-long window:")
     print(f"  {'shards':<8} {'time':>10} {'grids/s':>9} {'speedup':>9}")
     times = {}
+    histogram = None
     for n in SHARD_COUNTS:
         engine = sharded_engine(dataset, n)
         times[n] = heatmap_time(engine, dataset, nx=nx, ny=ny, repeats=repeats)
+        histogram = shard_histogram(engine.router)  # widest layout wins
         print(
             f"  {n:<8} {times[n] * 1e3:>8.1f}ms {1.0 / times[n]:>9.2f}"
             f" {times[1] / times[n]:>8.2f}x"
@@ -146,6 +158,7 @@ def main(smoke: bool = False) -> int:
             "speedup_4_shard": speedup,
             "byte_identical": identical,
             "accept_speedup": ACCEPT_SPEEDUP,
+            "shard_histogram": histogram,
         },
     )
     print(f"\nwrote {path.name}")

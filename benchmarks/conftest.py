@@ -113,9 +113,30 @@ def sharded_day_engine(
     )
 
 
+def shard_histogram(router) -> dict:
+    """Per-shard occupancy histogram for benchmark JSON payloads.
+
+    ``counts`` is tuples per shard slot (index = shard id; retired hole
+    slots report 0) and ``skew`` the max/mean coefficient over the
+    non-empty layout — the one number that says how lopsided the layout
+    the benchmark ran against actually was."""
+    from repro.storage.load import skew_coefficient
+
+    counts = [int(c) for c in router.shard_counts()]
+    return {
+        "counts": counts,
+        "n_shards": len(counts),
+        "skew": skew_coefficient(counts),
+    }
+
+
 def write_bench_json(name: str, payload: dict) -> pathlib.Path:
     """Write a machine-readable benchmark result to ``BENCH_<name>.json``
-    at the repo root (the perf-trajectory artifact CI collects)."""
+    at the repo root (the perf-trajectory artifact CI collects).
+
+    Sharded benchmarks include a ``shard_histogram`` field (see
+    :func:`shard_histogram`) so the trajectory records the layout shape
+    alongside the timings."""
     path = pathlib.Path(__file__).resolve().parent.parent / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

@@ -12,7 +12,10 @@ Subcommands:
   orphan segments, optionally verify every checksum);
 * ``explain``  — print the execution plan the pipeline chose for a query
   workload (ops, method per window/shard, cost estimates vs observed
-  timings, cache and planner-feedback counters).
+  timings, cache and planner-feedback counters);
+* ``shards``   — per-shard occupancy/load table (rows, windows, ingest
+  and scan counters, EWMA load, skew coefficients), optionally after
+  letting the adaptive rebalancer split/replicate/merge.
 
 Examples::
 
@@ -25,6 +28,7 @@ Examples::
     python -m repro.cli serve --days 1 --shards 4 --port 8765 --processes 4
     python -m repro.cli explain --hour 8.5 --method auto
     python -m repro.cli explain --shards 4 --queries 300 --method auto
+    python -m repro.cli shards --shards 6 --focus 0.25 --rebalance 4
 """
 
 from __future__ import annotations
@@ -447,6 +451,121 @@ def _serve_concurrently(inner, ds, args):
     return outcome[0], chunks_served
 
 
+def _format_shard_table(router, replicas=None) -> str:
+    """Per-shard occupancy/load table (the ``shards`` subcommand body,
+    also appended to sharded ``explain`` output).
+
+    Occupancy comes from :meth:`window_stats` — whose rows carry the
+    ingest epoch they were read at, so a row read while a writer (or a
+    rebalance) advanced the store is labelled ``stale`` rather than
+    silently presented as current — and load from
+    :meth:`shard_load_stats`.  The footer's skew coefficients are
+    max/mean ratios (1.0 = perfectly balanced).
+    """
+    from repro.geo.region import RefinedRegionGrid
+    from repro.storage.load import skew_coefficient
+
+    n = router.n_shards
+    counts = router.shard_counts()
+    load_stats = router.shard_load_stats()
+    occupied = [0] * n
+    stale = [False] * n
+    for c in range(router.global_window_count()):
+        for s, (_stamp, n_rows, read_epoch) in enumerate(router.window_stats(c)):
+            if n_rows:
+                occupied[s] += 1
+            if read_epoch != router.epoch:
+                stale[s] = True
+    grid = router.grid
+    refined = grid if isinstance(grid, RefinedRegionGrid) else None
+    replicas = replicas or {}
+    lines = [
+        f"{'shard':>5} {'cell':>5} {'rows':>8} {'windows':>7} "
+        f"{'ingested':>9} {'queries':>8} {'scan-units':>11} {'load':>10}  flags"
+    ]
+    for s in range(n):
+        if refined is not None and not refined.active_shards[s]:
+            continue  # retired hole slot
+        cell = refined.cell_of_shard(s) if refined is not None else s
+        st = load_stats[s]
+        flags = []
+        if refined is not None and refined.is_split(cell):
+            flags.append("split")
+        if replicas.get(s, 0) > 1:
+            flags.append(f"x{replicas[s]} replicas")
+        if stale[s]:
+            flags.append("stale")
+        lines.append(
+            f"{s:>5} {cell:>5} {counts[s]:>8} {occupied[s]:>7} "
+            f"{st.ingest_rows:>9} {st.scan_queries:>8} {st.scan_units:>11.0f} "
+            f"{st.load:>10.1f}  {' '.join(flags)}"
+        )
+    row_skew = skew_coefficient(counts)
+    load_skew = router.load_skew() if hasattr(router, "load_skew") else 1.0
+    ewma_skew = skew_coefficient([st.load for st in load_stats])
+    lines.append(
+        f"skew (max/mean): rows {row_skew:.2f}, recent load {ewma_skew:.2f}"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_shards(args: argparse.Namespace) -> int:
+    """Ingest a dataset, drive a (possibly skewed) query workload, and
+    print the per-shard occupancy/load table — optionally letting the
+    adaptive rebalancer act between workload rounds."""
+    import numpy as np
+
+    from repro.data.lausanne import LausanneConfig, generate_lausanne_dataset
+    from repro.geo.region import RegionGrid
+    from repro.query.base import QueryBatch
+    from repro.query.sharded import ShardedQueryEngine
+    from repro.storage.shards import ShardRouter
+
+    ds = generate_lausanne_dataset(
+        LausanneConfig(days=args.days, seed=args.seed, target_tuples=0)
+    )
+    bounds = ds.covered_bbox()
+    router = ShardRouter(
+        RegionGrid.for_shard_count(bounds, args.shards), h=args.h
+    )
+    router.ingest(ds.tuples)
+    engine = ShardedQueryEngine(router, max_workers=args.workers)
+    if not 0.0 < args.focus <= 1.0:
+        raise SystemExit("--focus must be in (0, 1]")
+    if args.queries:
+        rng = np.random.default_rng(args.seed)
+        # Query positions contracted toward the region centre by --focus
+        # (1.0 = uniform): the skewed read traffic whose load the table
+        # and the rebalancer observe.
+        qx = bounds.min_x + bounds.width / 2 + (
+            rng.uniform(-0.5, 0.5, args.queries) * bounds.width * args.focus
+        )
+        qy = bounds.min_y + bounds.height / 2 + (
+            rng.uniform(-0.5, 0.5, args.queries) * bounds.height * args.focus
+        )
+        qt = rng.uniform(float(ds.tuples.t[0]), float(ds.tuples.t[-1]), args.queries)
+        engine.continuous_query_batch(QueryBatch(qt, qx, qy))
+    if args.rebalance:
+        from repro.storage.rebalance import ShardRebalancer
+
+        rebalancer = ShardRebalancer(router, engine=engine)
+        for action in rebalancer.run(max_steps=args.rebalance):
+            detail = ""
+            if action.kind == "split":
+                detail = f"shard {action.shard} -> {list(action.new_shards)}"
+            elif action.kind == "merge":
+                detail = f"cell {action.cell} -> shard {action.shard}"
+            elif action.kind == "replicas":
+                detail = str(action.replicas)
+            print(
+                f"rebalance: {action.kind} {detail} "
+                f"(skew was {action.skew:.2f})"
+            )
+    print(_format_shard_table(router, replicas=engine.replicas))
+    engine.close()
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     """Compile one query workload, print the plan, run it, print timings."""
     import numpy as np
@@ -547,6 +666,9 @@ def _cmd_explain(args: argparse.Namespace) -> int:
                 f"  {method:<12} {row['sec_per_unit'] * 1e9:9.2f} ns/unit "
                 f"({row['observations']} observation(s))"
             )
+    if args.shards > 1:
+        print("\nper-shard occupancy and load:")
+        print(_format_shard_table(engine.router, replicas=engine.replicas))
     if hasattr(engine, "close"):
         engine.close()
     return 0
@@ -751,6 +873,50 @@ def build_parser() -> argparse.ArgumentParser:
         "(answers are byte-identical; for comparing fan-out)",
     )
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "shards",
+        help="per-shard occupancy/load table, optionally after adaptive "
+        "rebalancing",
+    )
+    p.add_argument("--days", type=int, default=1)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--h", type=int, default=500, help="window size in tuples")
+    p.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=6,
+        help="number of region shards to lay the store out over",
+    )
+    p.add_argument(
+        "--queries",
+        type=int,
+        default=400,
+        help="size of the query workload driven before reading the table "
+        "(0 = ingest only)",
+    )
+    p.add_argument(
+        "--focus",
+        type=float,
+        default=1.0,
+        help="contract the query workload to the centre fraction of the "
+        "region (0 < f <= 1) — localized traffic is what makes the load "
+        "skew coefficient move",
+    )
+    p.add_argument(
+        "--rebalance",
+        type=int,
+        default=0,
+        help="let the adaptive rebalancer take up to this many actions "
+        "(split / replicas / merge) before printing the table",
+    )
+    p.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="thread-pool size for plan execution (default: CPU count)",
+    )
+    p.set_defaults(func=_cmd_shards)
     return parser
 
 

@@ -25,7 +25,7 @@ import numpy as np
 from repro.data.tuples import TupleBatch
 from repro.data.windows import window, windows_for_times
 from repro.storage.engine import StorageSnapshot
-from repro.storage.shards import ShardRouter
+from repro.storage.shards import ShardRouter, StaleLayoutError
 from repro.storage.sketch import WindowSketch
 
 #: What a binding resolves a (shard, window) to: the slice's content
@@ -206,6 +206,22 @@ class RouterBinding(_MemoBinding):
         self.router = router
         self.n_shards = router.n_shards
         self.grid = router.grid
+        # The shard layout this binding pinned.  Every *fresh* resolution
+        # checks it against the live router: a split/merge re-cut between
+        # binding time and resolution would otherwise mix two layouts in
+        # one plan (the old grid's scatter geometry over the new layout's
+        # rows — silently missing hits).  Already-memoised slices stay
+        # valid forever; plan builders resolve every kept op at build
+        # time, so executing a built plan never trips this.
+        self.layout_epoch = getattr(router, "layout_epoch", 0)
+
+    def _check_layout(self) -> None:
+        live = getattr(self.router, "layout_epoch", 0)
+        if live != self.layout_epoch:
+            raise StaleLayoutError(
+                f"binding pinned shard layout {self.layout_epoch}, "
+                f"router has rebalanced to layout {live}"
+            )
 
     def stream_rows(self) -> int:
         return self.router.global_count()
@@ -227,6 +243,10 @@ class RouterBinding(_MemoBinding):
             if sketch is not None:
                 return sketch
             if key not in self._memo:
+                # Layout check before trusting an unpinned frozen read: a
+                # post-rebalance sketch describes the *new* layout's rows
+                # and could wrongly prune an old-layout plan.
+                self._check_layout()
                 frozen = self.router.frozen_window_sketch(shard, int(c))
                 if frozen is not None:
                     self._sketches[key] = frozen
@@ -236,6 +256,7 @@ class RouterBinding(_MemoBinding):
     def _resolve(self, shard: Optional[int], c: int) -> BoundSlice:
         if shard is None:
             raise ValueError("sharded binding needs an explicit shard index")
+        self._check_layout()
         # One locked read pins slice *and* zone map together (the
         # router maintains the sketch incrementally, so this is O(1));
         # the sketch memo is pre-filled here so pruning can never
@@ -261,11 +282,14 @@ class RouterBinding(_MemoBinding):
 
     def peek_window(self, c: int) -> List[Tuple[int, int]]:
         c = int(c)
+        # window_stats rows carry a third read-epoch field for display
+        # consumers (the CLI shards table); the binding protocol's peek
+        # pairs stay (stamp, n_rows).
         stats = self.router.window_stats(c)
         memo = self._memo
         return [
             (bound[0], len(bound[1])) if (bound := memo.get((s, c))) is not None
-            else stats[s]
+            else stats[s][:2]
             for s in range(self.n_shards)
         ]
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -120,10 +120,15 @@ class PlanExecutor:
         runtime: PlanRuntime,
         pool: Optional[BatchExecutor] = None,
         planner: Optional[PipelinePlanner] = None,
+        load: Optional[Callable[[int, int, float, Optional[float]], None]] = None,
     ) -> None:
         self.runtime = runtime
         self.pool = pool
         self.planner = planner
+        # Optional shard-load observer ``(shard, n_queries, units,
+        # seconds)`` — the router's ShardLoadTracker when the owning
+        # engine wires one, feeding the adaptive rebalancer.
+        self.load = load
 
     def execute(
         self, plan: ExecutionPlan, report: Optional[PlanReport] = None
@@ -151,6 +156,18 @@ class PlanExecutor:
         if self.planner is not None and op.eval_unit_cost is not None:
             self.planner.record(
                 op.method, len(op.queries), elapsed, op.eval_unit_cost
+            )
+        if self.load is not None and op.context.shard is not None:
+            # Scan-unit load on the planner's cost axis; ops the planner
+            # never priced fall back to rows-per-query (the naive scan's
+            # exact unit count, and a sane upper bound for index scans).
+            per_query = (
+                op.eval_unit_cost
+                if op.eval_unit_cost is not None
+                else float(max(op.context.n_rows, 1))
+            )
+            self.load(
+                op.context.shard, len(op.queries), per_query * len(op.queries), elapsed
             )
         if report is not None:
             report.record(op, elapsed)
@@ -360,6 +377,7 @@ def build_sharded_plan(
     seed_cover: Optional[Callable[[int, int, int, object], None]] = None,
     want_estimates: bool = False,
     prune: bool = True,
+    replicas: Optional[Mapping[int, int]] = None,
 ) -> ExecutionPlan:
     """Plan for the region-sharded scatter-gather engine.
 
@@ -376,23 +394,30 @@ def build_sharded_plan(
     (every non-empty (shard, window) op gets the whole window's
     queries); both compile to byte-identical answers, which is the
     oracle the pruning benchmark and hypothesis suites enforce.
+
+    ``replicas`` maps hot shard ids to a read-replica count ``R > 1``:
+    that shard's hit scans are split into up to ``R`` ops over disjoint
+    query chunks sharing one bound context, so the executors can spread
+    a hot shard's scan load across pool threads / worker processes.
+    The exact gather orders hits canonically by stream position, so
+    replica-split and unsplit plans are byte-identical by construction.
     """
     windows = binding.windows_for_times(queries.t)
     if method == "model-cover":
         return _cover_plan(
             binding, queries, windows, planner, radius_m, policy,
             allow_plan=False, seed_cover=seed_cover, want_estimates=want_estimates,
-            prune=prune,
+            prune=prune, replicas=replicas,
         )
     if method == "auto" and not planner.profile.needs_exact_average:
         return _cover_plan(
             binding, queries, windows, planner, radius_m, policy,
             allow_plan=True, seed_cover=seed_cover, want_estimates=want_estimates,
-            prune=prune,
+            prune=prune, replicas=replicas,
         )
     return _exact_plan(
         binding, queries, windows, method, planner, radius_m, policy,
-        want_estimates, prune=prune,
+        want_estimates, prune=prune, replicas=replicas,
     )
 
 
@@ -438,6 +463,7 @@ def _exact_plan(
     policy: ExecutionPolicy,
     want_estimates: bool = False,
     prune: bool = True,
+    replicas: Optional[Mapping[int, int]] = None,
 ) -> ExecutionPlan:
     """Merge-shaped plan: per-(window, shard) hit scans + exact gather.
 
@@ -544,17 +570,43 @@ def _exact_plan(
                 est, eval_est = _estimate(
                     planner, sub, chosen, exact=True, shard=s, c=int(c), stamp=stamp
                 )
-            ops.append(
-                ScanOp(
-                    PlanContext(int(c), s, stamp, len(sub)),
-                    chosen,
-                    positions[local],
-                    wq.take(local),
-                    emit="hits",
-                    est_unit_cost=est,
-                    eval_unit_cost=eval_est,
+            context = PlanContext(int(c), s, stamp, len(sub))
+            r = int(replicas.get(s, 1)) if replicas else 1
+            if r > 1 and len(local) > 1:
+                # Read replicas: split the hot shard's scan into up to r
+                # ops over disjoint query chunks.  Every chunk binds the
+                # same pinned context (same rows), and the exact gather
+                # is canonical in stream position — identical answers,
+                # but the executors can now run the chunks on separate
+                # pool threads / worker processes.
+                chunks = np.array_split(local, min(r, len(local)))
+                for i, chunk in enumerate(chunks):
+                    if not len(chunk):
+                        continue
+                    ops.append(
+                        ScanOp(
+                            context,
+                            chosen,
+                            positions[chunk],
+                            wq.take(chunk),
+                            emit="hits",
+                            est_unit_cost=est,
+                            eval_unit_cost=eval_est,
+                            replica=i,
+                        )
+                    )
+            else:
+                ops.append(
+                    ScanOp(
+                        context,
+                        chosen,
+                        positions[local],
+                        wq.take(local),
+                        emit="hits",
+                        est_unit_cost=est,
+                        eval_unit_cost=eval_est,
+                    )
                 )
-            )
     merge = MergeOp(len(queries), binding.stream_rows())
     return ExecutionPlan(
         binding, queries, tuple(ops), merge, policy, method, pruned=tuple(pruned)
@@ -572,6 +624,7 @@ def _cover_plan(
     seed_cover: Optional[Callable[[int, int, int, object], None]],
     want_estimates: bool = False,
     prune: bool = True,
+    replicas: Optional[Mapping[int, int]] = None,
 ) -> ExecutionPlan:
     """Owner-shard cover ops plus the exact fallback sub-plan.
 
@@ -634,6 +687,7 @@ def _cover_plan(
             policy,
             want_estimates,
             prune=prune,
+            replicas=replicas,
         )
         ops.append(FallbackOp(positions, sub_plan))
     method = "auto" if allow_plan else "model-cover"

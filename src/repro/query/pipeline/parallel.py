@@ -327,14 +327,27 @@ class ProcessPlanExecutor:
         c = op.context.window_c
         _stamp, sub, _gids = plan.binding.slice_for(s, c)
         router = self.engine.router
+        # The binding's slice is pinned at plan-build time, but cuts and
+        # shard prefixes are read *live* here — a shard split/merge
+        # between build and dispatch would pair old-layout slices with
+        # new-layout row ranges.  Detect the mismatch and take the
+        # documented in-process fallback (the binding's memoised slices
+        # make it byte-identical).
+        layout = getattr(router, "layout_epoch", 0)
+        if getattr(plan.binding, "layout_epoch", 0) != layout:
+            raise _Unsupported("plan pinned an older shard layout")
         cuts = router.cuts(s)
         if c >= len(cuts):  # pragma: no cover - binding would have raised
             raise _Unsupported(f"window {c} has no recorded cut")
         start = cuts[c]
         stop = start + len(sub)
         descriptor = self.registry.ensure(
-            s, stop, lambda: self._read_prefix(s)
+            s, stop, lambda: self._read_prefix(s), layout=layout
         )
+        if getattr(router, "layout_epoch", 0) != layout:
+            # A rebalance raced the cut/prefix reads above; the ranges
+            # may describe the new layout's rows.
+            raise _Unsupported("shard layout changed during serialization")
         spec = {
             "op_index": 0,  # assigned by the dispatcher
             "kind": "hits" if getattr(op, "emit", "result") == "hits" else "result",
@@ -372,12 +385,21 @@ class ProcessPlanExecutor:
         if not ops:
             return []
         by_worker: Dict[int, List[dict]] = {}
+        # Deterministic least-loaded placement for replica ops: a
+        # shard's primary op (replica 0) stays on its home worker, so
+        # that worker's processor cache stays hot; the extra replica
+        # chunks of a hot shard go wherever the least query load has
+        # accumulated so far (ties break on the lowest worker index).
+        loads = [0] * self.processes
         for op_index, op in enumerate(ops):
             spec = self._serialize_op(plan, op)
             spec["op_index"] = op_index
-            by_worker.setdefault(
-                self._worker_for_shard(spec["shard"]), []
-            ).append(spec)
+            if getattr(op, "replica", 0) > 0:
+                windex = min(range(self.processes), key=lambda w: (loads[w], w))
+            else:
+                windex = self._worker_for_shard(spec["shard"])
+            loads[windex] += len(op.queries)
+            by_worker.setdefault(windex, []).append(spec)
         self._request_counter += 1
         request_id = self._request_counter
         pending: List[Tuple[int, _Worker]] = []
@@ -407,6 +429,21 @@ class ProcessPlanExecutor:
                 payloads[op_index] = payload
         if failure is not None or any(p is None for p in payloads):
             raise WorkerCrash(failure or "incomplete worker replies")
+        # Record scan load on the router's tracker (workers do not time
+        # their scans per-op, so seconds is None — the tracker keeps its
+        # unit-based EWMA either way).
+        tracker = getattr(self.engine.router, "load", None)
+        if tracker is not None:
+            for op in ops:
+                per_query = (
+                    op.eval_unit_cost
+                    if getattr(op, "eval_unit_cost", None) is not None
+                    else float(max(op.context.n_rows, 1))
+                )
+                tracker.record_scan(
+                    op.context.shard, len(op.queries),
+                    per_query * len(op.queries), None,
+                )
         return payloads  # type: ignore[return-value]
 
     def _kill(self, windex: int) -> None:

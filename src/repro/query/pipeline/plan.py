@@ -88,6 +88,12 @@ class ScanOp:
     #: the unit load the executor's *timed region* actually performs,
     #: and therefore the normaliser for planner feedback.
     eval_unit_cost: Optional[float] = None
+    #: Read-replica index: a hot shard's hit scan is split into one op
+    #: per replica (same bound context, disjoint query chunks), so the
+    #: executors can spread the shard's scan load across pool threads /
+    #: worker processes.  The exact gather's canonical ordering makes
+    #: replica-split answers byte-identical to the single-op answer.
+    replica: int = 0
 
     kind = "scan"
 

@@ -30,7 +30,7 @@ compatibility.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -62,7 +62,7 @@ from repro.query.pipeline.plan import (
 )
 from repro.query.pipeline.planner import PipelinePlanner, PlannerFeedback
 from repro.query.planner import QueryProfile
-from repro.storage.shards import ShardRouter
+from repro.storage.shards import ShardRouter, StaleLayoutError
 
 SHARDED_METHODS = ("naive",) + available_index_kinds() + ("model-cover", "auto")
 
@@ -123,6 +123,13 @@ class ShardedQueryEngine:
             radius_m=radius_m,
             feedback=PlannerFeedback(),
         )
+        # Read-replica plan: shard id -> replica count R > 1.  Plan
+        # builders split the shard's hit scans into R ops over disjoint
+        # query chunks (byte-identical answers; the exact gather is
+        # canonical), so one hot shard's scan load spreads across pool
+        # threads / worker processes.  Set by the rebalancer (or tests)
+        # via :meth:`set_replicas`; replaced wholesale, never mutated.
+        self._replicas: Dict[int, int] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -153,6 +160,25 @@ class ShardedQueryEngine:
     def prune_stats(self) -> PruneStats:
         """Cumulative scatter-pruning counters across every plan built."""
         return self._prune_stats
+
+    @property
+    def replicas(self) -> Dict[int, int]:
+        """The active read-replica plan (shard id -> replica count)."""
+        return dict(self._replicas)
+
+    def set_replicas(self, replicas: Optional[Mapping[int, int]]) -> None:
+        """Install a read-replica plan for subsequently built plans.
+
+        Entries with a count below 2 are dropped (one replica is just
+        the shard itself).  Plans already built keep the replica layout
+        they were compiled with — replicas are a plan-shape choice, not
+        a storage state, so no epoch is involved.
+        """
+        cleaned: Dict[int, int] = {}
+        for s, r in (replicas or {}).items():
+            if int(r) >= 2:
+                cleaned[int(s)] = int(r)
+        self._replicas = cleaned
 
     def close(self) -> None:
         """Release the worker pool (idempotent; recreated on demand)."""
@@ -239,6 +265,13 @@ class ShardedQueryEngine:
         this one plan (the benchmark's unpruned baseline path);
         ``binding`` reuses an externally pinned snapshot (the
         subscription maintenance path) instead of pinning a fresh one.
+
+        When the engine pins the binding itself, a rebalance racing the
+        build (:class:`~repro.storage.shards.StaleLayoutError`) is
+        retried against a fresh binding — rebalances are rare, so the
+        loop terminates in practice after one retry.  Externally pinned
+        bindings propagate the error: the caller owns the snapshot and
+        must decide how to re-pin.
         """
         if method not in SHARDED_METHODS:
             raise ValueError(
@@ -249,17 +282,25 @@ class ShardedQueryEngine:
             if isinstance(queries, QueryBatch)
             else QueryBatch.from_queries(queries)
         )
-        plan = build_sharded_plan(
-            binding if binding is not None else self.binding(),
-            batch,
-            method,
-            self._planner,
-            self.radius_m,
-            policy=VECTORISED_POLICY,
-            seed_cover=self._seed_cover,
-            want_estimates=want_estimates,
-            prune=self.prune if prune is None else prune,
-        )
+        attempts = 1 if binding is not None else 3
+        for attempt in range(attempts):
+            try:
+                plan = build_sharded_plan(
+                    binding if binding is not None else self.binding(),
+                    batch,
+                    method,
+                    self._planner,
+                    self.radius_m,
+                    policy=VECTORISED_POLICY,
+                    seed_cover=self._seed_cover,
+                    want_estimates=want_estimates,
+                    prune=self.prune if prune is None else prune,
+                    replicas=self._replicas or None,
+                )
+                break
+            except StaleLayoutError:
+                if binding is not None or attempt == attempts - 1:
+                    raise
         self._prune_stats.observe(plan)
         return plan
 
@@ -294,7 +335,16 @@ class ShardedQueryEngine:
         runtime = PlanRuntime(
             plan.binding, processor=materialise, hits=hits, prepare_hits=prepare_hits
         )
-        return PlanExecutor(runtime, pool=self._executor, planner=self._planner)
+        # Feed per-op scan load to the router's tracker (when it has
+        # one) so the adaptive rebalancer sees read skew, not just
+        # ingest skew.
+        tracker = getattr(self.router, "load", None)
+        return PlanExecutor(
+            runtime,
+            pool=self._executor,
+            planner=self._planner,
+            load=tracker.record_scan if tracker is not None else None,
+        )
 
     def execute(
         self, plan: ExecutionPlan, report: Optional[PlanReport] = None

@@ -351,6 +351,11 @@ class _ShardedEngineView:
         )
 
     def delta_sketch(self, key: int, prev_mark) -> Optional[WindowSketch]:
+        if len(prev_mark) != self._n_shards:
+            # A shard split/merge changed the layout since the mark was
+            # recorded: per-shard row counts no longer line up, so treat
+            # the window as fully dirty (correct, just unsketched).
+            return None
         merged = WindowSketch.EMPTY
         for s in range(self._n_shards):
             _stamp, sub, _ = self._binding.slice_for(s, int(key))

@@ -37,9 +37,18 @@ import numpy as np
 from repro.data.tuples import TupleBatch
 from repro.data.windows import window_boundaries_in
 from repro.geo.coords import BoundingBox
-from repro.geo.region import RegionGrid
+from repro.geo.region import RefinedRegionGrid, RegionGrid
 from repro.storage.engine import Database
+from repro.storage.load import ShardLoadStat, ShardLoadTracker, skew_coefficient
 from repro.storage.sketch import WindowSketch
+
+
+class StaleLayoutError(RuntimeError):
+    """A snapshot binding pinned one shard layout but the router has
+    since rebalanced to another.  Raised only for *unresolved* reads —
+    slices pinned before the rebalance stay valid forever (the retired
+    layout's arrays are immutable), which is what keeps in-flight plans
+    byte-identical across a rebalance."""
 
 
 class ShardRouter:
@@ -98,6 +107,13 @@ class ShardRouter:
         self._sketches: List[Dict[int, WindowSketch]] = [
             {} for _ in range(grid.n_regions)
         ]
+        # Layout epoch: +1 per split/merge re-cut.  Bindings capture it
+        # at construction; a mismatch on an *unresolved* read raises
+        # StaleLayoutError instead of silently mixing two layouts.
+        self._layout_epoch = 0
+        # Per-shard load statistics (ingest rows under this lock, scan
+        # observations from executor threads) — the rebalancer's input.
+        self.load = ShardLoadTracker(grid.n_regions)
 
     # -- topology ----------------------------------------------------------
 
@@ -118,8 +134,25 @@ class ShardRouter:
 
     @property
     def epoch(self) -> int:
-        """Monotone ingest epoch: +1 per non-empty :meth:`ingest` call."""
+        """Monotone ingest epoch: +1 per non-empty :meth:`ingest` call
+        (and per layout re-cut, which re-stamps the affected slots)."""
         return self._epoch
+
+    @property
+    def layout_epoch(self) -> int:
+        """Monotone layout epoch: +1 per :meth:`split_shard` /
+        :meth:`merge_cell` re-cut.  Unchanged by ordinary ingest."""
+        return self._layout_epoch
+
+    def shard_load_stats(self) -> List[ShardLoadStat]:
+        """Per-shard load counters (index = shard slot) — ingest rows,
+        scan queries/units/seconds and the EWMA recent-load estimate the
+        rebalancer ranks shards on."""
+        return self.load.snapshot()
+
+    def load_skew(self) -> float:
+        """Max/mean skew of per-shard tuple counts (1.0 = balanced)."""
+        return skew_coefficient(self.shard_counts())
 
     def shard_window_epoch(self, s: int, c: int) -> int:
         """Epoch of the last ingest that delivered global-window-``c``
@@ -148,10 +181,12 @@ class ShardRouter:
         before the counters advance.
         """
         n = len(batch)
-        delivered = [0] * self.n_shards
         if not n:
-            return delivered
+            return [0] * self.n_shards
         with self._lock:
+            # Sized under the lock: a split/merge re-cut between an
+            # unlocked read and routing would widen the slot range.
+            delivered = [0] * self.n_shards
             owners = self.route(batch)
             start = self._global_rows
             boundaries = window_boundaries_in(start, n, self.h)
@@ -168,6 +203,7 @@ class ShardRouter:
                 self._gid_cache[s] = None
                 sub = batch.select_mask(member)
                 delivered[s] = self._dbs[s].ingest_tuples(sub)
+                self.load.record_ingest(s, delivered[s])
                 wins = gids[member] // self.h
                 for c in np.unique(wins):
                     c = int(c)
@@ -293,19 +329,25 @@ class ShardRouter:
         return None
 
     def window_stats(self, c: int) -> List[tuple]:
-        """Unlocked per-shard ``(stamp, n_rows)`` estimates for global
-        window ``c`` (index = shard), read off the maintained sketches
-        in O(shards).  Estimates only — pairs may tear under a
+        """Unlocked per-shard ``(stamp, n_rows, read_epoch)`` estimates
+        for global window ``c`` (index = shard), read off the maintained
+        sketches in O(shards).  Estimates only — rows may tear under a
         concurrent ingest; they feed display records (pruned-op rows in
-        plan explains), never pruning decisions."""
+        plan explains, the CLI shards table), never pruning decisions.
+        ``read_epoch`` stamps each row with the router epoch observed at
+        *its own* read, so a display consumer can label rows that went
+        stale mid-scan (e.g. a rebalance re-cutting the layout while the
+        table was being assembled) instead of silently mixing layouts."""
         c = int(c)
         stats = []
         for s in range(self.n_shards):
+            read_epoch = self._epoch
             sketch = self._sketches[s].get(c)
             stats.append(
                 (
                     self._window_epochs[s].get(c, 0),
                     sketch.n_rows if sketch is not None else 0,
+                    read_epoch,
                 )
             )
         return stats
@@ -354,6 +396,153 @@ class ShardRouter:
     def cuts(self, s: int) -> List[int]:
         """Copy of shard ``s``'s recorded global-boundary cut offsets."""
         return list(self._cuts[s])
+
+    # -- adaptive layout: split / merge re-cuts ----------------------------
+    #
+    # A re-cut is an epoch-bumped transaction under the router lock:
+    # the affected shard's rows are re-routed into the new layout's
+    # slots, every slot's cut offsets are recomputed from its gids
+    # (cut[c] = #gids < c*h, the same definition ingest records
+    # incrementally), per-(slot, window) sketches are rebuilt exactly,
+    # and every touched window is re-stamped at a fresh content epoch so
+    # no processor-cache entry built on the old layout can ever be
+    # served again (stamp-equality serving + monotone stamps).  The old
+    # layout's per-shard state lists are never mutated in place — the
+    # new lists are built aside and published with single reference
+    # assignments — so a reader pinned on the old layout (a binding's
+    # memoised slices, an unlocked windows_for_times iteration) keeps a
+    # coherent view of the retired layout forever.
+
+    def _refined_grid(self) -> RefinedRegionGrid:
+        grid = self.grid
+        if isinstance(grid, RefinedRegionGrid):
+            return grid
+        return RefinedRegionGrid.refine(grid)
+
+    def _shard_column(self, s: int):
+        """Coherent (batch, gids) of shard ``s``'s full column (locked)."""
+        batch = self._dbs[s].raw_tuples()
+        return batch, self.shard_gids(s)[: len(batch)]
+
+    def _install_layout(self, new_grid: RefinedRegionGrid, rebuilt, cleared) -> None:
+        """Publish a re-cut: ``rebuilt`` maps slot -> (batch, gids) in
+        gid order; ``cleared`` slots become empty holes.  Caller holds
+        the lock."""
+        n_old = len(self._dbs)
+        n_new = new_grid.n_regions
+        m = len(self._cuts[0])
+        self._epoch += 1
+        self._layout_epoch += 1
+        epoch = self._epoch
+        dbs = list(self._dbs)
+        cuts = list(self._cuts)
+        gid_parts = list(self._gid_parts)
+        gid_cache = list(self._gid_cache)
+        wepochs = list(self._window_epochs)
+        sketches = list(self._sketches)
+        for lists in (dbs, cuts, gid_parts, gid_cache, wepochs, sketches):
+            lists.extend([None] * (n_new - n_old))
+        touched = set(cleared) | set(rebuilt) | set(range(n_old, n_new))
+        for slot in touched:
+            dbs[slot] = Database.for_enviro_meter(partition_h=self.h)
+            cuts[slot] = [0] * m
+            gid_parts[slot] = []
+            gid_cache[slot] = None
+            wepochs[slot] = {}
+            sketches[slot] = {}
+        boundaries = np.arange(m, dtype=np.int64) * self.h
+        for slot, (batch, gids) in rebuilt.items():
+            if len(batch):
+                dbs[slot].ingest_tuples(batch)
+                gid_parts[slot] = [gids]
+                gid_cache[slot] = gids
+            cuts[slot] = [int(v) for v in np.searchsorted(gids, boundaries)]
+            wins = gids // self.h
+            for c in np.unique(wins):
+                c = int(c)
+                in_c = wins == c
+                wepochs[slot][c] = epoch
+                sketches[slot][c] = WindowSketch.EMPTY.extended(
+                    batch.t[in_c], batch.x[in_c], batch.y[in_c], batch.s[in_c]
+                )
+        self._dbs = dbs
+        self._cuts = cuts
+        self._gid_parts = gid_parts
+        self._gid_cache = gid_cache
+        self._window_epochs = wepochs
+        self._sketches = sketches
+        self.grid = new_grid
+        self.load.resize(n_new)
+        for slot in touched:
+            self.load.reset_shard(slot)
+
+    def split_shard(self, s: int, sx: int = 2, sy: int = 2) -> List[int]:
+        """Split shard ``s``'s grid cell into ``sx x sy`` sub-tiles.
+
+        Returns the new layout's slot ids for the cell (the first one is
+        ``s`` itself — unaffected shards never renumber).  The global
+        row multiset, gids, and window alignment are unchanged, so
+        answers stay byte-identical at the new layout; only the
+        partitioning of the hot cell's rows across slots moves.
+        """
+        with self._lock:
+            grid = self._refined_grid()
+            cell = grid.cell_of_shard(s)
+            new_grid = grid.split_cell(cell, sx, sy)
+            new_ids = list(new_grid.cell_shards[cell])
+            batch, gids = self._shard_column(s)
+            owners = new_grid.shards_of(batch.x, batch.y)
+            if len(batch) and not np.isin(owners, new_ids).all():
+                raise RuntimeError(
+                    f"split of shard {s} re-routed rows outside cell {cell}"
+                )
+            rebuilt = {}
+            for t in new_ids:
+                member = owners == t
+                rebuilt[t] = (batch.select_mask(member), gids[member])
+            parent_load = self.load.loads()[s]
+            self._install_layout(new_grid, rebuilt, cleared=())
+            # Carry the parent's EWMA load over, split by row share, so
+            # the rebalancer sees the (still-hot) cell as hot rather
+            # than freshly cold — without this a split would immediately
+            # qualify for re-merge.
+            total = max(len(batch), 1)
+            for t in new_ids:
+                self.load.seed_load(t, parent_load * len(rebuilt[t][1]) / total)
+            return new_ids
+
+    def merge_cell(self, cell: int) -> int:
+        """Re-merge a split cell's sub-tiles into one shard (the lowest
+        tile id); the other tile ids become empty hole slots.  Returns
+        the surviving shard id."""
+        with self._lock:
+            grid = self.grid
+            if not isinstance(grid, RefinedRegionGrid):
+                raise ValueError("grid has no split cells to merge")
+            old_ids = list(grid.cell_shards[cell])
+            new_grid = grid.merge_cell(cell)
+            keep = new_grid.cell_shards[cell][0]
+            parts = [self._shard_column(t) for t in old_ids]
+            gids = np.concatenate([g for _, g in parts]) if parts else np.empty(
+                0, dtype=np.int64
+            )
+            order = np.argsort(gids)
+            merged = TupleBatch(
+                np.concatenate([b.t for b, _ in parts])[order],
+                np.concatenate([b.x for b, _ in parts])[order],
+                np.concatenate([b.y for b, _ in parts])[order],
+                np.concatenate([b.s for b, _ in parts])[order],
+            )
+            loads = self.load.loads()
+            tile_load = sum(loads[t] for t in old_ids if t < len(loads))
+            self._install_layout(
+                new_grid,
+                {keep: (merged, gids[order])},
+                cleared=[t for t in old_ids if t != keep],
+            )
+            # The survivor inherits the tiles' combined recent load.
+            self.load.seed_load(keep, tile_load)
+            return keep
 
 
 def single_shard_router(

@@ -187,17 +187,29 @@ class ShardExportRegistry:
     ``(batch, gids)`` read of the shard's committed prefix) when the
     current one is too short.  Retired blocks are unlinked immediately —
     see the module docstring for why that is safe.
+
+    ``layout`` is the router's shard-layout epoch: within one layout a
+    shard's prefix is append-only, so the length test alone decides
+    reuse — but a split/merge re-cut *replaces* the shard's rows, so an
+    export from an older layout is retired even when it is long enough.
     """
 
     def __init__(self) -> None:
         self._exports: dict[int, ShardExport] = {}
+        self._layouts: dict[int, int] = {}
 
     def current(self, s: int) -> Optional[ShardExport]:
         return self._exports.get(s)
 
-    def ensure(self, s: int, needed_rows: int, read_prefix) -> ShardExportDescriptor:
+    def ensure(
+        self, s: int, needed_rows: int, read_prefix, layout: int = 0
+    ) -> ShardExportDescriptor:
         export = self._exports.get(s)
-        if export is None or export.n_rows < needed_rows:
+        if (
+            export is None
+            or export.n_rows < needed_rows
+            or self._layouts.get(s, 0) != layout
+        ):
             batch, gids = read_prefix()
             if len(batch) < needed_rows:
                 raise RuntimeError(
@@ -208,6 +220,7 @@ class ShardExportRegistry:
             if export is not None:
                 export.destroy()
             self._exports[s] = export = replacement
+            self._layouts[s] = layout
         return export.descriptor()
 
     def close(self) -> None:
@@ -215,3 +228,4 @@ class ShardExportRegistry:
         for export in self._exports.values():
             export.destroy()
         self._exports.clear()
+        self._layouts.clear()

@@ -62,6 +62,7 @@ from repro.data.windows import window_boundaries_in
 from repro.geo.coords import BoundingBox
 from repro.geo.region import RegionGrid
 from repro.storage import fsio
+from repro.storage.load import ShardLoadStat, ShardLoadTracker, skew_coefficient
 from repro.storage.segments import (
     read_segment,
     segment_filename,
@@ -158,6 +159,8 @@ class TieredShardRouter:
         self.evictions = 0
         self.segments_written = 0
         self.peak_resident = 0
+        # Per-shard load statistics (same surface as ShardRouter's).
+        self.load = ShardLoadTracker(n)
 
         manifest = self._load_manifest()
         if manifest is not None:
@@ -311,8 +314,39 @@ class TieredShardRouter:
     def epoch(self) -> int:
         return self._epoch
 
+    @property
+    def layout_epoch(self) -> int:
+        """Always 0: the durable tier's layout is fixed at creation (the
+        manifest bakes the grid in), so no binding can ever go stale."""
+        return 0
+
     def shard_counts(self) -> List[int]:
         return list(self._shard_rows)
+
+    def shard_load_stats(self) -> List[ShardLoadStat]:
+        """Per-shard load counters (same surface as the in-memory router)."""
+        return self.load.snapshot()
+
+    def load_skew(self) -> float:
+        """Max/mean skew of per-shard tuple counts (1.0 = balanced)."""
+        return skew_coefficient(self.shard_counts())
+
+    def split_shard(self, s: int, sx: int = 2, sy: int = 2) -> List[int]:
+        """Rebalancing a durable tier is not supported: sealed segment
+        files, the WAL and the manifest all encode the creation-time
+        layout, and re-cutting them in place cannot be made crash-safe
+        with the current segment format (see ``storage/README.md``)."""
+        raise NotImplementedError(
+            "rebalancing a durable tier is not supported; "
+            "re-ingest into a freshly laid-out ShardRouter instead"
+        )
+
+    def merge_cell(self, cell: int) -> int:
+        """See :meth:`split_shard` — durable tiers keep a fixed layout."""
+        raise NotImplementedError(
+            "rebalancing a durable tier is not supported; "
+            "re-ingest into a freshly laid-out ShardRouter instead"
+        )
 
     def global_window_count(self) -> int:
         return (self._global_rows + self.h - 1) // self.h
@@ -371,6 +405,7 @@ class TieredShardRouter:
             self._tail_parts[s].append((sub, gids[member]))
             self._tail_cache[s] = None
             delivered[s] = len(sub)
+            self.load.record_ingest(s, len(sub))
             self._shard_rows[s] += len(sub)
             wins = gids[member] // self.h
             for c in np.unique(wins):
@@ -629,14 +664,18 @@ class TieredShardRouter:
         return None
 
     def window_stats(self, c: int) -> List[tuple]:
+        """Unlocked ``(stamp, n_rows, read_epoch)`` display estimates per
+        shard (see :meth:`ShardRouter.window_stats`)."""
         c = int(c)
         stats = []
         for s in range(self.n_shards):
+            read_epoch = self._epoch
             sketch = self._sketches[s].get(c)
             stats.append(
                 (
                     self._window_epochs[s].get(c, 0),
                     sketch.n_rows if sketch is not None else 0,
+                    read_epoch,
                 )
             )
         return stats

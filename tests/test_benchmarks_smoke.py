@@ -85,6 +85,12 @@ def _run_ablation_tau(m, ds, bm):
     m.bench_tau_sweep(bm, ds, tau=2.0)
 
 
+def _run_adaptive_shards(m, ds, bm):
+    m.N_TUPLES, m.BATCH_QUERIES = 4_000, 10
+    m.bench_adaptive_scatter(bm, adaptive=False)
+    m.bench_adaptive_scatter(bm, adaptive=True)
+
+
 def _run_batch_execution(m, ds, bm):
     m.bench_heatmap(bm, ds, method="model-cover", path="batched")
     m.bench_continuous(bm, ds, path="batched")
@@ -157,6 +163,7 @@ SMOKE_RUNNERS = {
     "bench_ablation_indexes": _run_ablation_indexes,
     "bench_ablation_models": _run_ablation_models,
     "bench_ablation_tau": _run_ablation_tau,
+    "bench_adaptive_shards": _run_adaptive_shards,
     "bench_batch_execution": _run_batch_execution,
     "bench_concurrent": _run_concurrent,
     "bench_fig6a_efficiency": _run_fig6a_efficiency,
@@ -194,6 +201,8 @@ def test_bench_module_runs_tiny_iteration(name, tiny_dataset):
         attr: getattr(module, attr)
         for attr in (
             "N_QUERIES",
+            "N_TUPLES",
+            "BATCH_QUERIES",
             "QUERIES_PER_MEMBER",
             "GRID_NX",
             "GRID_NY",

@@ -113,6 +113,42 @@ class TestExplain:
         assert "/s" in out  # per-shard contexts rendered
 
 
+class TestShardsCommand:
+    def test_shards_prints_load_table(self, capsys):
+        rc = main(["shards", "--days", "1", "--shards", "6", "--queries", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        header = next(l for l in out.splitlines() if l.startswith("shard"))
+        for col in ("cell", "rows", "windows", "ingested", "queries",
+                    "scan-units", "load", "flags"):
+            assert col in header
+        assert "skew (max/mean):" in out
+
+    def test_shards_rebalance_splits_and_flags(self, capsys):
+        rc = main(
+            [
+                "shards", "--days", "1", "--shards", "6", "--queries", "80",
+                "--focus", "0.25", "--rebalance", "4",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rebalance: split shard" in out
+        assert "split" in out.split("flags", 1)[1]  # tiles flagged in table
+
+    def test_explain_sharded_includes_shard_table(self, capsys):
+        rc = main(["explain", "--shards", "4", "--queries", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-shard occupancy and load:" in out
+        assert "skew (max/mean):" in out
+
+    def test_explain_unsharded_omits_shard_table(self, capsys):
+        rc = main(["explain", "--queries", "20"])
+        assert rc == 0
+        assert "per-shard occupancy" not in capsys.readouterr().out
+
+
 class TestServeSubscriptions:
     def test_subscriptions_require_network_mode(self, capsys):
         rc = main(["serve", "--days", "1", "--subscriptions"])

@@ -1,8 +1,10 @@
 """Tests for repro.geo.region."""
 
+import math
+
 import numpy as np
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geo.coords import BoundingBox
@@ -121,3 +123,106 @@ class TestRegionGrid:
         grid = RegionGrid(self.BOUNDS, nx=2, ny=2)
         with pytest.raises(ValueError):
             grid.disk_cell_ranges(np.array([0.0]), np.array([0.0]), -1.0)
+
+
+# -- property suites: factorisation and degenerate strip grids --------------
+#
+# ``for_shard_count`` backs every CLI/benchmark "give me n shards" entry
+# point, and 1xn / nx1 strips are what prime counts degrade to — their
+# edge cells own unbounded slabs on *three* sides, the adversarial case
+# for the scatter-mask geometry.
+
+_PROP = settings(max_examples=60, deadline=None)
+
+_shard_counts = st.integers(min_value=1, max_value=420)
+_boxes = st.tuples(
+    st.floats(min_value=-1e4, max_value=1e4),
+    st.floats(min_value=-1e4, max_value=1e4),
+    st.floats(min_value=1.0, max_value=2e4),
+    st.floats(min_value=1.0, max_value=2e4),
+).map(lambda t: BoundingBox(t[0], t[1], t[0] + t[2], t[1] + t[3]))
+
+
+def _is_prime(n: int) -> bool:
+    return n > 1 and all(n % d for d in range(2, int(math.isqrt(n)) + 1))
+
+
+class TestForShardCountProperties:
+    @given(n=_shard_counts, box=_boxes)
+    @_PROP
+    def test_factorisation_is_exact_and_most_square(self, n, box):
+        grid = RegionGrid.for_shard_count(box, n)
+        assert grid.nx * grid.ny == n
+        # The smaller factor is the largest divisor not above sqrt(n) —
+        # no factor pair of n is closer to square.
+        small = min(grid.nx, grid.ny)
+        best = max(d for d in range(1, math.isqrt(n) + 1) if n % d == 0)
+        assert small == best
+
+    @given(n=_shard_counts, box=_boxes)
+    @_PROP
+    def test_aspect_follows_the_bounds(self, n, box):
+        grid = RegionGrid.for_shard_count(box, n)
+        if box.width >= box.height:
+            assert grid.nx >= grid.ny
+        else:
+            assert grid.ny >= grid.nx
+
+    @given(n=_shard_counts.filter(_is_prime), box=_boxes)
+    @_PROP
+    def test_prime_count_degrades_to_a_strip(self, n, box):
+        grid = RegionGrid.for_shard_count(box, n)
+        assert sorted((grid.nx, grid.ny)) == [1, n]
+
+
+class TestDegenerateStripScatterMask:
+    @given(
+        n=st.integers(min_value=1, max_value=13),
+        tall=st.booleans(),
+        r=st.floats(min_value=0.0, max_value=12_000.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @_PROP
+    def test_strip_masks_are_superset_safe_across_edge_slabs(
+        self, n, tall, r, seed
+    ):
+        """On a 1xn / nx1 strip, any tuple inside a query's disk is
+        owned by a masked cell — including tuples and query centres deep
+        in the unbounded edge slabs outside the bounding box."""
+        box = BoundingBox(0.0, 0.0, 6000.0, 4000.0)
+        grid = (
+            RegionGrid(box, nx=1, ny=n) if tall else RegionGrid(box, nx=n, ny=1)
+        )
+        rng = np.random.default_rng(seed)
+        # Both populations straddle the box and its far outside.
+        tx = rng.uniform(-15_000.0, 21_000.0, 256)
+        ty = rng.uniform(-15_000.0, 19_000.0, 256)
+        qx = rng.uniform(-15_000.0, 21_000.0, 24)
+        qy = rng.uniform(-15_000.0, 19_000.0, 24)
+        mask = grid.disks_shard_mask(qx, qy, r)
+        assert mask.shape == (24, n)
+        assert mask.any(axis=1).all()  # ownership is total
+        owners = grid.shards_of(tx, ty)
+        for q in range(len(qx)):
+            inside = (tx - qx[q]) ** 2 + (ty - qy[q]) ** 2 <= r * r
+            hit_owners = set(int(s) for s in np.unique(owners[inside]))
+            assert hit_owners <= set(np.flatnonzero(mask[q]))
+
+    @given(
+        n=st.integers(min_value=1, max_value=13),
+        tall=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @_PROP
+    def test_zero_radius_mask_is_exactly_the_owner(self, n, tall, seed):
+        box = BoundingBox(0.0, 0.0, 6000.0, 4000.0)
+        grid = (
+            RegionGrid(box, nx=1, ny=n) if tall else RegionGrid(box, nx=n, ny=1)
+        )
+        rng = np.random.default_rng(seed)
+        qx = rng.uniform(-15_000.0, 21_000.0, 64)
+        qy = rng.uniform(-15_000.0, 19_000.0, 64)
+        mask = grid.disks_shard_mask(qx, qy, 0.0)
+        owners = grid.shards_of(qx, qy)
+        assert mask.sum(axis=1).tolist() == [1] * 64
+        assert np.array_equal(np.argmax(mask, axis=1), owners)

@@ -161,9 +161,11 @@ class TestRouterSketches:
         router = build_router(small_batch, n_shards=4, h=240)
         stats = router.window_stats(0)
         assert len(stats) == router.n_shards
-        for s, (stamp, n_rows) in enumerate(stats):
+        for s, (stamp, n_rows, read_epoch) in enumerate(stats):
             assert stamp == router.shard_window_epoch(s, 0)
             assert n_rows == len(router.shard_window(s, 0))
+            # Quiescent router: the rows were read at the live epoch.
+            assert read_epoch == router.epoch
 
 
 # -- vectorised region geometry --------------------------------------------
